@@ -1,0 +1,73 @@
+// Figure 4: demand and connectivity increments of the top-1000 candidate
+// new edges. A small minority of edges carries most of the increment —
+// the justification for selective seeding (top-sn edges only).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/planning_context.h"
+#include "eval/table.h"
+
+namespace {
+
+void RunCity(const ctbus::gen::Dataset& city) {
+  ctbus::bench::PrintDataset(city);
+  auto ctx = ctbus::core::PlanningContext::Build(city.road, city.transit,
+                                                 ctbus::bench::BenchOptions());
+
+  // Rankings restricted to new edges.
+  std::vector<double> demand_ranked;
+  std::vector<double> increment_ranked;
+  for (int rank = 0; rank < ctx.demand_list().size(); ++rank) {
+    const int e = ctx.demand_list().EdgeAtRank(rank);
+    if (ctx.universe().edge(e).is_new) {
+      demand_ranked.push_back(ctx.demand_list().ValueAtRank(rank));
+    }
+  }
+  for (int rank = 0; rank < ctx.increment_list().size(); ++rank) {
+    const int e = ctx.increment_list().EdgeAtRank(rank);
+    if (ctx.universe().edge(e).is_new) {
+      increment_ranked.push_back(ctx.increment_list().ValueAtRank(rank));
+    }
+  }
+
+  ctbus::eval::Table table({"rank", "edge_demand", "connectivity_incr"});
+  const int limit = static_cast<int>(
+      std::min<std::size_t>(1000, std::min(demand_ranked.size(),
+                                           increment_ranked.size())));
+  for (int rank = 0; rank < limit; rank += std::max(1, limit / 12)) {
+    table.AddRow({ctbus::eval::Table::Int(rank + 1),
+                  ctbus::eval::Table::Num(demand_ranked[rank], 1),
+                  ctbus::eval::Table::Num(increment_ranked[rank], 6)});
+  }
+  table.Print(std::cout);
+
+  // Concentration statistic: share of total increment in the top decile.
+  auto top_decile_share = [](const std::vector<double>& v) {
+    double total = 0.0, top = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      total += v[i];
+      if (i < v.size() / 10) top += v[i];
+    }
+    return total > 0 ? top / total : 0.0;
+  };
+  std::printf("top-decile share: demand %.2f, connectivity %.2f\n\n",
+              top_decile_share(demand_ranked),
+              top_decile_share(increment_ranked));
+}
+
+}  // namespace
+
+int main() {
+  ctbus::bench::PrintHeader(
+      "Figure 4: top-1000 new edges by demand / connectivity increment",
+      "steeply decaying curves: a minority of edges dominates both "
+      "increments (motivates seeding with top-sn edges)");
+  const double scale = ctbus::bench::GetScale();
+  RunCity(ctbus::gen::MakeChicagoLike(scale));
+  RunCity(ctbus::gen::MakeNycLike(scale));
+  std::printf("shape check: values decay severalfold within the listed "
+              "ranks; the top decile holds an outsized share of the total "
+              "increment.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 5: road and transit network overview maps, exported as GeoJSON
+// (standing in for the paper's Mapv renderings).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "io/geojson.h"
+
+namespace {
+
+void ExportCity(const ctbus::gen::Dataset& city) {
+  ctbus::bench::PrintDataset(city);
+  ctbus::io::GeoJsonWriter road;
+  road.AddRoadNetwork(city.road);
+  const std::string road_path = city.name + "_road.geojson";
+  ctbus::io::GeoJsonWriter transit;
+  transit.AddTransitNetwork(city.transit, /*include_routes=*/true);
+  const std::string transit_path = city.name + "_transit.geojson";
+  if (road.WriteFile(road_path) && transit.WriteFile(transit_path)) {
+    std::printf("  wrote %s (%d features) and %s (%d features)\n\n",
+                road_path.c_str(), road.num_features(), transit_path.c_str(),
+                transit.num_features());
+  } else {
+    std::printf("  export failed\n\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  ctbus::bench::PrintHeader(
+      "Figure 5: road + transit network overview exports",
+      "four maps: Chicago road/transit and NYC road/transit");
+  const double scale = ctbus::bench::GetScale();
+  ExportCity(ctbus::gen::MakeChicagoLike(scale));
+  ExportCity(ctbus::gen::MakeNycLike(scale));
+  std::printf("open the .geojson files in any GeoJSON viewer to inspect "
+              "the networks (local planar meters).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figures 7 & 8: visualization exports of the planned route and its
+// connected existing routes, at w = 0.5 (Figure 7) and the extreme weights
+// w = 1 (demand only) vs w = 0 (connectivity only) (Figure 8).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/planner.h"
+#include "eval/transfer_metrics.h"
+#include "io/geojson.h"
+
+namespace {
+
+void PlanAndExport(const ctbus::gen::Dataset& city, double w,
+                   const std::string& filename) {
+  auto options = ctbus::bench::BenchOptions();
+  options.w = w;
+  ctbus::core::CtBusPlanner planner(city.road, city.transit, options);
+  const auto result = planner.PlanRoute(ctbus::core::Planner::kEtaPre);
+  if (!result.found) {
+    std::printf("w=%.1f: no feasible route\n", w);
+    return;
+  }
+  const auto metrics = ctbus::eval::EvaluateRoute(
+      planner.transit(), planner.context().universe(), result.path.stops(),
+      result.path.edges());
+
+  ctbus::io::GeoJsonWriter geo;
+  geo.AddTransitNetwork(city.transit, /*include_routes=*/true);
+  geo.AddPlannedRoute(planner.transit(), result.path.stops(),
+                      "planned_w=" + std::to_string(w));
+  geo.WriteFile(filename);
+  std::printf("w=%.1f: %2d edges (%2d new), objective %.3f, crosses %d "
+              "routes -> %s\n",
+              w, result.path.num_edges(), result.path.num_new_edges(),
+              result.objective, metrics.crossed_routes, filename.c_str());
+}
+
+}  // namespace
+
+int main() {
+  ctbus::bench::PrintHeader(
+      "Figures 7-8: planned-route visualizations across w",
+      "w=0.5 balances; w=1 chases demand corridors but crosses fewer "
+      "routes (25) than w=0 (60), which hunts connectivity");
+  const double scale = ctbus::bench::GetScale();
+  const auto city = ctbus::gen::MakeChicagoLike(scale);
+  ctbus::bench::PrintDataset(city);
+  PlanAndExport(city, 0.5, "fig7_chicago_w05.geojson");
+  PlanAndExport(city, 1.0, "fig8_chicago_w10.geojson");
+  PlanAndExport(city, 0.0, "fig8_chicago_w00.geojson");
+  std::printf(
+      "\nshape note: in the paper w=0 crosses the most routes (60 vs 25). "
+      "On the synthetic cities high-Delta edges cluster at hubs, so pure-"
+      "connectivity routes dead-end early and cross fewer routes — a "
+      "documented data-substitution deviation (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Figure 9: convergence of the incumbent objective over iterations for
+// ETA (online), ETA-Pre (precomputed), and ETA-ALL (seeding all edges).
+// ETA-Pre converges fastest; seeding everything converges slowest.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/eta.h"
+#include "eval/table.h"
+
+namespace {
+
+struct Series {
+  const char* name;
+  ctbus::core::PlanResult result;
+};
+
+void RunCity(const ctbus::gen::Dataset& city) {
+  ctbus::bench::PrintDataset(city);
+
+  auto base = ctbus::bench::BenchOptions();
+  base.trace_every = 100;
+  base.max_iterations = 4000;
+  // Selective seeding must be genuinely selective at bench scale for the
+  // ETA-ALL contrast to show (the paper's sn=5000 out of ~100k edges).
+  base.seed_count = 1000;
+  const ctbus::bench::ContextFactory factory(city, base);
+
+  std::vector<Series> series;
+
+  {
+    auto options = base;
+    options.max_iterations = ctbus::bench::GetEtaIterations();
+    auto ctx = factory.Make(options);
+    series.push_back(
+        {"ETA", ctbus::core::RunEta(&ctx, ctbus::core::SearchMode::kOnline)});
+  }
+  {
+    auto ctx = factory.Make(base);
+    series.push_back({"ETA-Pre", ctbus::core::RunEta(
+                                     &ctx, ctbus::core::SearchMode::kPrecomputed)});
+  }
+  {
+    auto options = base;
+    options.seed_all_edges = true;  // ETA-ALL
+    auto ctx = factory.Make(options);
+    series.push_back({"ETA-ALL", ctbus::core::RunEta(
+                                     &ctx, ctbus::core::SearchMode::kPrecomputed)});
+  }
+
+  ctbus::eval::Table table({"method", "iterations", "final_objective",
+                            "obj@200", "obj@1000", "obj@3000",
+                            "obj@last_trace"});
+  for (const auto& s : series) {
+    auto at = [&](int it) -> std::string {
+      double value = 0.0;
+      for (const auto& [i, obj] : s.result.trace) {
+        if (i <= it) value = obj;
+      }
+      return ctbus::eval::Table::Num(value, 4);
+    };
+    const double last =
+        s.result.trace.empty() ? 0.0 : s.result.trace.back().second;
+    table.AddRow({s.name, ctbus::eval::Table::Int(s.result.iterations),
+                  ctbus::eval::Table::Num(s.result.objective, 4), at(200),
+                  at(1000), at(3000), ctbus::eval::Table::Num(last, 4)});
+  }
+  table.Print(std::cout);
+  std::printf("(final_objective re-estimates the winner's connectivity "
+              "with the online Lanczos estimator; trace values use the "
+              "linearized objective, hence small differences)\n\n");
+}
+
+}  // namespace
+
+int main() {
+  ctbus::bench::PrintHeader(
+      "Figure 9: convergence of ETA / ETA-Pre / ETA-ALL",
+      "ETA-Pre reaches comparable or higher objectives and converges "
+      "quickly; initializing all edges (ETA-ALL) converges slowest");
+  const double scale = ctbus::bench::GetScale();
+  RunCity(ctbus::gen::MakeChicagoLike(scale));
+  RunCity(ctbus::gen::MakeNycLike(scale));
+  std::printf("shape check: ETA-Pre objective >= ETA-ALL at matched "
+              "iteration budgets; all curves are non-decreasing.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Micro-benchmarks for the graph substrate: Dijkstra scaling, bounded
+// Dijkstra locality, spatial-grid queries, and BFS — the kernels behind
+// candidate-edge realization and the transfer metrics.
+#include <benchmark/benchmark.h>
+
+#include "gen/city_generator.h"
+#include "graph/shortest_path.h"
+#include "graph/spatial_grid.h"
+#include "linalg/rng.h"
+
+namespace {
+
+ctbus::graph::RoadNetwork City(int side) {
+  ctbus::gen::CityOptions options;
+  options.grid_width = side;
+  options.grid_height = side;
+  options.seed = 42;
+  return ctbus::gen::GenerateCity(options);
+}
+
+void BM_DijkstraFull(benchmark::State& state) {
+  const auto road = City(static_cast<int>(state.range(0)));
+  ctbus::linalg::Rng rng(1);
+  for (auto _ : state) {
+    const int source =
+        static_cast<int>(rng.NextIndex(road.graph().num_vertices()));
+    benchmark::DoNotOptimize(ctbus::graph::Dijkstra(road.graph(), source));
+  }
+  state.SetComplexityN(road.graph().num_vertices());
+}
+BENCHMARK(BM_DijkstraFull)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_DijkstraBoundedTau(benchmark::State& state) {
+  // The candidate-edge pass: bounded to 1.5 km on a big city.
+  const auto road = City(128);
+  ctbus::linalg::Rng rng(2);
+  for (auto _ : state) {
+    const int source =
+        static_cast<int>(rng.NextIndex(road.graph().num_vertices()));
+    benchmark::DoNotOptimize(
+        ctbus::graph::DijkstraBounded(road.graph(), source, 1500.0));
+  }
+}
+BENCHMARK(BM_DijkstraBoundedTau);
+
+void BM_BfsHops(benchmark::State& state) {
+  const auto road = City(96);
+  ctbus::linalg::Rng rng(3);
+  for (auto _ : state) {
+    const int source =
+        static_cast<int>(rng.NextIndex(road.graph().num_vertices()));
+    benchmark::DoNotOptimize(ctbus::graph::BfsHops(road.graph(), source));
+  }
+}
+BENCHMARK(BM_BfsHops);
+
+void BM_SpatialGridRadiusQuery(benchmark::State& state) {
+  const auto road = City(128);
+  std::vector<ctbus::graph::Point> points;
+  for (int v = 0; v < road.graph().num_vertices(); ++v) {
+    points.push_back(road.graph().position(v));
+  }
+  const ctbus::graph::SpatialGrid grid(points, 250.0);
+  ctbus::linalg::Rng rng(4);
+  for (auto _ : state) {
+    const auto& center = points[rng.NextIndex(points.size())];
+    benchmark::DoNotOptimize(grid.WithinRadius(center, 500.0));
+  }
+}
+BENCHMARK(BM_SpatialGridRadiusQuery);
+
+void BM_SpatialGridNearest(benchmark::State& state) {
+  const auto road = City(128);
+  std::vector<ctbus::graph::Point> points;
+  for (int v = 0; v < road.graph().num_vertices(); ++v) {
+    points.push_back(road.graph().position(v));
+  }
+  const ctbus::graph::SpatialGrid grid(points, 250.0);
+  ctbus::linalg::Rng rng(5);
+  for (auto _ : state) {
+    const ctbus::graph::Point p{rng.NextDouble(0, 12000),
+                                rng.NextDouble(0, 12000)};
+    benchmark::DoNotOptimize(grid.Nearest(p));
+  }
+}
+BENCHMARK(BM_SpatialGridNearest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table 3: tightness of the connectivity upper bounds at k = 15, reported
+// as increments over lambda(G_r): Estrada >> general (Lemma 3) > path
+// (Lemma 4) > increment bound (sum of top-k Delta(e)).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "connectivity/bounds.h"
+#include "connectivity/natural_connectivity.h"
+#include "core/planning_context.h"
+#include "eval/table.h"
+#include "linalg/lanczos.h"
+#include "linalg/rng.h"
+
+namespace {
+
+void RunCity(const ctbus::gen::Dataset& city, ctbus::eval::Table* table) {
+  ctbus::bench::PrintDataset(city);
+  const int k = 15;
+  auto options = ctbus::bench::BenchOptions();
+  options.k = k;
+  auto ctx = ctbus::core::PlanningContext::Build(city.road, city.transit,
+                                                 options);
+  const auto adjacency = city.transit.AdjacencyMatrix();
+  const int n = adjacency.dim();
+  const double lambda =
+      ctbus::connectivity::NaturalConnectivityExact(adjacency);
+  ctbus::linalg::Rng rng(3);
+  const auto top =
+      ctbus::linalg::TopEigenvalues(adjacency, 2 * k, 2 * k + 30, &rng);
+
+  const double estrada = ctbus::connectivity::EstradaUpperBound(
+      n, static_cast<int>(adjacency.num_entries()), k);
+  const double general =
+      ctbus::connectivity::GeneralUpperBound(lambda, top, k, n);
+  const double path = ctbus::connectivity::PathUpperBound(lambda, top, k, n);
+  const double increment_bound = ctx.increment_list().TopSum(k);
+
+  table->AddRow({city.name, ctbus::eval::Table::Num(estrada - lambda, 3),
+                 ctbus::eval::Table::Num(general - lambda, 3),
+                 ctbus::eval::Table::Num(path - lambda, 3),
+                 ctbus::eval::Table::Num(increment_bound, 3)});
+}
+
+}  // namespace
+
+int main() {
+  ctbus::bench::PrintHeader(
+      "Table 3: tightness of connectivity upper bounds (k=15, increments)",
+      "Chicago: Estrada 104.2 >> general 1.576 > path 0.167 > increment "
+      "0.034; NYC: 156.5 >> 0.655 > 0.067 > 0.010");
+  const double scale = ctbus::bench::GetScale();
+  ctbus::eval::Table table({"city", "estrada_incr", "general_incr",
+                            "path_incr", "increment_bound"});
+  RunCity(ctbus::gen::MakeChicagoLike(scale), &table);
+  RunCity(ctbus::gen::MakeNycLike(scale), &table);
+  std::printf("\n");
+  table.Print(std::cout);
+  std::printf("\nshape check: each bound must be at least an order tighter "
+              "than the previous column.\n");
+  return 0;
+}

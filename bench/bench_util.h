@@ -1,0 +1,107 @@
+// Shared helpers for the experiment harness. Every bench binary regenerates
+// one table or figure of the paper; these helpers standardize dataset
+// scaling, planner options, and paper-vs-measured output framing.
+//
+// Environment knobs:
+//   CTBUS_SCALE      dataset scale factor (default 1.0; paper scale ~7-20x)
+//   CTBUS_ETA_ITERS  iteration cap for *online* ETA runs (default 300;
+//                    the paper runs to convergence, which takes hours)
+#ifndef CTBUS_BENCH_BENCH_UTIL_H_
+#define CTBUS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/options.h"
+#include "core/planning_context.h"
+#include "gen/datasets.h"
+
+namespace ctbus::bench {
+
+inline double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+inline double GetScale() { return GetEnvDouble("CTBUS_SCALE", 1.0); }
+
+inline int GetEtaIterations() {
+  return static_cast<int>(GetEnvDouble("CTBUS_ETA_ITERS", 100));
+}
+
+/// Planner options tuned so the full bench suite reruns in minutes.
+/// k, w, Tn, sn defaults follow the paper's underlined defaults
+/// (k=30, w=0.5, Tn=3, sn=5000).
+inline core::CtBusOptions BenchOptions() {
+  core::CtBusOptions options;
+  options.k = 30;
+  options.w = 0.5;
+  options.max_turns = 3;
+  options.seed_count = 5000;
+  options.max_iterations = 100000;
+  options.online_estimator = {/*probes=*/50, /*lanczos_steps=*/10,
+                              /*seed=*/1};
+  options.precompute_estimator = {/*probes=*/8, /*lanczos_steps=*/8,
+                                  /*seed=*/11};
+  return options;
+}
+
+/// Runs the expensive pre-computation once per dataset and stamps out
+/// sibling contexts for parameter sweeps (k / w / Tn / sn must be the only
+/// differences; tau is fixed by the base options).
+class ContextFactory {
+ public:
+  ContextFactory(const gen::Dataset& city, const core::CtBusOptions& base)
+      : city_(&city),
+        precompute_(core::PlanningContext::RunPrecompute(
+            city.road, city.transit, base)) {}
+
+  core::PlanningContext Make(const core::CtBusOptions& options) const {
+    return core::PlanningContext::BuildWithPrecompute(
+        city_->road, city_->transit, options, precompute_);
+  }
+
+ private:
+  const gen::Dataset* city_;
+  core::Precompute precompute_;
+};
+
+/// Stopwatch helper.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Standard experiment banner: what the paper reports, what we measure.
+inline void PrintHeader(const char* experiment, const char* paper_claim) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("scale: %.2f (set CTBUS_SCALE to change)\n\n", GetScale());
+}
+
+inline void PrintDataset(const gen::Dataset& d) {
+  std::printf("dataset %-13s |V|=%-6d |E|=%-6d |V_r|=%-5d |E_r|=%-5d "
+              "|R|=%-3d len(R)=%.1f |D|=%lld\n",
+              d.name.c_str(), d.road.graph().num_vertices(),
+              d.road.graph().num_edges(), d.transit.num_stops(),
+              d.transit.num_active_edges(), d.transit.num_active_routes(),
+              d.transit.AverageRouteLength(),
+              static_cast<long long>(d.num_trips));
+}
+
+}  // namespace ctbus::bench
+
+#endif  // CTBUS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,68 @@
+#include "connectivity/bounds.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ctbus::connectivity {
+
+namespace {
+
+double TopEigenvalueOrZero(const std::vector<double>& top, int i) {
+  if (i < static_cast<int>(top.size())) return top[i];
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<double> PathGraphEigenvalues(int k) {
+  assert(k >= 1);
+  std::vector<double> sigma(k + 1);
+  for (int i = 1; i <= k + 1; ++i) {
+    sigma[i - 1] = 2.0 * std::cos(i * M_PI / (k + 2));
+  }
+  return sigma;
+}
+
+double EstradaUpperBound(int num_vertices, int num_edges, int k) {
+  assert(num_vertices >= 1);
+  assert(num_edges >= 0 && k >= 0);
+  const double m = static_cast<double>(num_edges + k);
+  return std::log(1.0 + (std::exp(std::sqrt(2.0 * m)) - 1.0) /
+                            static_cast<double>(num_vertices));
+}
+
+double GeneralUpperBound(double lambda_g,
+                         const std::vector<double>& top_eigenvalues, int k,
+                         int n) {
+  assert(k >= 1);
+  assert(n >= 1);
+  // tr(e^{A'}) <= tr(e^A) - sum_{i=1}^{2k} e^{lambda_i}
+  //              + e^{lambda_1} (2k - 1 + e^{sqrt(2k)});
+  // divide by n and take the log (see the Lemma 3 proof).
+  const double lambda_1 = TopEigenvalueOrZero(top_eigenvalues, 0);
+  double correction = 0.0;
+  for (int i = 0; i < 2 * k; ++i) {
+    correction -= std::exp(TopEigenvalueOrZero(top_eigenvalues, i));
+  }
+  correction +=
+      std::exp(lambda_1) * (2.0 * k - 1.0 + std::exp(std::sqrt(2.0 * k)));
+  return std::log(std::exp(lambda_g) + correction / static_cast<double>(n));
+}
+
+double PathUpperBound(double lambda_g,
+                      const std::vector<double>& top_eigenvalues, int k,
+                      int n) {
+  assert(k >= 1);
+  assert(n >= 1);
+  const std::vector<double> sigma = PathGraphEigenvalues(k);
+  const int m = (k + 1) / 2;  // number of positive path-graph eigenvalues
+  double correction = 0.0;
+  for (int i = 0; i < m; ++i) {
+    correction += (std::exp(sigma[i]) - 1.0) *
+                  std::exp(TopEigenvalueOrZero(top_eigenvalues, i));
+  }
+  return std::log(std::exp(lambda_g) + correction / static_cast<double>(n));
+}
+
+}  // namespace ctbus::connectivity

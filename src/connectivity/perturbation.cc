@@ -1,0 +1,45 @@
+#include "connectivity/perturbation.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/lanczos.h"
+#include "linalg/rng.h"
+
+namespace ctbus::connectivity {
+
+PerturbationIncrementModel PerturbationIncrementModel::Build(
+    const linalg::SymmetricSparseMatrix& a, double base_trace,
+    const Options& options) {
+  assert(base_trace > 0.0);
+  PerturbationIncrementModel model;
+  model.base_trace_ = base_trace;
+  linalg::Rng rng(options.seed);
+  auto pairs = linalg::TopEigenpairs(
+      a, options.num_eigenpairs,
+      options.num_eigenpairs + options.extra_iterations, &rng);
+  model.exp_eigenvalues_.reserve(pairs.eigenvalues.size());
+  for (double lambda : pairs.eigenvalues) {
+    model.exp_eigenvalues_.push_back(std::exp(lambda));
+  }
+  model.eigenvectors_ = std::move(pairs.eigenvectors);
+  return model;
+}
+
+double PerturbationIncrementModel::TraceIncrement(int u, int v) const {
+  double increment = 0.0;
+  for (std::size_t j = 0; j < exp_eigenvalues_.size(); ++j) {
+    const double shift = 2.0 * eigenvectors_[j][u] * eigenvectors_[j][v];
+    increment += exp_eigenvalues_[j] * (std::exp(shift) - 1.0);
+  }
+  return increment;
+}
+
+double PerturbationIncrementModel::EdgeIncrement(int u, int v) const {
+  const double ratio = TraceIncrement(u, v) / base_trace_;
+  // Guard against pathological first-order estimates driving the argument
+  // of the log non-positive.
+  return std::log(std::max(1.0 + ratio, 1e-12));
+}
+
+}  // namespace ctbus::connectivity

@@ -1,0 +1,25 @@
+#include "core/domination_table.h"
+
+#include <algorithm>
+
+namespace ctbus::core {
+
+std::uint64_t DominationTable::Key(int a, int b) {
+  const std::uint32_t lo = static_cast<std::uint32_t>(std::min(a, b));
+  const std::uint32_t hi = static_cast<std::uint32_t>(std::max(a, b));
+  return (static_cast<std::uint64_t>(hi) << 32) | lo;
+}
+
+bool DominationTable::CheckAndUpdate(int begin_edge, int end_edge,
+                                     double objective) {
+  const std::uint64_t key = Key(begin_edge, end_edge);
+  const auto [it, inserted] = table_.try_emplace(key, objective);
+  if (inserted) return true;
+  if (objective > it->second) {
+    it->second = objective;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ctbus::core

@@ -1,0 +1,33 @@
+// Domination table DT (Section 4.2.3): candidate paths sharing the same
+// (begin edge, end edge) pair compete — only the one with the highest
+// objective so far is allowed to keep expanding, which prunes repeated
+// expansions over the same corridor.
+#ifndef CTBUS_CORE_DOMINATION_TABLE_H_
+#define CTBUS_CORE_DOMINATION_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace ctbus::core {
+
+class DominationTable {
+ public:
+  DominationTable() = default;
+
+  /// If `objective` beats the stored value for (begin_edge, end_edge), the
+  /// table is updated and true is returned (the candidate survives).
+  /// Otherwise the candidate is dominated and false is returned.
+  /// The end pair is treated as unordered, matching the undirected route.
+  bool CheckAndUpdate(int begin_edge, int end_edge, double objective);
+
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  static std::uint64_t Key(int a, int b);
+
+  std::unordered_map<std::uint64_t, double> table_;
+};
+
+}  // namespace ctbus::core
+
+#endif  // CTBUS_CORE_DOMINATION_TABLE_H_

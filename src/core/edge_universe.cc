@@ -1,0 +1,91 @@
+#include "core/edge_universe.h"
+
+#include <cassert>
+
+#include "graph/geo.h"
+#include "graph/shortest_path.h"
+#include "graph/spatial_grid.h"
+
+namespace ctbus::core {
+
+EdgeUniverse EdgeUniverse::Build(const graph::RoadNetwork& road,
+                                 const graph::TransitNetwork& transit,
+                                 const EdgeUniverseOptions& options) {
+  assert(options.tau > 0.0);
+  EdgeUniverse universe;
+  universe.incident_.resize(transit.num_stops());
+
+  // Existing active transit edges enter the universe verbatim.
+  for (int te = 0; te < transit.num_edges(); ++te) {
+    if (!transit.EdgeActive(te)) continue;
+    const auto& t_edge = transit.edge(te);
+    PlannableEdge edge;
+    edge.u = t_edge.u;
+    edge.v = t_edge.v;
+    edge.is_new = false;
+    edge.length = t_edge.length;
+    edge.straight_distance = graph::Distance(transit.stop(t_edge.u).position,
+                                             transit.stop(t_edge.v).position);
+    edge.road_edges = t_edge.road_edges;
+    edge.demand = road.PathDemand(edge.road_edges);
+    edge.transit_edge = te;
+    const int id = universe.num_edges();
+    universe.edges_.push_back(std::move(edge));
+    universe.incident_[t_edge.u].push_back(id);
+    universe.incident_[t_edge.v].push_back(id);
+  }
+
+  // Candidate new edges: stop pairs within tau, not transit-connected,
+  // realized as shortest road paths. One bounded Dijkstra per stop serves
+  // all of its tau-neighbors.
+  const graph::SpatialGrid grid(transit.StopPositions(),
+                                std::max(50.0, options.tau / 2));
+  const double max_path_length = options.detour_factor * options.tau;
+  for (int s = 0; s < transit.num_stops(); ++s) {
+    const auto neighbors =
+        grid.WithinRadius(transit.stop(s).position, options.tau);
+    bool tree_ready = false;
+    graph::ShortestPathTree tree;
+    for (int t : neighbors) {
+      if (t <= s) continue;  // each unordered pair once
+      if (transit.ActiveEdgeBetween(s, t).has_value()) continue;
+      if (!tree_ready) {
+        tree = graph::DijkstraBounded(road.graph(),
+                                      transit.stop(s).road_vertex,
+                                      max_path_length);
+        tree_ready = true;
+      }
+      const auto path = graph::ExtractPath(tree, transit.stop(s).road_vertex,
+                                           transit.stop(t).road_vertex);
+      if (!path.has_value() || path->edges.empty()) continue;
+      if (path->length > max_path_length) continue;
+
+      PlannableEdge edge;
+      edge.u = s;
+      edge.v = t;
+      edge.is_new = true;
+      edge.length = path->length;
+      edge.straight_distance =
+          graph::Distance(transit.stop(s).position, transit.stop(t).position);
+      edge.road_edges = path->edges;
+      edge.demand = road.PathDemand(edge.road_edges);
+      edge.transit_edge = -1;
+      const int id = universe.num_edges();
+      universe.edges_.push_back(std::move(edge));
+      universe.incident_[s].push_back(id);
+      universe.incident_[t].push_back(id);
+      ++universe.num_new_edges_;
+    }
+  }
+  return universe;
+}
+
+std::vector<double> EdgeUniverse::DemandScores() const {
+  std::vector<double> scores(edges_.size());
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    scores[e] = edges_[e].demand;
+  }
+  return scores;
+}
+
+}  // namespace ctbus::core

@@ -1,0 +1,80 @@
+// The plannable-edge universe: every edge a new bus route may use. That is
+// all existing (active) transit edges plus every *candidate new edge* — a
+// pair of stops within straight-line distance tau that is not yet connected,
+// realized as the shortest road path between the stops' road vertices
+// (Algorithm 1's CandidateEdges(G_r, tau, G)).
+#ifndef CTBUS_CORE_EDGE_UNIVERSE_H_
+#define CTBUS_CORE_EDGE_UNIVERSE_H_
+
+#include <vector>
+
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+
+namespace ctbus::core {
+
+/// One edge of the universe. Ids are dense and private to the universe;
+/// `transit_edge` links back to the transit network for existing edges.
+struct PlannableEdge {
+  int u = -1;  // stop id
+  int v = -1;  // stop id
+  /// True if this edge is NOT part of the current transit network.
+  bool is_new = false;
+  /// Travel length along the underlying road path (|e|).
+  double length = 0.0;
+  /// Straight-line distance between the stops.
+  double straight_distance = 0.0;
+  /// Road edges crossed by the realized path.
+  std::vector<int> road_edges;
+  /// Commuting demand sum f_e * |e| over road_edges.
+  double demand = 0.0;
+  /// Transit-network edge id for existing edges, -1 for new ones.
+  int transit_edge = -1;
+};
+
+struct EdgeUniverseOptions {
+  /// Straight-line threshold for candidate new edges, meters.
+  double tau = 500.0;
+  /// Candidate road paths longer than detour_factor * tau are rejected
+  /// (the realized street path would be an unreasonable bus leg).
+  double detour_factor = 3.0;
+};
+
+/// Immutable universe built once per (road, transit, tau).
+class EdgeUniverse {
+ public:
+  EdgeUniverse() = default;
+
+  /// Builds the universe. Runs one bounded Dijkstra per stop.
+  static EdgeUniverse Build(const graph::RoadNetwork& road,
+                            const graph::TransitNetwork& transit,
+                            const EdgeUniverseOptions& options);
+
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  int num_new_edges() const { return num_new_edges_; }
+  int num_existing_edges() const { return num_edges() - num_new_edges_; }
+  const PlannableEdge& edge(int e) const { return edges_[e]; }
+
+  /// Universe edges incident to `stop`.
+  const std::vector<int>& IncidentEdges(int stop) const {
+    return incident_[stop];
+  }
+
+  /// Endpoint of edge `e` other than `stop`.
+  int OtherEnd(int e, int stop) const {
+    return edges_[e].u == stop ? edges_[e].v : edges_[e].u;
+  }
+
+  /// Demand score of every edge (indexed by universe edge id) — the input
+  /// to the L_d ranking.
+  std::vector<double> DemandScores() const;
+
+ private:
+  std::vector<PlannableEdge> edges_;
+  std::vector<std::vector<int>> incident_;  // per stop
+  int num_new_edges_ = 0;
+};
+
+}  // namespace ctbus::core
+
+#endif  // CTBUS_CORE_EDGE_UNIVERSE_H_

@@ -1,0 +1,258 @@
+#include "core/eta.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <queue>
+
+#include "core/domination_table.h"
+#include "demand/demand_bound.h"
+
+namespace ctbus::core {
+
+namespace {
+
+struct QueueEntry {
+  double upper_bound = 0.0;
+  double objective = 0.0;
+  CandidatePath path;
+  demand::BoundState bound_state;
+
+  bool operator<(const QueueEntry& other) const {
+    return upper_bound < other.upper_bound;  // max-heap on O_up
+  }
+};
+
+// The search engine shared by ETA and ETA-Pre; mode selects the objective
+// evaluation and bound machinery.
+class EtaSearch {
+ public:
+  EtaSearch(PlanningContext* ctx, SearchMode mode)
+      : ctx_(ctx),
+        mode_(mode),
+        options_(ctx->options()),
+        // ETA bounds demand via L_d (Algorithm 2); ETA-Pre bounds the
+        // integrated objective via L_e (Section 6.2).
+        bound_(mode == SearchMode::kOnline ? &ctx->demand_list()
+                                           : &ctx->objective_list(),
+               options_.k) {}
+
+  PlanResult Run() {
+    const auto start = std::chrono::steady_clock::now();
+    Initialize();
+    int it = 0;
+    while (!queue_.empty()) {
+      QueueEntry entry = queue_.top();
+      queue_.pop();
+      if (entry.upper_bound <= best_objective_ || it >= options_.max_iterations) {
+        break;  // Line 5-6 of Algorithm 1
+      }
+      ++it;
+      if (options_.best_neighbor_only) {
+        ExpandBestNeighbor(std::move(entry));
+      } else {
+        ExpandAllNeighbors(std::move(entry));  // ETA-AN
+      }
+      if (options_.trace_every > 0 && it % options_.trace_every == 0) {
+        result_.trace.emplace_back(it, best_objective_);
+      }
+    }
+    result_.iterations = it;
+    FinalizeResult();
+    result_.seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    return std::move(result_);
+  }
+
+ private:
+  // Objective of a candidate path under the active mode.
+  double Evaluate(const CandidatePath& path) {
+    if (mode_ == SearchMode::kPrecomputed) {
+      return ctx_->Objective(path.demand(),
+                             ctx_->LinearConnectivityIncrement(path.edges()));
+    }
+    return ctx_->Objective(path.demand(),
+                           ctx_->OnlineConnectivityIncrement(path.edges()));
+  }
+
+  // Linearized objective (used for seeds in both modes; for online mode the
+  // seed increments are themselves Lanczos-estimated during pre-computation).
+  double EvaluateLinear(const CandidatePath& path) const {
+    return ctx_->Objective(path.demand(),
+                           ctx_->LinearConnectivityIncrement(path.edges()));
+  }
+
+  // Upper bound of a path state (Algorithm 1 lines 26/31; Section 6.2 for
+  // the precomputed mode where the integrated bound is used directly).
+  double UpperBound(const demand::BoundState& state) const {
+    if (mode_ == SearchMode::kPrecomputed) return state.bound;
+    return options_.w * state.bound / ctx_->d_max() +
+           (1.0 - options_.w) * lambda_increment_bound_ / ctx_->lambda_max();
+  }
+
+  bool EdgeAllowed(int edge) const {
+    return !options_.new_edges_only || ctx_->universe().edge(edge).is_new;
+  }
+
+  void MaybeUpdateBest(const CandidatePath& path, double objective) {
+    if (path.turns() > options_.max_turns) return;  // infeasible as a route
+    if (path.num_edges() > options_.k) return;      // over the edge budget
+    if (objective > best_objective_) {
+      best_objective_ = objective;
+      result_.found = true;
+      result_.path = path;
+      result_.objective = objective;
+    }
+  }
+
+  // Initialization (Algorithm 1, lines 18-27): seed single-edge paths from
+  // the integrated ranking (top-sn, or all edges for ETA-ALL).
+  void Initialize() {
+    const demand::RankedList& seeds = ctx_->objective_list();
+    const int seed_limit = options_.seed_all_edges
+                               ? seeds.size()
+                               : std::min(options_.seed_count, seeds.size());
+    for (int rank = 0; rank < seed_limit; ++rank) {
+      const int edge = seeds.EdgeAtRank(rank);
+      if (!EdgeAllowed(edge)) continue;
+      QueueEntry entry;
+      entry.path = CandidatePath(ctx_->universe(), edge);
+      entry.objective = EvaluateLinear(entry.path);
+      MaybeUpdateBest(entry.path, entry.objective);
+      entry.bound_state = bound_.SeedState(edge);
+      entry.upper_bound = UpperBound(entry.bound_state);
+      if (entry.upper_bound > best_objective_) {
+        queue_.push(std::move(entry));
+      }
+    }
+  }
+
+  // Feasible extensions of `path` at `at_stop`, restricted to allowed edges.
+  std::vector<int> FeasibleExtensions(const CandidatePath& path,
+                                      int at_stop) const {
+    std::vector<int> result;
+    for (int e : ctx_->universe().IncidentEdges(at_stop)) {
+      if (!EdgeAllowed(e)) continue;
+      if (path.CanExtend(ctx_->universe(), ctx_->transit(), e, at_stop)) {
+        result.push_back(e);
+      }
+    }
+    return result;
+  }
+
+  // Lines 7-16: pick the best beginning edge `be` and ending edge `ee` by
+  // objective, extend both ends, evaluate, and re-enqueue.
+  void ExpandBestNeighbor(QueueEntry entry) {
+    // Best extension at the end (respecting the k-edge budget).
+    int best_end = -1;
+    if (entry.path.num_edges() < options_.k) {
+      best_end = BestExtension(entry.path, entry.path.end_stop());
+      if (best_end >= 0) {
+        entry.path.Extend(ctx_->universe(), ctx_->transit(), best_end,
+                          entry.path.end_stop());
+        entry.bound_state = bound_.Append(entry.bound_state, best_end);
+      }
+    }
+    // Best extension at the beginning (re-validated against the grown path).
+    int best_begin = -1;
+    if (entry.path.num_edges() < options_.k) {
+      best_begin = BestExtension(entry.path, entry.path.begin_stop());
+      if (best_begin >= 0) {
+        entry.path.Extend(ctx_->universe(), ctx_->transit(), best_begin,
+                          entry.path.begin_stop());
+        entry.bound_state = bound_.Append(entry.bound_state, best_begin);
+      }
+    }
+    if (best_end < 0 && best_begin < 0) return;  // dead end
+
+    entry.objective = Evaluate(entry.path);  // Line 13
+    MaybeUpdateBest(entry.path, entry.objective);
+    FurtherExpansion(std::move(entry));
+  }
+
+  // ETA-AN: enqueue every feasible single-edge extension at both ends.
+  void ExpandAllNeighbors(const QueueEntry& entry) {
+    for (const int at_stop :
+         {entry.path.end_stop(), entry.path.begin_stop()}) {
+      for (int e : FeasibleExtensions(entry.path, at_stop)) {
+        QueueEntry child = entry;
+        child.path.Extend(ctx_->universe(), ctx_->transit(), e, at_stop);
+        child.bound_state = bound_.Append(child.bound_state, e);
+        child.objective = Evaluate(child.path);
+        MaybeUpdateBest(child.path, child.objective);
+        FurtherExpansion(std::move(child));
+      }
+      if (entry.path.num_edges() == 1) break;  // both ends are equivalent
+    }
+  }
+
+  // Returns the feasible extension edge with the highest resulting
+  // objective, or -1.
+  int BestExtension(const CandidatePath& path, int at_stop) {
+    int best_edge = -1;
+    double best_value = 0.0;
+    for (int e : FeasibleExtensions(path, at_stop)) {
+      double value = 0.0;
+      if (mode_ == SearchMode::kPrecomputed) {
+        // Section 6.2: rank neighbors directly by L_e.
+        value = ctx_->objective_list().ValueOf(e);
+      } else {
+        CandidatePath extended = path;
+        extended.Extend(ctx_->universe(), ctx_->transit(), e, at_stop);
+        value = Evaluate(extended);  // Line 10 (Lanczos per neighbor)
+      }
+      if (best_edge < 0 || value > best_value) {
+        best_edge = e;
+        best_value = value;
+      }
+    }
+    return best_edge;
+  }
+
+  // Lines 28-34: feasibility gate, bound refresh, domination check, enqueue.
+  void FurtherExpansion(QueueEntry entry) {
+    if (entry.path.closed()) return;  // loops cannot grow further
+    if (entry.path.turns() >= options_.max_turns) return;
+    if (entry.path.num_edges() >= options_.k) return;
+    entry.upper_bound = UpperBound(entry.bound_state);
+    if (entry.upper_bound <= best_objective_) return;
+    if (options_.use_domination_table &&
+        !domination_.CheckAndUpdate(entry.path.begin_edge(),
+                                    entry.path.end_edge(), entry.objective)) {
+      return;
+    }
+    queue_.push(std::move(entry));
+  }
+
+  // Re-estimate the winner's connectivity online (both modes report the
+  // Lanczos-estimated increment, as the paper does for ETA-Pre's last
+  // point in Figure 9).
+  void FinalizeResult() {
+    if (!result_.found) return;
+    result_.demand = result_.path.demand();
+    result_.connectivity_increment =
+        ctx_->OnlineConnectivityIncrement(result_.path.edges());
+    result_.objective =
+        ctx_->Objective(result_.demand, result_.connectivity_increment);
+  }
+
+  PlanningContext* ctx_;
+  SearchMode mode_;
+  const CtBusOptions& options_;
+  demand::IncrementalDemandBound bound_;
+  DominationTable domination_;
+  std::priority_queue<QueueEntry> queue_;
+  PlanResult result_;
+  double best_objective_ = 0.0;
+  const double lambda_increment_bound_ =
+      ctx_->PathConnectivityIncrementBound(options_.k);
+};
+
+}  // namespace
+
+PlanResult RunEta(PlanningContext* context, SearchMode mode) {
+  return EtaSearch(context, mode).Run();
+}
+
+}  // namespace ctbus::core

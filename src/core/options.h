@@ -1,0 +1,65 @@
+// User-facing knobs of the CT-Bus planner (Definition 6 and Section 7.1's
+// experimental parameters).
+#ifndef CTBUS_CORE_OPTIONS_H_
+#define CTBUS_CORE_OPTIONS_H_
+
+#include "connectivity/natural_connectivity.h"
+
+namespace ctbus::core {
+
+struct CtBusOptions {
+  /// Maximum number of (new and existing) edges in the planned route.
+  int k = 30;
+
+  /// Weight between demand (w) and connectivity (1 - w) in Equation 3.
+  double w = 0.5;
+
+  /// Straight-line distance threshold tau between neighbor stops for
+  /// candidate new edges, meters (the paper fixes 0.5 km).
+  double tau = 500.0;
+
+  /// Turn threshold Tn: candidates with tn(mu) >= Tn stop expanding.
+  int max_turns = 3;
+
+  /// Seeding number sn: only the top-sn edges of the integrated ranking
+  /// seed the expansion (Section 6.2, "Selective Edges for Seeding").
+  int seed_count = 5000;
+
+  /// Iteration cap it_max of Algorithm 1.
+  int max_iterations = 100000;
+
+  /// Estimator used for online connectivity evaluation inside ETA
+  /// (the paper's s = 50, t = 10 defaults).
+  connectivity::EstimatorOptions online_estimator;
+
+  /// Estimator used for the Delta(e) pre-computation pass. Cheaper than the
+  /// online one because it runs once per candidate edge.
+  connectivity::EstimatorOptions precompute_estimator = {
+      /*probes=*/8, /*lanczos_steps=*/8, /*seed=*/11};
+
+  /// Use the first-order perturbation model for Delta(e) pre-computation
+  /// instead of per-edge stochastic trace estimation: one top-eigenpair
+  /// Lanczos run, then O(m) per candidate edge. Implements the paper's
+  /// Section 8 future work; see connectivity/perturbation.h and the
+  /// bench_ablation_precompute comparison.
+  bool use_perturbation_precompute = false;
+
+  /// Algorithm 1 variant toggles (Section 4.2.2 / 4.2.3, Figure 11):
+  /// false => ETA-AN: enqueue the path extended with *every* neighbor
+  /// instead of only the best pair.
+  bool best_neighbor_only = true;
+  /// false => ETA-DT: skip the domination-table pruning.
+  bool use_domination_table = true;
+  /// true => ETA-ALL: seed every candidate edge, not just the top-sn.
+  bool seed_all_edges = false;
+  /// true => vk-TSP behaviour: only new edges may be used (Section 7.2.1).
+  bool new_edges_only = false;
+
+  /// Record (iteration, best objective) every `trace_every` iterations
+  /// into PlanResult::trace (0 disables); used by the convergence figures.
+  int trace_every = 0;
+};
+
+}  // namespace ctbus::core
+
+#endif  // CTBUS_CORE_OPTIONS_H_

@@ -1,0 +1,157 @@
+#include "core/planning_context.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+#include "connectivity/bounds.h"
+#include "connectivity/edge_increment.h"
+#include "connectivity/perturbation.h"
+#include "linalg/lanczos.h"
+#include "linalg/rng.h"
+
+namespace ctbus::core {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+Precompute PlanningContext::RunPrecompute(
+    const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
+    const CtBusOptions& options) {
+  Precompute pre;
+
+  // Phase 1: realize the plannable-edge universe (shortest-path search per
+  // candidate edge; Table 4's "Shortest path" column).
+  auto start = std::chrono::steady_clock::now();
+  EdgeUniverseOptions universe_options;
+  universe_options.tau = options.tau;
+  pre.universe = EdgeUniverse::Build(road, transit, universe_options);
+  pre.stats.universe_seconds = SecondsSince(start);
+  pre.stats.num_new_edges = pre.universe.num_new_edges();
+
+  // Phase 2: Delta(e) for every new edge (Table 4's "Connectivity"
+  // column) — either one stochastic trace estimate per edge, or the
+  // perturbation model (one Lanczos eigenpair run, then O(m) per edge).
+  start = std::chrono::steady_clock::now();
+  pre.increments.assign(pre.universe.num_edges(), 0.0);
+  {
+    linalg::SymmetricSparseMatrix adjacency = transit.AdjacencyMatrix();
+    const connectivity::ConnectivityEstimator pre_estimator(
+        transit.num_stops(), options.precompute_estimator);
+    if (options.use_perturbation_precompute) {
+      const double base_trace = pre_estimator.EstimateTraceExp(adjacency);
+      const auto model = connectivity::PerturbationIncrementModel::Build(
+          adjacency, std::max(base_trace, 1e-12), {});
+      for (int e = 0; e < pre.universe.num_edges(); ++e) {
+        const PlannableEdge& edge = pre.universe.edge(e);
+        if (!edge.is_new) continue;
+        pre.increments[e] =
+            std::max(0.0, model.EdgeIncrement(edge.u, edge.v));
+      }
+    } else {
+      const double pre_base = pre_estimator.Estimate(adjacency);
+      for (int e = 0; e < pre.universe.num_edges(); ++e) {
+        const PlannableEdge& edge = pre.universe.edge(e);
+        if (!edge.is_new) continue;  // existing edges add no connectivity
+        pre.increments[e] = std::max(
+            0.0, connectivity::EdgeIncrement(&adjacency, pre_base,
+                                             pre_estimator, edge.u, edge.v));
+      }
+    }
+  }
+  pre.stats.increments_seconds = SecondsSince(start);
+  return pre;
+}
+
+PlanningContext PlanningContext::Build(const graph::RoadNetwork& road,
+                                       const graph::TransitNetwork& transit,
+                                       const CtBusOptions& options) {
+  return BuildWithPrecompute(road, transit, options,
+                             RunPrecompute(road, transit, options));
+}
+
+PlanningContext PlanningContext::BuildWithPrecompute(
+    const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
+    const CtBusOptions& options, Precompute precompute) {
+  PlanningContext ctx;
+  ctx.road_ = &road;
+  ctx.transit_ = &transit;
+  ctx.options_ = options;
+  ctx.universe_ = std::move(precompute.universe);
+  ctx.increments_ = std::move(precompute.increments);
+  ctx.precompute_stats_ = precompute.stats;
+
+  // Shared estimator + base connectivity.
+  ctx.scratch_adjacency_ = transit.AdjacencyMatrix();
+  ctx.estimator_ = std::make_unique<connectivity::ConnectivityEstimator>(
+      transit.num_stops(), options.online_estimator);
+  ctx.base_lambda_ = ctx.estimator_->Estimate(ctx.scratch_adjacency_);
+
+  // Ranked lists and Equation 12 normalization.
+  ctx.demand_list_ = demand::RankedList(ctx.universe_.DemandScores());
+  ctx.increment_list_ = demand::RankedList(ctx.increments_);
+  ctx.d_max_ = std::max(ctx.demand_list_.TopSum(options.k), 1e-12);
+  ctx.lambda_max_ = std::max(ctx.increment_list_.TopSum(options.k), 1e-12);
+
+  // Integrated per-edge objective scores L_e (Equation 11).
+  std::vector<double> objective_scores(ctx.universe_.num_edges());
+  for (int e = 0; e < ctx.universe_.num_edges(); ++e) {
+    objective_scores[e] =
+        ctx.Objective(ctx.universe_.edge(e).demand, ctx.increments_[e]);
+  }
+  ctx.objective_list_ = demand::RankedList(std::move(objective_scores));
+
+  // Top eigenvalues for the Lemma 3/4 bounds.
+  const int needed = std::max(2 * options.k, 2);
+  linalg::Rng eig_rng(options.online_estimator.seed ^ 0x9e3779b9ULL);
+  ctx.top_eigenvalues_ = linalg::TopEigenvalues(
+      ctx.scratch_adjacency_, std::min(needed, transit.num_stops()),
+      std::min(transit.num_stops(), needed + 30), &eig_rng);
+  return ctx;
+}
+
+double PlanningContext::Objective(double demand,
+                                  double connectivity_increment) const {
+  return options_.w * demand / d_max_ +
+         (1.0 - options_.w) * connectivity_increment / lambda_max_;
+}
+
+double PlanningContext::OnlineConnectivityIncrement(
+    const std::vector<int>& path_edges) {
+  // Add the path's new edges, estimate, restore.
+  std::vector<std::pair<int, int>> added;
+  for (int e : path_edges) {
+    const PlannableEdge& edge = universe_.edge(e);
+    if (!edge.is_new) continue;
+    if (scratch_adjacency_.Contains(edge.u, edge.v)) continue;
+    scratch_adjacency_.Set(edge.u, edge.v, 1.0);
+    added.emplace_back(edge.u, edge.v);
+  }
+  if (added.empty()) return 0.0;
+  const double lambda_after = estimator_->Estimate(scratch_adjacency_);
+  for (const auto& [u, v] : added) scratch_adjacency_.Remove(u, v);
+  return lambda_after - base_lambda_;
+}
+
+double PlanningContext::LinearConnectivityIncrement(
+    const std::vector<int>& path_edges) const {
+  double total = 0.0;
+  for (int e : path_edges) total += increments_[e];
+  return total;
+}
+
+double PlanningContext::PathConnectivityIncrementBound(int k) const {
+  const double bound = connectivity::PathUpperBound(
+      base_lambda_, top_eigenvalues_, k, transit_->num_stops());
+  return bound - base_lambda_;
+}
+
+}  // namespace ctbus::core

@@ -1,0 +1,138 @@
+// Everything the planners need, assembled once per (dataset, options):
+// the plannable-edge universe, the Delta(e) pre-computation, the three
+// ranked lists (L_d, L_lambda, L_e), the shared connectivity estimator with
+// its base-network estimate, the top eigenvalues feeding the Lemma 3/4
+// bounds, and the Equation 12 normalization constants.
+#ifndef CTBUS_CORE_PLANNING_CONTEXT_H_
+#define CTBUS_CORE_PLANNING_CONTEXT_H_
+
+#include <memory>
+#include <vector>
+
+#include "connectivity/natural_connectivity.h"
+#include "core/edge_universe.h"
+#include "core/options.h"
+#include "demand/ranked_list.h"
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+#include "linalg/sparse_matrix.h"
+
+namespace ctbus::core {
+
+/// Wall-clock cost of the pre-computation phases (Table 4).
+struct PrecomputeStats {
+  double universe_seconds = 0.0;     // shortest-path realization
+  double increments_seconds = 0.0;   // Delta(e) estimation
+  int num_new_edges = 0;
+};
+
+/// The expensive, parameter-sweep-invariant part of context construction:
+/// the plannable-edge universe (depends on tau) and the Delta(e)
+/// pre-computation (depends on the precompute estimator). Reusable across
+/// contexts with different k / w / Tn / sn.
+struct Precompute {
+  EdgeUniverse universe;
+  std::vector<double> increments;
+  PrecomputeStats stats;
+};
+
+class PlanningContext {
+ public:
+  /// Runs only the expensive pre-computation phases.
+  static Precompute RunPrecompute(const graph::RoadNetwork& road,
+                                  const graph::TransitNetwork& transit,
+                                  const CtBusOptions& options);
+
+  /// Builds the full context (runs RunPrecompute internally).
+  /// `road` and `transit` must outlive it.
+  static PlanningContext Build(const graph::RoadNetwork& road,
+                               const graph::TransitNetwork& transit,
+                               const CtBusOptions& options);
+
+  /// Builds a context around an existing pre-computation (copied in).
+  /// The precompute must have been produced for the same (road, transit,
+  /// tau); only k / w / Tn / sn / estimator seeds may differ.
+  static PlanningContext BuildWithPrecompute(
+      const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
+      const CtBusOptions& options, Precompute precompute);
+
+  const graph::RoadNetwork& road() const { return *road_; }
+  const graph::TransitNetwork& transit() const { return *transit_; }
+  const CtBusOptions& options() const { return options_; }
+  const EdgeUniverse& universe() const { return universe_; }
+
+  /// L_d, L_lambda, L_e over universe edge ids.
+  const demand::RankedList& demand_list() const { return demand_list_; }
+  const demand::RankedList& increment_list() const { return increment_list_; }
+  const demand::RankedList& objective_list() const { return objective_list_; }
+
+  /// Delta(e) per universe edge (0 for existing edges).
+  const std::vector<double>& increments() const { return increments_; }
+
+  /// Normalization constants of Equation 12.
+  double d_max() const { return d_max_; }
+  double lambda_max() const { return lambda_max_; }
+
+  /// lambda(G_r) as seen by the shared estimator.
+  double base_lambda() const { return base_lambda_; }
+
+  /// The shared (common-random-numbers) estimator.
+  const connectivity::ConnectivityEstimator& estimator() const {
+    return *estimator_;
+  }
+
+  /// Top eigenvalues of the base adjacency (descending), enough for the
+  /// Lemma 3/4 bounds at the configured k.
+  const std::vector<double>& top_eigenvalues() const {
+    return top_eigenvalues_;
+  }
+
+  const PrecomputeStats& precompute_stats() const { return precompute_stats_; }
+
+  /// Copies out this context's pre-computation for reuse in sibling
+  /// contexts (different k / w / Tn / sn over the same networks).
+  Precompute ExportPrecompute() const {
+    return {universe_, increments_, precompute_stats_};
+  }
+
+  /// Normalized objective (Equation 3) from raw demand and connectivity
+  /// increment.
+  double Objective(double demand, double connectivity_increment) const;
+
+  /// Online connectivity increment of a path's *new* edges, evaluated with
+  /// the shared estimator against the base network (the Lanczos call on
+  /// lines 10/13 of Algorithm 1). Thread-compatible: mutates and restores
+  /// the internal scratch matrix.
+  double OnlineConnectivityIncrement(const std::vector<int>& path_edges);
+
+  /// Linearized connectivity increment: sum of Delta(e) over the path's
+  /// edges (ETA-Pre's surrogate).
+  double LinearConnectivityIncrement(const std::vector<int>& path_edges) const;
+
+  /// Upper bound on the connectivity increment of any path completed to at
+  /// most k edges (Lemma 4, normalized to an increment).
+  double PathConnectivityIncrementBound(int k) const;
+
+ private:
+  PlanningContext() = default;
+
+  const graph::RoadNetwork* road_ = nullptr;
+  const graph::TransitNetwork* transit_ = nullptr;
+  CtBusOptions options_;
+  EdgeUniverse universe_;
+  demand::RankedList demand_list_;
+  demand::RankedList increment_list_;
+  demand::RankedList objective_list_;
+  std::vector<double> increments_;
+  std::unique_ptr<connectivity::ConnectivityEstimator> estimator_;
+  linalg::SymmetricSparseMatrix scratch_adjacency_;
+  double base_lambda_ = 0.0;
+  std::vector<double> top_eigenvalues_;
+  double d_max_ = 1.0;
+  double lambda_max_ = 1.0;
+  PrecomputeStats precompute_stats_;
+};
+
+}  // namespace ctbus::core
+
+#endif  // CTBUS_CORE_PLANNING_CONTEXT_H_

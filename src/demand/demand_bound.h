@@ -1,0 +1,54 @@
+// Incremental demand upper-bound maintenance (Section 5.3 / Algorithm 2).
+//
+// A candidate path cp with budget k can at best be completed with the
+// highest-demand edges not already in it. The rescanning bound (Equation 9)
+// recomputes that from scratch; the incremental bound carries a cursor `cur`
+// so each edge append is O(1).
+#ifndef CTBUS_DEMAND_DEMAND_BOUND_H_
+#define CTBUS_DEMAND_DEMAND_BOUND_H_
+
+#include <vector>
+
+#include "demand/ranked_list.h"
+
+namespace ctbus::demand {
+
+/// Per-path bound state, carried in the ETA priority queue alongside the
+/// candidate path exactly as Algorithm 1 does.
+struct BoundState {
+  /// Current upper bound on the path's total achievable demand.
+  double bound = 0.0;
+  /// Cursor `cur`: how many top-ranked edges are still counted as potential
+  /// future fills.
+  int cursor = 0;
+};
+
+/// Incremental bound calculator bound to a ranked list and budget k.
+class IncrementalDemandBound {
+ public:
+  /// `list` must outlive this object.
+  IncrementalDemandBound(const RankedList* list, int k);
+
+  /// State for a fresh single-edge path seeded with `edge`
+  /// (Algorithm 1, lines 22-25).
+  BoundState SeedState(int edge) const;
+
+  /// State after appending `edge` to a path in state `state`
+  /// (Algorithm 2, lines 1-3).
+  BoundState Append(BoundState state, int edge) const;
+
+  /// The rescanning bound of Equation 9 for a full path, used as the
+  /// reference implementation: sum of the path's own demands plus the top
+  /// (k - len) ranked edges not in the path.
+  double RescanBound(const std::vector<int>& path_edges) const;
+
+  int k() const { return k_; }
+
+ private:
+  const RankedList* list_;
+  int k_;
+};
+
+}  // namespace ctbus::demand
+
+#endif  // CTBUS_DEMAND_DEMAND_BOUND_H_

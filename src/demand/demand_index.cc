@@ -1,0 +1,35 @@
+#include "demand/demand_index.h"
+
+namespace ctbus::demand {
+
+void AccumulateTrajectories(const std::vector<Trajectory>& trajectories,
+                            graph::RoadNetwork* road) {
+  for (const Trajectory& t : trajectories) {
+    for (int e : t.edges()) road->AddTripCount(e);
+  }
+}
+
+double TransitEdgeDemand(const graph::RoadNetwork& road,
+                         const graph::TransitNetwork& transit,
+                         int transit_edge) {
+  return road.PathDemand(transit.edge(transit_edge).road_edges);
+}
+
+double RouteDemand(const graph::RoadNetwork& road,
+                   const graph::TransitNetwork& transit,
+                   const std::vector<int>& transit_edges) {
+  double total = 0.0;
+  for (int e : transit_edges) total += TransitEdgeDemand(road, transit, e);
+  return total;
+}
+
+std::vector<double> AllTransitEdgeDemands(
+    const graph::RoadNetwork& road, const graph::TransitNetwork& transit) {
+  std::vector<double> demands(transit.num_edges());
+  for (int e = 0; e < transit.num_edges(); ++e) {
+    demands[e] = TransitEdgeDemand(road, transit, e);
+  }
+  return demands;
+}
+
+}  // namespace ctbus::demand

@@ -1,0 +1,37 @@
+// Demand aggregation: folds the trajectory dataset D into per-road-edge trip
+// counts f_e (Equation 4) and evaluates the commuting demand O_d of transit
+// edges and routes from those counts. Once aggregated, the planner is
+// independent of |D| (Section 6.3, "Effect of |D|").
+#ifndef CTBUS_DEMAND_DEMAND_INDEX_H_
+#define CTBUS_DEMAND_DEMAND_INDEX_H_
+
+#include <vector>
+
+#include "demand/trajectory.h"
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+
+namespace ctbus::demand {
+
+/// Adds every trajectory's edge crossings to the road network's trip counts.
+void AccumulateTrajectories(const std::vector<Trajectory>& trajectories,
+                            graph::RoadNetwork* road);
+
+/// Demand met by one transit edge: the sum of f_e * |e| over the road edges
+/// it crosses.
+double TransitEdgeDemand(const graph::RoadNetwork& road,
+                         const graph::TransitNetwork& transit,
+                         int transit_edge);
+
+/// Demand met by a route given as a transit-edge sequence (O_d(mu)).
+double RouteDemand(const graph::RoadNetwork& road,
+                   const graph::TransitNetwork& transit,
+                   const std::vector<int>& transit_edges);
+
+/// Demand of every transit edge (indexed by transit edge id).
+std::vector<double> AllTransitEdgeDemands(
+    const graph::RoadNetwork& road, const graph::TransitNetwork& transit);
+
+}  // namespace ctbus::demand
+
+#endif  // CTBUS_DEMAND_DEMAND_INDEX_H_

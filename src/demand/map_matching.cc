@@ -1,0 +1,41 @@
+#include "demand/map_matching.h"
+
+#include "graph/shortest_path.h"
+
+namespace ctbus::demand {
+
+std::optional<Trajectory> MapMatch(const graph::Graph& g,
+                                   const graph::SpatialGrid& vertex_index,
+                                   const std::vector<graph::Point>& samples,
+                                   const MapMatchOptions& options) {
+  // Snap each sample; drop far-away outliers and consecutive duplicates.
+  std::vector<int> snapped;
+  for (const graph::Point& p : samples) {
+    const int v = vertex_index.Nearest(p);
+    if (v < 0) continue;
+    if (graph::Distance(g.position(v), p) > options.max_snap_distance) {
+      continue;
+    }
+    if (snapped.empty() || snapped.back() != v) snapped.push_back(v);
+  }
+  if (snapped.size() < 2) return std::nullopt;
+
+  // Stitch consecutive snapped vertices with shortest road paths.
+  std::vector<int> vertices;
+  vertices.push_back(snapped[0]);
+  for (std::size_t i = 1; i < snapped.size(); ++i) {
+    const auto leg =
+        graph::ShortestPathBetween(g, snapped[i - 1], snapped[i]);
+    if (!leg.has_value()) return std::nullopt;
+    for (std::size_t j = 1; j < leg->vertices.size(); ++j) {
+      vertices.push_back(leg->vertices[j]);
+    }
+  }
+  // The stitched walk may revisit vertices if the GPS trace backtracks; the
+  // trajectory model allows that (Definition 3 is a walk, not a simple
+  // path).
+  return Trajectory::FromVertices(g, vertices, options.start_time,
+                                  options.speed);
+}
+
+}  // namespace ctbus::demand

@@ -1,0 +1,39 @@
+// Map matching: projects a noisy point sequence (a raw GPS sample) onto the
+// road network. The paper assumes trajectories arrive map-matched [41]; this
+// module provides the standard snap-and-route approximation so the full
+// ingestion path is exercised: each sample snaps to its nearest road vertex
+// and consecutive snapped vertices are joined with shortest road paths.
+#ifndef CTBUS_DEMAND_MAP_MATCHING_H_
+#define CTBUS_DEMAND_MAP_MATCHING_H_
+
+#include <optional>
+#include <vector>
+
+#include "demand/trajectory.h"
+#include "graph/geo.h"
+#include "graph/graph.h"
+#include "graph/spatial_grid.h"
+
+namespace ctbus::demand {
+
+struct MapMatchOptions {
+  /// Samples farther than this from every road vertex are dropped (meters).
+  double max_snap_distance = 250.0;
+  /// Assumed travel speed used to synthesize timestamps (m/s).
+  double speed = 8.0;
+  /// Timestamp of the first matched vertex.
+  double start_time = 0.0;
+};
+
+/// Matches `samples` onto `g`. `vertex_index` must index g's vertex
+/// positions (by vertex id). Returns nullopt when fewer than two samples
+/// survive snapping or when some consecutive snapped vertices are
+/// disconnected in `g`.
+std::optional<Trajectory> MapMatch(const graph::Graph& g,
+                                   const graph::SpatialGrid& vertex_index,
+                                   const std::vector<graph::Point>& samples,
+                                   const MapMatchOptions& options);
+
+}  // namespace ctbus::demand
+
+#endif  // CTBUS_DEMAND_MAP_MATCHING_H_

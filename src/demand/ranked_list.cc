@@ -1,0 +1,39 @@
+#include "demand/ranked_list.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace ctbus::demand {
+
+RankedList::RankedList(std::vector<double> scores)
+    : scores_(std::move(scores)) {
+  const int n = size();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  // Stable tie-break on edge id keeps the ranking deterministic.
+  std::sort(order_.begin(), order_.end(), [this](int a, int b) {
+    if (scores_[a] != scores_[b]) return scores_[a] > scores_[b];
+    return a < b;
+  });
+  rank_of_.resize(n);
+  prefix_.resize(n + 1);
+  prefix_[0] = 0.0;
+  for (int rank = 0; rank < n; ++rank) {
+    rank_of_[order_[rank]] = rank;
+    prefix_[rank + 1] = prefix_[rank] + scores_[order_[rank]];
+  }
+}
+
+double RankedList::ValueAtRank(int rank) const {
+  assert(rank >= 0);
+  if (rank >= size()) return 0.0;
+  return scores_[order_[rank]];
+}
+
+double RankedList::TopSum(int count) const {
+  assert(count >= 0);
+  return prefix_[std::min(count, size())];
+}
+
+}  // namespace ctbus::demand

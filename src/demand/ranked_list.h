@@ -1,0 +1,50 @@
+// Descending ranked score lists over plannable edges: L_d (demand), L_lambda
+// (connectivity increment), and L_e (integrated objective) from Sections 4-6
+// of the paper. Provides the L(i) / L[e] / prefix-sum accessors that the
+// initialization and the incremental bound of Algorithm 2 are written in
+// terms of.
+#ifndef CTBUS_DEMAND_RANKED_LIST_H_
+#define CTBUS_DEMAND_RANKED_LIST_H_
+
+#include <vector>
+
+namespace ctbus::demand {
+
+/// Immutable descending ranking of edges by score. Edge ids must be dense
+/// 0-based indices into the score vector supplied at construction.
+class RankedList {
+ public:
+  RankedList() : RankedList(std::vector<double>{}) {}
+
+  /// Builds the ranking; scores[e] is the score of edge e.
+  explicit RankedList(std::vector<double> scores);
+
+  int size() const { return static_cast<int>(scores_.size()); }
+
+  /// Score of the i-th best edge, 0-based (the paper's L(i+1)).
+  /// Out-of-range ranks score 0 (an exhausted list contributes nothing).
+  double ValueAtRank(int rank) const;
+
+  /// Edge id holding the i-th best score, 0-based. Requires a valid rank.
+  int EdgeAtRank(int rank) const { return order_[rank]; }
+
+  /// Score of edge e (the paper's L[e]).
+  double ValueOf(int edge) const { return scores_[edge]; }
+
+  /// Rank of edge e (0-based; 0 is best).
+  int RankOf(int edge) const { return rank_of_[edge]; }
+
+  /// Sum of the top `count` scores: the paper's sum_{i=1..k} L(i).
+  /// Counts beyond size() saturate.
+  double TopSum(int count) const;
+
+ private:
+  std::vector<double> scores_;
+  std::vector<int> order_;       // order_[rank] = edge
+  std::vector<int> rank_of_;     // rank_of_[edge] = rank
+  std::vector<double> prefix_;   // prefix_[i] = sum of top i scores
+};
+
+}  // namespace ctbus::demand
+
+#endif  // CTBUS_DEMAND_RANKED_LIST_H_

@@ -1,0 +1,49 @@
+#include "demand/trajectory.h"
+
+namespace ctbus::demand {
+
+std::optional<Trajectory> Trajectory::FromVertices(
+    const graph::Graph& g, const std::vector<int>& vertices,
+    double start_time, double speed) {
+  if (vertices.empty() || speed <= 0.0) return std::nullopt;
+  std::vector<TrajectoryPoint> points;
+  points.reserve(vertices.size());
+  points.push_back({vertices[0], start_time});
+  std::vector<int> edges;
+  edges.reserve(vertices.size() - 1);
+  double t = start_time;
+  for (std::size_t i = 1; i < vertices.size(); ++i) {
+    const auto edge = g.EdgeBetween(vertices[i - 1], vertices[i]);
+    if (!edge.has_value()) return std::nullopt;
+    t += g.edge(*edge).length / speed;
+    points.push_back({vertices[i], t});
+    edges.push_back(*edge);
+  }
+  return Trajectory(std::move(points), std::move(edges));
+}
+
+std::optional<Trajectory> Trajectory::FromPoints(
+    const graph::Graph& g, std::vector<TrajectoryPoint> points) {
+  if (points.empty()) return std::nullopt;
+  std::vector<int> edges;
+  edges.reserve(points.size() - 1);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].timestamp < points[i - 1].timestamp) return std::nullopt;
+    const auto edge = g.EdgeBetween(points[i - 1].vertex, points[i].vertex);
+    if (!edge.has_value()) return std::nullopt;
+    edges.push_back(*edge);
+  }
+  return Trajectory(std::move(points), std::move(edges));
+}
+
+double Trajectory::Duration() const {
+  return points_.back().timestamp - points_.front().timestamp;
+}
+
+double Trajectory::Length(const graph::Graph& g) const {
+  double total = 0.0;
+  for (int e : edges_) total += g.edge(e).length;
+  return total;
+}
+
+}  // namespace ctbus::demand

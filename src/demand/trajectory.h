@@ -1,0 +1,58 @@
+// Trajectory data (Definition 3): a connected vertex sequence in the road
+// network with entry timestamps. Trajectories decompose into road-edge
+// sequences, which is all the demand model consumes (Equation 4).
+#ifndef CTBUS_DEMAND_TRAJECTORY_H_
+#define CTBUS_DEMAND_TRAJECTORY_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ctbus::demand {
+
+struct TrajectoryPoint {
+  int vertex = -1;
+  /// Time of entering the vertex, seconds since epoch of the dataset.
+  double timestamp = 0.0;
+};
+
+/// An immutable, validated trajectory.
+class Trajectory {
+ public:
+  /// Builds a trajectory from a vertex path, deriving timestamps from edge
+  /// lengths at constant `speed` (m/s) starting at `start_time`.
+  /// Returns nullopt if consecutive vertices are not adjacent in `g`, the
+  /// path is empty, or speed <= 0.
+  static std::optional<Trajectory> FromVertices(
+      const graph::Graph& g, const std::vector<int>& vertices,
+      double start_time, double speed);
+
+  /// Builds from explicit points. Returns nullopt if consecutive vertices
+  /// are not adjacent in `g`, timestamps decrease, or the path is empty.
+  static std::optional<Trajectory> FromPoints(
+      const graph::Graph& g, std::vector<TrajectoryPoint> points);
+
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+  int num_points() const { return static_cast<int>(points_.size()); }
+
+  /// Road-edge ids crossed, in order (size num_points() - 1).
+  const std::vector<int>& edges() const { return edges_; }
+
+  /// Total travel time (last timestamp minus first).
+  double Duration() const;
+
+  /// Total travel length along the road edges.
+  double Length(const graph::Graph& g) const;
+
+ private:
+  Trajectory(std::vector<TrajectoryPoint> points, std::vector<int> edges)
+      : points_(std::move(points)), edges_(std::move(edges)) {}
+
+  std::vector<TrajectoryPoint> points_;
+  std::vector<int> edges_;
+};
+
+}  // namespace ctbus::demand
+
+#endif  // CTBUS_DEMAND_TRAJECTORY_H_

@@ -1,0 +1,34 @@
+// Fixed-width text table printer used by the benchmark harness to emit the
+// paper's tables and figure series in a uniform, diff-friendly format.
+#ifndef CTBUS_EVAL_TABLE_H_
+#define CTBUS_EVAL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ctbus::eval {
+
+/// A simple column-aligned table. All rows must have the same number of
+/// cells as the header.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string Num(double value, int precision = 3);
+  static std::string Int(long long value);
+
+  /// Renders with single-space-padded columns and a separator rule.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ctbus::eval
+
+#endif  // CTBUS_EVAL_TABLE_H_

@@ -1,0 +1,170 @@
+#include "eval/transfer_metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+
+namespace ctbus::eval {
+
+namespace {
+
+// Route-stop incidence: BFS over the bipartite stop/route graph yields
+// minimum transfers: hops alternate stop -> route -> stop, so a trip using
+// r route-nodes costs r - 1 transfers.
+struct RouteStopIncidence {
+  std::vector<std::vector<int>> routes_of_stop;
+  std::vector<std::vector<int>> stops_of_route;
+};
+
+RouteStopIncidence BuildIncidence(const graph::TransitNetwork& transit) {
+  RouteStopIncidence inc;
+  inc.routes_of_stop.resize(transit.num_stops());
+  inc.stops_of_route.resize(transit.num_routes());
+  for (int r = 0; r < transit.num_routes(); ++r) {
+    if (!transit.route(r).active) continue;
+    std::unordered_set<int> seen;
+    for (int s : transit.route(r).stops) {
+      if (seen.insert(s).second) {
+        inc.routes_of_stop[s].push_back(r);
+        inc.stops_of_route[r].push_back(s);
+      }
+    }
+  }
+  return inc;
+}
+
+// Multi-source BFS over routes: returns per-stop minimum number of boarded
+// routes (1 = direct ride), or -1 if unreachable.
+std::vector<int> MinBoardings(const RouteStopIncidence& inc, int from_stop) {
+  const int num_routes = static_cast<int>(inc.stops_of_route.size());
+  std::vector<int> stop_cost(inc.routes_of_stop.size(), -1);
+  std::vector<bool> route_seen(num_routes, false);
+  std::queue<int> route_frontier;
+  stop_cost[from_stop] = 0;
+  for (int r : inc.routes_of_stop[from_stop]) {
+    route_seen[r] = true;
+    route_frontier.push(r);
+  }
+  int boardings = 1;
+  while (!route_frontier.empty()) {
+    std::queue<int> next_frontier;
+    while (!route_frontier.empty()) {
+      const int r = route_frontier.front();
+      route_frontier.pop();
+      for (int s : inc.stops_of_route[r]) {
+        if (stop_cost[s] < 0) {
+          stop_cost[s] = boardings;
+          for (int nr : inc.routes_of_stop[s]) {
+            if (!route_seen[nr]) {
+              route_seen[nr] = true;
+              next_frontier.push(nr);
+            }
+          }
+        }
+      }
+    }
+    route_frontier = std::move(next_frontier);
+    ++boardings;
+  }
+  return stop_cost;
+}
+
+// Stop-level distance graph of the active transit network; optionally
+// augmented with extra edges (the new route).
+graph::Graph BuildStopGraph(const graph::TransitNetwork& transit,
+                            const core::EdgeUniverse* universe,
+                            const std::vector<int>* extra_edges) {
+  graph::Graph g;
+  for (int s = 0; s < transit.num_stops(); ++s) {
+    g.AddVertex(transit.stop(s).position);
+  }
+  for (int e = 0; e < transit.num_edges(); ++e) {
+    if (!transit.EdgeActive(e)) continue;
+    const auto& edge = transit.edge(e);
+    g.AddEdge(edge.u, edge.v, edge.length);
+  }
+  if (universe != nullptr && extra_edges != nullptr) {
+    for (int e : *extra_edges) {
+      const auto& edge = universe->edge(e);
+      g.AddEdge(edge.u, edge.v, edge.length);  // no-op if already present
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+int MinTransfers(const graph::TransitNetwork& transit, int from_stop,
+                 int to_stop) {
+  if (from_stop == to_stop) return 0;
+  const RouteStopIncidence inc = BuildIncidence(transit);
+  const auto cost = MinBoardings(inc, from_stop);
+  if (cost[to_stop] <= 0) return cost[to_stop] == 0 ? 0 : -1;
+  return cost[to_stop] - 1;
+}
+
+TransferMetrics EvaluateRoute(const graph::TransitNetwork& transit,
+                              const core::EdgeUniverse& universe,
+                              const std::vector<int>& route_stops,
+                              const std::vector<int>& route_edges) {
+  TransferMetrics metrics;
+  if (route_stops.size() < 2) return metrics;
+
+  // Crossed routes: existing routes sharing a stop with mu.
+  std::unordered_set<int> crossed;
+  for (int s : route_stops) {
+    for (int r : transit.RoutesAtStop(s)) crossed.insert(r);
+  }
+  metrics.crossed_routes = static_cast<int>(crossed.size());
+
+  // Transfers in the old network, averaged over ordered pairs.
+  const RouteStopIncidence inc = BuildIncidence(transit);
+  double transfer_sum = 0.0;
+  int transfer_pairs = 0;
+  for (int from : route_stops) {
+    const auto cost = MinBoardings(inc, from);
+    for (int to : route_stops) {
+      if (to == from) continue;
+      if (cost[to] < 0) {
+        ++metrics.unreachable_pairs;
+      } else {
+        transfer_sum += std::max(0, cost[to] - 1);
+        ++transfer_pairs;
+      }
+    }
+  }
+  if (transfer_pairs > 0) {
+    metrics.avg_transfers_avoided = transfer_sum / transfer_pairs;
+  }
+
+  // Distance ratio zeta (Equation 13): old distance / new distance.
+  const graph::Graph old_graph = BuildStopGraph(transit, nullptr, nullptr);
+  const graph::Graph new_graph =
+      BuildStopGraph(transit, &universe, &route_edges);
+  double ratio_sum = 0.0;
+  int ratio_pairs = 0;
+  for (int from : route_stops) {
+    const auto old_tree = graph::Dijkstra(old_graph, from);
+    const auto new_tree = graph::Dijkstra(new_graph, from);
+    for (int to : route_stops) {
+      if (to == from) continue;
+      const double old_dist = old_tree.dist[to];
+      const double new_dist = new_tree.dist[to];
+      if (old_dist == std::numeric_limits<double>::infinity() ||
+          new_dist <= 0.0) {
+        continue;
+      }
+      ratio_sum += old_dist / new_dist;
+      ++ratio_pairs;
+    }
+  }
+  if (ratio_pairs > 0) metrics.distance_ratio = ratio_sum / ratio_pairs;
+  return metrics;
+}
+
+}  // namespace ctbus::eval

@@ -1,0 +1,45 @@
+// Transfer-convenience metrics of Section 7.2.2 (Table 6, right half):
+//  * #Transfer avoided — average number of transfers trips between stops of
+//    the new route needed in the OLD network (the new route makes them 0);
+//  * Distance ratio zeta(mu) (Equation 13) — average ratio of old-network
+//    over new-network shortest-path travel distance across stop pairs;
+//  * #Crossed routes — existing routes sharing at least one stop with mu.
+#ifndef CTBUS_EVAL_TRANSFER_METRICS_H_
+#define CTBUS_EVAL_TRANSFER_METRICS_H_
+
+#include <vector>
+
+#include "core/edge_universe.h"
+#include "graph/transit_network.h"
+
+namespace ctbus::eval {
+
+struct TransferMetrics {
+  /// Average minimum transfer count in the old network over reachable
+  /// ordered stop pairs of the route.
+  double avg_transfers_avoided = 0.0;
+  /// zeta(mu) >= 1: old shortest distance / new shortest distance,
+  /// averaged over reachable ordered pairs.
+  double distance_ratio = 1.0;
+  /// Existing active routes sharing >= 1 stop with the new route.
+  int crossed_routes = 0;
+  /// Ordered stop pairs skipped because the old network cannot connect
+  /// them at all (the new route creates brand-new reachability).
+  int unreachable_pairs = 0;
+};
+
+/// Evaluates a planned route, given as its stop sequence and universe edge
+/// ids, against the existing transit network.
+TransferMetrics EvaluateRoute(const graph::TransitNetwork& transit,
+                              const core::EdgeUniverse& universe,
+                              const std::vector<int>& route_stops,
+                              const std::vector<int>& route_edges);
+
+/// Minimum number of transfers between two stops riding only existing
+/// routes (0 = one ride, no transfer). Returns -1 if unreachable.
+int MinTransfers(const graph::TransitNetwork& transit, int from_stop,
+                 int to_stop);
+
+}  // namespace ctbus::eval
+
+#endif  // CTBUS_EVAL_TRANSFER_METRICS_H_

@@ -1,0 +1,93 @@
+#include "gen/city_generator.h"
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "graph/geo.h"
+#include "graph/graph.h"
+#include "graph/union_find.h"
+#include "linalg/rng.h"
+
+namespace ctbus::gen {
+
+namespace {
+
+int VertexAt(int x, int y, int width) { return y * width + x; }
+
+}  // namespace
+
+graph::RoadNetwork GenerateCity(const CityOptions& options) {
+  assert(options.grid_width >= 2 && options.grid_height >= 2);
+  assert(options.block_size > 0.0);
+  linalg::Rng rng(options.seed);
+
+  graph::Graph g;
+  const double jitter = options.position_jitter * options.block_size;
+  for (int y = 0; y < options.grid_height; ++y) {
+    for (int x = 0; x < options.grid_width; ++x) {
+      g.AddVertex({x * options.block_size + rng.NextDouble(-jitter, jitter),
+                   y * options.block_size + rng.NextDouble(-jitter, jitter)});
+    }
+  }
+
+  auto edge_length = [&g](int u, int v) {
+    return graph::Distance(g.position(u), g.position(v));
+  };
+
+  // Grid edges, each kept with the configured probability. Dropped edges are
+  // remembered so connectivity can be repaired afterwards.
+  std::vector<std::pair<int, int>> dropped;
+  for (int y = 0; y < options.grid_height; ++y) {
+    for (int x = 0; x < options.grid_width; ++x) {
+      const int v = VertexAt(x, y, options.grid_width);
+      if (x + 1 < options.grid_width) {
+        const int right = VertexAt(x + 1, y, options.grid_width);
+        if (rng.NextBool(options.edge_keep_probability)) {
+          g.AddEdge(v, right, edge_length(v, right));
+        } else {
+          dropped.emplace_back(v, right);
+        }
+      }
+      if (y + 1 < options.grid_height) {
+        const int up = VertexAt(x, y + 1, options.grid_width);
+        if (rng.NextBool(options.edge_keep_probability)) {
+          g.AddEdge(v, up, edge_length(v, up));
+        } else {
+          dropped.emplace_back(v, up);
+        }
+      }
+      // Diagonal arterials (one orientation per cell, chosen at random).
+      if (x + 1 < options.grid_width && y + 1 < options.grid_height &&
+          rng.NextBool(options.diagonal_probability)) {
+        const int a = rng.NextBool(0.5) ? v : VertexAt(x + 1, y, options.grid_width);
+        const int b = rng.NextBool(0.5) == (a == v)
+                          ? VertexAt(x + 1, y + 1, options.grid_width)
+                          : VertexAt(x, y + 1, options.grid_width);
+        // Guard against picking the same vertex twice via the xor trick.
+        if (a != b) g.AddEdge(a, b, edge_length(a, b));
+      }
+    }
+  }
+
+  // Repair connectivity by re-adding dropped grid edges that bridge
+  // components (in random order so repairs do not bias one corner).
+  graph::UnionFind uf(g.num_vertices());
+  for (int e = 0; e < g.num_edges(); ++e) {
+    uf.Union(g.edge(e).u, g.edge(e).v);
+  }
+  for (std::size_t i = dropped.size(); i > 1; --i) {
+    std::swap(dropped[i - 1], dropped[rng.NextIndex(i)]);
+  }
+  for (const auto& [u, v] : dropped) {
+    if (uf.num_sets() == 1) break;
+    if (!uf.Connected(u, v)) {
+      g.AddEdge(u, v, edge_length(u, v));
+      uf.Union(u, v);
+    }
+  }
+  assert(g.IsConnected());
+  return graph::RoadNetwork(std::move(g));
+}
+
+}  // namespace ctbus::gen

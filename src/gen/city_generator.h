@@ -1,0 +1,36 @@
+// Synthetic road-network generator: a perturbed grid with irregular blocks,
+// missing segments, and diagonal arterials. Stands in for the DIMACS road
+// networks used by the paper (see DESIGN.md, data substitution): the
+// properties the algorithms depend on — planarity, near-uniform low degree,
+// metric edge lengths, small spectral norm — are reproduced.
+#ifndef CTBUS_GEN_CITY_GENERATOR_H_
+#define CTBUS_GEN_CITY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/road_network.h"
+
+namespace ctbus::gen {
+
+struct CityOptions {
+  /// Grid dimensions (vertices per row / column).
+  int grid_width = 30;
+  int grid_height = 30;
+  /// Block size in meters (NYC-like blocks are ~80-270 m).
+  double block_size = 120.0;
+  /// Vertex positions are jittered by up to this fraction of a block.
+  double position_jitter = 0.25;
+  /// Each grid edge survives with this probability (street gaps, rivers).
+  double edge_keep_probability = 0.93;
+  /// Probability of adding a diagonal shortcut in a cell (arterials).
+  double diagonal_probability = 0.04;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a connected road network. Determined entirely by `options`
+/// (same options => identical network).
+graph::RoadNetwork GenerateCity(const CityOptions& options);
+
+}  // namespace ctbus::gen
+
+#endif  // CTBUS_GEN_CITY_GENERATOR_H_

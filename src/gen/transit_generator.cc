@@ -1,0 +1,175 @@
+#include "gen/transit_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/shortest_path.h"
+#include "linalg/rng.h"
+
+namespace ctbus::gen {
+
+namespace {
+
+// Shortest path under per-route jittered weights, so routes diversify.
+std::optional<graph::Path> JitteredPath(const graph::Graph& g, int source,
+                                        int target,
+                                        const std::vector<double>& jitter) {
+  // Local Dijkstra with multiplied weights (cannot reuse graph::Dijkstra
+  // because the weights differ per route).
+  const int n = g.num_vertices();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<int> parent_vertex(n, -1);
+  std::vector<int> parent_edge(n, -1);
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    if (v == target) break;
+    for (const auto& entry : g.Neighbors(v)) {
+      const double w = g.edge(entry.edge).length * jitter[entry.edge];
+      if (d + w < dist[entry.vertex]) {
+        dist[entry.vertex] = d + w;
+        parent_vertex[entry.vertex] = v;
+        parent_edge[entry.vertex] = entry.edge;
+        heap.push({d + w, entry.vertex});
+      }
+    }
+  }
+  if (dist[target] == std::numeric_limits<double>::infinity()) {
+    return std::nullopt;
+  }
+  graph::Path path;
+  int v = target;
+  while (v != source) {
+    path.vertices.push_back(v);
+    path.edges.push_back(parent_edge[v]);
+    v = parent_vertex[v];
+  }
+  path.vertices.push_back(source);
+  std::reverse(path.vertices.begin(), path.vertices.end());
+  std::reverse(path.edges.begin(), path.edges.end());
+  for (int e : path.edges) path.length += g.edge(e).length;
+  return path;
+}
+
+}  // namespace
+
+graph::TransitNetwork GenerateTransit(const graph::RoadNetwork& road,
+                                      const TransitOptions& options) {
+  assert(options.num_routes >= 1);
+  assert(options.stop_spacing_edges >= 1);
+  assert(options.max_stops_per_route >= 2);
+  const graph::Graph& g = road.graph();
+  linalg::Rng rng(options.seed);
+
+  // Hubs: random road vertices.
+  std::vector<int> hubs;
+  for (int i = 0; i < options.num_hubs; ++i) {
+    hubs.push_back(static_cast<int>(rng.NextIndex(g.num_vertices())));
+  }
+  auto sample_endpoint = [&]() {
+    if (!hubs.empty() && rng.NextBool(options.hub_bias)) {
+      return hubs[rng.NextIndex(hubs.size())];
+    }
+    return static_cast<int>(rng.NextIndex(g.num_vertices()));
+  };
+
+  // City diagonal, for the endpoint-separation rule.
+  double min_x = g.position(0).x, max_x = min_x;
+  double min_y = g.position(0).y, max_y = min_y;
+  for (int v = 1; v < g.num_vertices(); ++v) {
+    min_x = std::min(min_x, g.position(v).x);
+    max_x = std::max(max_x, g.position(v).x);
+    min_y = std::min(min_y, g.position(v).y);
+    max_y = std::max(max_y, g.position(v).y);
+  }
+  const double min_separation =
+      options.min_endpoint_separation *
+      std::hypot(max_x - min_x, max_y - min_y);
+
+  graph::TransitNetwork transit;
+  std::unordered_map<int, int> stop_of_vertex;  // road vertex -> stop id
+  auto stop_at = [&](int road_vertex) {
+    const auto it = stop_of_vertex.find(road_vertex);
+    if (it != stop_of_vertex.end()) return it->second;
+    const int id = transit.AddStop(road_vertex, g.position(road_vertex));
+    stop_of_vertex.emplace(road_vertex, id);
+    return id;
+  };
+
+  std::vector<double> jitter(g.num_edges(), 1.0);
+  int made = 0;
+  int attempts = 0;
+  while (made < options.num_routes && attempts < options.num_routes * 20) {
+    ++attempts;
+    const int source = sample_endpoint();
+    const int target = sample_endpoint();
+    if (source == target) continue;
+    if (graph::Distance(g.position(source), g.position(target)) <
+        min_separation) {
+      continue;
+    }
+    for (double& j : jitter) {
+      j = rng.NextDouble(1.0, 1.0 + options.route_jitter);
+    }
+    const auto path = JitteredPath(g, source, target, jitter);
+    if (!path.has_value() ||
+        static_cast<int>(path->edges.size()) < 2 * options.stop_spacing_edges) {
+      continue;
+    }
+
+    // Stops every stop_spacing_edges road edges, always including both ends,
+    // truncated to max_stops_per_route.
+    std::vector<int> stop_vertices;
+    std::vector<std::vector<int>> leg_road_edges;
+    std::vector<int> current_leg;
+    stop_vertices.push_back(path->vertices.front());
+    for (std::size_t i = 0; i < path->edges.size(); ++i) {
+      current_leg.push_back(path->edges[i]);
+      const bool at_spacing =
+          static_cast<int>(current_leg.size()) >= options.stop_spacing_edges;
+      const bool at_end = i + 1 == path->edges.size();
+      if (at_spacing || at_end) {
+        stop_vertices.push_back(path->vertices[i + 1]);
+        leg_road_edges.push_back(current_leg);
+        current_leg.clear();
+        if (static_cast<int>(stop_vertices.size()) >=
+            options.max_stops_per_route) {
+          break;
+        }
+      }
+    }
+    if (stop_vertices.size() < 2) continue;
+
+    // Materialize stops and edges; skip degenerate legs whose endpoints
+    // collapse to the same stop.
+    std::vector<int> stops;
+    stops.push_back(stop_at(stop_vertices[0]));
+    for (std::size_t i = 1; i < stop_vertices.size(); ++i) {
+      const int s = stop_at(stop_vertices[i]);
+      if (s == stops.back()) continue;
+      double length = 0.0;
+      for (int e : leg_road_edges[i - 1]) length += g.edge(e).length;
+      transit.AddEdge(stops.back(), s, length, leg_road_edges[i - 1]);
+      stops.push_back(s);
+    }
+    if (stops.size() < 2) continue;
+    transit.AddRoute(stops);
+    ++made;
+  }
+  return transit;
+}
+
+}  // namespace ctbus::gen

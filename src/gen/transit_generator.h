@@ -1,0 +1,42 @@
+// Synthetic transit-network generator: bus routes as stop sequences along
+// road shortest paths between hub-biased endpoints, with stops shared across
+// routes (transfers). Stands in for the GTFS/shapefile-extracted networks of
+// the paper.
+#ifndef CTBUS_GEN_TRANSIT_GENERATOR_H_
+#define CTBUS_GEN_TRANSIT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+
+namespace ctbus::gen {
+
+struct TransitOptions {
+  int num_routes = 30;
+  /// Road edges between consecutive stops along a route.
+  int stop_spacing_edges = 3;
+  /// Routes are truncated to this many stops.
+  int max_stops_per_route = 30;
+  /// Number of hub vertices; routes preferentially start/end near hubs,
+  /// which yields shared stops and a transfer-rich network.
+  int num_hubs = 5;
+  /// Probability that a route endpoint is a hub (vs a uniform vertex).
+  double hub_bias = 0.6;
+  /// Per-route multiplicative jitter applied to road edge lengths when
+  /// tracing the route, so different routes between similar endpoints take
+  /// different streets.
+  double route_jitter = 0.35;
+  /// Minimum straight-line endpoint separation as a fraction of the city
+  /// bounding-box diagonal; keeps routes long, like real bus lines.
+  double min_endpoint_separation = 0.45;
+  std::uint64_t seed = 2;
+};
+
+/// Generates a transit network over `road`. Deterministic per options.
+graph::TransitNetwork GenerateTransit(const graph::RoadNetwork& road,
+                                      const TransitOptions& options);
+
+}  // namespace ctbus::gen
+
+#endif  // CTBUS_GEN_TRANSIT_GENERATOR_H_

@@ -1,0 +1,106 @@
+#include "gen/trip_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "graph/geo.h"
+#include "graph/shortest_path.h"
+#include "graph/spatial_grid.h"
+#include "linalg/rng.h"
+
+namespace ctbus::gen {
+
+namespace {
+
+// Shared sampling machinery for both entry points. Calls `sink` with the
+// shortest-path tree's edge path for every generated trip.
+std::int64_t ForEachTrip(
+    const graph::RoadNetwork& road, const TripOptions& options,
+    const std::function<void(const graph::Path&)>& sink) {
+  assert(options.num_trips >= 0);
+  assert(options.trips_per_origin >= 1);
+  const graph::Graph& g = road.graph();
+  if (g.num_vertices() < 2 || options.num_trips == 0) return 0;
+  linalg::Rng rng(options.seed);
+
+  std::vector<graph::Point> positions;
+  positions.reserve(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    positions.push_back(g.position(v));
+  }
+  // Cell size ~ hotspot spread keeps nearest-vertex queries cheap.
+  const graph::SpatialGrid index(positions,
+                                 std::max(50.0, options.hotspot_stddev / 2));
+
+  std::vector<graph::Point> hotspots;
+  for (int i = 0; i < options.num_hotspots; ++i) {
+    hotspots.push_back(positions[rng.NextIndex(g.num_vertices())]);
+  }
+  auto sample_vertex = [&]() -> int {
+    if (!hotspots.empty() && rng.NextBool(options.hotspot_weight)) {
+      const graph::Point& center = hotspots[rng.NextIndex(hotspots.size())];
+      const graph::Point p{
+          center.x + rng.NextGaussian() * options.hotspot_stddev,
+          center.y + rng.NextGaussian() * options.hotspot_stddev};
+      return index.Nearest(p);
+    }
+    return static_cast<int>(rng.NextIndex(g.num_vertices()));
+  };
+
+  std::int64_t generated = 0;
+  std::int64_t failures = 0;
+  // On heavily disconnected inputs most samples fail; bail out rather than
+  // spin forever.
+  const std::int64_t failure_budget = 10 * options.num_trips + 1000;
+  while (generated < options.num_trips && failures < failure_budget) {
+    const int origin = sample_vertex();
+    const graph::ShortestPathTree tree = graph::Dijkstra(g, origin);
+    const int batch = static_cast<int>(
+        std::min<std::int64_t>(options.trips_per_origin,
+                               options.num_trips - generated));
+    for (int i = 0; i < batch; ++i) {
+      const int destination = sample_vertex();
+      std::optional<graph::Path> path;
+      if (destination != origin) {
+        path = graph::ExtractPath(tree, origin, destination);
+      }
+      if (!path.has_value() || path->edges.empty()) {
+        ++failures;
+        continue;
+      }
+      sink(*path);
+      ++generated;
+    }
+  }
+  return generated;
+}
+
+}  // namespace
+
+std::vector<demand::Trajectory> GenerateTrips(const graph::RoadNetwork& road,
+                                              const TripOptions& options) {
+  std::vector<demand::Trajectory> trajectories;
+  trajectories.reserve(options.num_trips);
+  double start_time = 0.0;
+  ForEachTrip(road, options, [&](const graph::Path& path) {
+    auto t = demand::Trajectory::FromVertices(road.graph(), path.vertices,
+                                              start_time, options.speed);
+    assert(t.has_value());
+    trajectories.push_back(std::move(*t));
+    start_time += 60.0;  // trips depart a minute apart
+  });
+  return trajectories;
+}
+
+std::int64_t GenerateDemand(const TripOptions& options,
+                            graph::RoadNetwork* road) {
+  return ForEachTrip(*road, options, [road](const graph::Path& path) {
+    for (int e : path.edges) road->AddTripCount(e);
+  });
+}
+
+}  // namespace ctbus::gen

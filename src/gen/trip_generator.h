@@ -1,0 +1,47 @@
+// Synthetic commuting-trip generator: a gravity-style demand model with
+// hotspot zones. Each trip's trajectory is its shortest road path, which is
+// exactly how the paper converts raw taxi trip records (pickup/drop-off
+// pairs) into network-constrained trajectories.
+//
+// Trips are generated origin-batched: one Dijkstra tree per sampled origin
+// serves many destinations, so millions of trips aggregate in seconds.
+#ifndef CTBUS_GEN_TRIP_GENERATOR_H_
+#define CTBUS_GEN_TRIP_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "demand/trajectory.h"
+#include "graph/road_network.h"
+
+namespace ctbus::gen {
+
+struct TripOptions {
+  int num_trips = 10000;
+  /// Trips sharing one sampled origin (one Dijkstra serves them all).
+  int trips_per_origin = 20;
+  /// Number of hotspot centers (business districts, stations...).
+  int num_hotspots = 6;
+  /// Gaussian spread of endpoints around a hotspot, meters.
+  double hotspot_stddev = 500.0;
+  /// Probability that a trip endpoint is hotspot-based (vs uniform).
+  double hotspot_weight = 0.7;
+  /// Travel speed used for trajectory timestamps (m/s).
+  double speed = 8.0;
+  std::uint64_t seed = 3;
+};
+
+/// Generates trips and returns their trajectories (use for small datasets /
+/// tests; memory is O(total path length)).
+std::vector<demand::Trajectory> GenerateTrips(const graph::RoadNetwork& road,
+                                              const TripOptions& options);
+
+/// Generates trips and folds them directly into `road`'s trip counts
+/// without materializing trajectories. Returns the number of trips
+/// aggregated (trips whose endpoints coincide are skipped).
+std::int64_t GenerateDemand(const TripOptions& options,
+                            graph::RoadNetwork* road);
+
+}  // namespace ctbus::gen
+
+#endif  // CTBUS_GEN_TRIP_GENERATOR_H_

@@ -1,0 +1,39 @@
+#include "graph/geo.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ctbus::graph {
+
+double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double PolylineLength(const std::vector<Point>& points) {
+  double total = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    total += Distance(points[i - 1], points[i]);
+  }
+  return total;
+}
+
+double TurnAngle(const Point& a, const Point& b, const Point& c) {
+  const double ux = b.x - a.x;
+  const double uy = b.y - a.y;
+  const double vx = c.x - b.x;
+  const double vy = c.y - b.y;
+  const double nu = std::hypot(ux, uy);
+  const double nv = std::hypot(vx, vy);
+  if (nu == 0.0 || nv == 0.0) return 0.0;
+  const double cosine =
+      std::clamp((ux * vx + uy * vy) / (nu * nv), -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+}  // namespace ctbus::graph

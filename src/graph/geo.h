@@ -1,0 +1,33 @@
+// Planar geometry helpers. Networks live in a local metric plane (meters),
+// which matches the paper's use of straight-line distance thresholds
+// (tau = 0.5 km) and turn angles between consecutive route edges.
+#ifndef CTBUS_GRAPH_GEO_H_
+#define CTBUS_GRAPH_GEO_H_
+
+#include <vector>
+
+namespace ctbus::graph {
+
+/// A point in a local planar coordinate system, in meters.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Euclidean distance between two points, in meters.
+double Distance(const Point& a, const Point& b);
+
+/// Total length of a polyline (0 for fewer than two points).
+double PolylineLength(const std::vector<Point>& points);
+
+/// Deviation angle at `b` when travelling a -> b -> c, in radians in
+/// [0, pi]. 0 means going straight; pi means a full U-turn. Degenerate
+/// segments (zero length) yield 0.
+double TurnAngle(const Point& a, const Point& b, const Point& c);
+
+/// Squared distance (avoids the sqrt for comparisons).
+double SquaredDistance(const Point& a, const Point& b);
+
+}  // namespace ctbus::graph
+
+#endif  // CTBUS_GRAPH_GEO_H_

@@ -1,0 +1,81 @@
+#include "graph/graph.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ctbus::graph {
+
+int Graph::AddVertex(const Point& position) {
+  positions_.push_back(position);
+  adjacency_.emplace_back();
+  return num_vertices() - 1;
+}
+
+int Graph::AddEdge(int u, int v, double length) {
+  assert(u >= 0 && u < num_vertices());
+  assert(v >= 0 && v < num_vertices());
+  assert(length >= 0.0);
+  if (u == v) return -1;
+  if (EdgeBetween(u, v).has_value()) return -1;
+  const int id = num_edges();
+  edges_.push_back({u, v, length});
+  adjacency_[u].push_back({v, id});
+  adjacency_[v].push_back({u, id});
+  return id;
+}
+
+int Graph::OtherEnd(int e, int v) const {
+  const Edge& edge = edges_[e];
+  assert(edge.u == v || edge.v == v);
+  return edge.u == v ? edge.v : edge.u;
+}
+
+std::optional<int> Graph::EdgeBetween(int u, int v) const {
+  // Scan the smaller adjacency list.
+  const int base = Degree(u) <= Degree(v) ? u : v;
+  const int other = base == u ? v : u;
+  for (const AdjEntry& entry : adjacency_[base]) {
+    if (entry.vertex == other) return entry.edge;
+  }
+  return std::nullopt;
+}
+
+std::vector<int> Graph::ConnectedComponents() const {
+  std::vector<int> component(num_vertices(), -1);
+  int next_label = 0;
+  std::vector<int> stack;
+  for (int start = 0; start < num_vertices(); ++start) {
+    if (component[start] >= 0) continue;
+    component[start] = next_label;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const int v = stack.back();
+      stack.pop_back();
+      for (const AdjEntry& entry : adjacency_[v]) {
+        if (component[entry.vertex] < 0) {
+          component[entry.vertex] = next_label;
+          stack.push_back(entry.vertex);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return component;
+}
+
+bool Graph::IsConnected() const {
+  if (num_vertices() == 0) return true;
+  const auto components = ConnectedComponents();
+  for (int label : components) {
+    if (label != 0) return false;
+  }
+  return true;
+}
+
+double Graph::TotalEdgeLength() const {
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.length;
+  return total;
+}
+
+}  // namespace ctbus::graph

@@ -1,0 +1,71 @@
+// Generic undirected graph with planar vertex positions and weighted edges.
+// The shared substrate under both the road network (Definition 1) and the
+// transit network (Definition 2).
+#ifndef CTBUS_GRAPH_GRAPH_H_
+#define CTBUS_GRAPH_GRAPH_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/geo.h"
+
+namespace ctbus::graph {
+
+/// Undirected graph: vertices carry positions, edges carry lengths.
+/// Vertices and edges are identified by dense 0-based ids in insertion
+/// order. Parallel edges and self-loops are rejected.
+class Graph {
+ public:
+  struct Edge {
+    int u = 0;
+    int v = 0;
+    double length = 0.0;
+  };
+
+  /// (neighbor vertex, incident edge id) pair in an adjacency list.
+  struct AdjEntry {
+    int vertex = 0;
+    int edge = 0;
+  };
+
+  Graph() = default;
+
+  /// Adds a vertex at `position`; returns its id.
+  int AddVertex(const Point& position);
+
+  /// Adds the undirected edge {u, v} with the given length; returns its id.
+  /// Returns -1 if the edge already exists or u == v.
+  int AddEdge(int u, int v, double length);
+
+  int num_vertices() const { return static_cast<int>(positions_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Point& position(int v) const { return positions_[v]; }
+  const Edge& edge(int e) const { return edges_[e]; }
+  const std::vector<AdjEntry>& Neighbors(int v) const { return adjacency_[v]; }
+  int Degree(int v) const { return static_cast<int>(adjacency_[v].size()); }
+
+  /// Endpoint of edge `e` that is not `v`. Requires v to be an endpoint.
+  int OtherEnd(int e, int v) const;
+
+  /// Edge id joining u and v, if present.
+  std::optional<int> EdgeBetween(int u, int v) const;
+
+  /// Component label (0-based, by discovery order) for every vertex.
+  std::vector<int> ConnectedComponents() const;
+
+  /// True if every vertex is reachable from vertex 0 (true for empty graph).
+  bool IsConnected() const;
+
+  /// Sum of all edge lengths.
+  double TotalEdgeLength() const;
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<AdjEntry>> adjacency_;
+};
+
+}  // namespace ctbus::graph
+
+#endif  // CTBUS_GRAPH_GRAPH_H_

@@ -1,0 +1,25 @@
+#include "graph/road_network.h"
+
+namespace ctbus::graph {
+
+double RoadNetwork::PathDemand(const std::vector<int>& edges) const {
+  double total = 0.0;
+  for (int e : edges) total += DemandWeight(e);
+  return total;
+}
+
+void RoadNetwork::ResetTripCounts() {
+  trip_counts_.assign(trip_counts_.size(), 0);
+}
+
+void RoadNetwork::ZeroTripCounts(const std::vector<int>& edges) {
+  for (int e : edges) trip_counts_[e] = 0;
+}
+
+std::int64_t RoadNetwork::TotalTripCount() const {
+  std::int64_t total = 0;
+  for (std::int64_t c : trip_counts_) total += c;
+  return total;
+}
+
+}  // namespace ctbus::graph

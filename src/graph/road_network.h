@@ -1,0 +1,58 @@
+// Road network (Definition 1): an undirected graph of intersections and
+// road segments, enriched with per-edge commuting demand counts f_e
+// aggregated from the trajectory dataset (Equation 4).
+#ifndef CTBUS_GRAPH_ROAD_NETWORK_H_
+#define CTBUS_GRAPH_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ctbus::graph {
+
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+  explicit RoadNetwork(Graph graph)
+      : graph_(std::move(graph)),
+        trip_counts_(graph_.num_edges(), 0) {}
+
+  const Graph& graph() const { return graph_; }
+
+  /// Number of trajectories crossing edge `e` (f_e in the paper).
+  std::int64_t trip_count(int e) const { return trip_counts_[e]; }
+
+  /// Increments f_e by `count`.
+  void AddTripCount(int e, std::int64_t count = 1) {
+    trip_counts_[e] += count;
+  }
+
+  /// Demand weight f_e * |e| of a single road edge (Equation 4 summand).
+  double DemandWeight(int e) const {
+    return static_cast<double>(trip_counts_[e]) * graph_.edge(e).length;
+  }
+
+  /// Total demand weight along a sequence of road edges.
+  double PathDemand(const std::vector<int>& edges) const;
+
+  /// Clears all trip counts.
+  void ResetTripCounts();
+
+  /// Zeroes the demand of the given road edges. Used when planning multiple
+  /// routes (Section 6.3): edges covered by an already-planned route stop
+  /// contributing demand.
+  void ZeroTripCounts(const std::vector<int>& edges);
+
+  /// Sum of f_e over all edges (number of (trajectory, edge) incidences).
+  std::int64_t TotalTripCount() const;
+
+ private:
+  Graph graph_;
+  std::vector<std::int64_t> trip_counts_;
+};
+
+}  // namespace ctbus::graph
+
+#endif  // CTBUS_GRAPH_ROAD_NETWORK_H_

@@ -1,0 +1,105 @@
+#include "graph/spatial_grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace ctbus::graph {
+
+SpatialGrid::SpatialGrid(const std::vector<Point>& points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  assert(cell_size > 0.0);
+  if (points_.empty()) {
+    cells_.resize(1);
+    return;
+  }
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  min_x_ = std::numeric_limits<double>::infinity();
+  min_y_ = std::numeric_limits<double>::infinity();
+  for (const Point& p : points_) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x = std::max(max_x, p.x);
+    max_y = std::max(max_y, p.y);
+  }
+  grid_width_ =
+      std::max(1, static_cast<int>((max_x - min_x_) / cell_size_) + 1);
+  grid_height_ =
+      std::max(1, static_cast<int>((max_y - min_y_) / cell_size_) + 1);
+  cells_.resize(static_cast<std::size_t>(grid_width_) * grid_height_);
+  for (int i = 0; i < size(); ++i) {
+    cells_[CellIndex(CellX(points_[i].x), CellY(points_[i].y))].push_back(i);
+  }
+}
+
+int SpatialGrid::CellX(double x) const {
+  const int cx = static_cast<int>((x - min_x_) / cell_size_);
+  return std::clamp(cx, 0, grid_width_ - 1);
+}
+
+int SpatialGrid::CellY(double y) const {
+  const int cy = static_cast<int>((y - min_y_) / cell_size_);
+  return std::clamp(cy, 0, grid_height_ - 1);
+}
+
+std::vector<int> SpatialGrid::WithinRadius(const Point& center,
+                                           double radius) const {
+  std::vector<int> result;
+  if (points_.empty() || radius < 0.0) return result;
+  const int reach = static_cast<int>(std::ceil(radius / cell_size_));
+  const int cx = CellX(center.x);
+  const int cy = CellY(center.y);
+  const double radius_sq = radius * radius;
+  for (int gy = std::max(0, cy - reach);
+       gy <= std::min(grid_height_ - 1, cy + reach); ++gy) {
+    for (int gx = std::max(0, cx - reach);
+         gx <= std::min(grid_width_ - 1, cx + reach); ++gx) {
+      for (int id : cells_[CellIndex(gx, gy)]) {
+        if (SquaredDistance(points_[id], center) <= radius_sq) {
+          result.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+int SpatialGrid::Nearest(const Point& center) const {
+  if (points_.empty()) return -1;
+  // Expand the search ring until a hit is found, then one more ring to be
+  // sure nothing closer hides in a diagonal cell.
+  int best = -1;
+  double best_sq = std::numeric_limits<double>::infinity();
+  const int max_reach = std::max(grid_width_, grid_height_);
+  const int cx = CellX(center.x);
+  const int cy = CellY(center.y);
+  for (int reach = 0; reach <= max_reach; ++reach) {
+    bool found_this_ring = false;
+    for (int gy = std::max(0, cy - reach);
+         gy <= std::min(grid_height_ - 1, cy + reach); ++gy) {
+      for (int gx = std::max(0, cx - reach);
+           gx <= std::min(grid_width_ - 1, cx + reach); ++gx) {
+        // Only the boundary of the ring is new.
+        if (reach > 0 && std::abs(gx - cx) != reach &&
+            std::abs(gy - cy) != reach) {
+          continue;
+        }
+        for (int id : cells_[CellIndex(gx, gy)]) {
+          const double d_sq = SquaredDistance(points_[id], center);
+          if (d_sq < best_sq) {
+            best_sq = d_sq;
+            best = id;
+            found_this_ring = true;
+          }
+        }
+      }
+    }
+    if (best >= 0 && !found_this_ring && reach > 0) break;
+  }
+  return best;
+}
+
+}  // namespace ctbus::graph

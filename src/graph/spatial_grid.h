@@ -1,0 +1,46 @@
+// Uniform-grid spatial index over a point set. The candidate-edge generator
+// issues one radius query per bus stop (all stops within tau = 0.5 km), so
+// queries must be much faster than the O(n^2) scan.
+#ifndef CTBUS_GRAPH_SPATIAL_GRID_H_
+#define CTBUS_GRAPH_SPATIAL_GRID_H_
+
+#include <vector>
+
+#include "graph/geo.h"
+
+namespace ctbus::graph {
+
+/// Immutable grid index built once over a fixed point set.
+class SpatialGrid {
+ public:
+  /// Builds the index with square cells of side `cell_size` meters.
+  /// Requires cell_size > 0; `points` may be empty.
+  SpatialGrid(const std::vector<Point>& points, double cell_size);
+
+  /// Ids (indices into the constructor's point vector) of all points within
+  /// `radius` of `center`, in ascending id order.
+  std::vector<int> WithinRadius(const Point& center, double radius) const;
+
+  /// Id of the nearest point to `center`, or -1 for an empty index.
+  int Nearest(const Point& center) const;
+
+  int size() const { return static_cast<int>(points_.size()); }
+
+ private:
+  int CellX(double x) const;
+  int CellY(double y) const;
+  int CellIndex(int cx, int cy) const { return cy * grid_width_ + cx; }
+
+  std::vector<Point> points_;
+  double cell_size_;
+  double min_x_ = 0.0;
+  double min_y_ = 0.0;
+  int grid_width_ = 1;
+  int grid_height_ = 1;
+  // cells_[c] lists the point ids in cell c.
+  std::vector<std::vector<int>> cells_;
+};
+
+}  // namespace ctbus::graph
+
+#endif  // CTBUS_GRAPH_SPATIAL_GRID_H_

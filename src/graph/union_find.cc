@@ -1,0 +1,36 @@
+#include "graph/union_find.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace ctbus::graph {
+
+UnionFind::UnionFind(int n) : parent_(n), size_(n, 1), num_sets_(n) {
+  assert(n >= 0);
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+int UnionFind::Find(int x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return true;
+}
+
+bool UnionFind::Connected(int a, int b) { return Find(a) == Find(b); }
+
+int UnionFind::SetSize(int x) { return size_[Find(x)]; }
+
+}  // namespace ctbus::graph

@@ -1,0 +1,38 @@
+// Disjoint-set union with path compression and union by size. Used by the
+// city generators (to guarantee connected networks) and by the
+// connectivity-first baseline's component analysis (Figure 6).
+#ifndef CTBUS_GRAPH_UNION_FIND_H_
+#define CTBUS_GRAPH_UNION_FIND_H_
+
+#include <vector>
+
+namespace ctbus::graph {
+
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  /// Representative of x's set.
+  int Find(int x);
+
+  /// Merges the sets containing a and b; returns true if they were distinct.
+  bool Union(int a, int b);
+
+  /// True if a and b are in the same set.
+  bool Connected(int a, int b);
+
+  /// Size of the set containing x.
+  int SetSize(int x);
+
+  /// Number of disjoint sets.
+  int num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int num_sets_;
+};
+
+}  // namespace ctbus::graph
+
+#endif  // CTBUS_GRAPH_UNION_FIND_H_

@@ -1,0 +1,88 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ctbus::io {
+
+std::optional<std::vector<std::string>> ParseCsvLine(
+    const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) return std::nullopt;
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ',';
+    const std::string& f = fields[i];
+    const bool needs_quotes =
+        f.find_first_of(",\"") != std::string::npos ||
+        (!f.empty() && (f.front() == ' ' || f.back() == ' '));
+    if (needs_quotes) {
+      line += '"';
+      for (char c : f) {
+        if (c == '"') line += '"';
+        line += c;
+      }
+      line += '"';
+    } else {
+      line += f;
+    }
+  }
+  return line;
+}
+
+std::optional<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = ParseCsvLine(line);
+    if (!fields.has_value()) return std::nullopt;
+    rows.push_back(std::move(*fields));
+  }
+  return rows;
+}
+
+bool WriteCsvFile(const std::string& path,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return false;
+  for (const auto& row : rows) {
+    out << FormatCsvLine(row) << '\n';
+  }
+  return out.good();
+}
+
+}  // namespace ctbus::io

@@ -1,0 +1,32 @@
+// Minimal CSV reading/writing used by the dataset import/export paths and
+// the bench harness result dumps. Supports quoted fields with embedded
+// commas/quotes; no embedded newlines.
+#ifndef CTBUS_IO_CSV_H_
+#define CTBUS_IO_CSV_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ctbus::io {
+
+/// Parses one CSV line into fields. Returns nullopt on malformed quoting
+/// (unterminated quote).
+std::optional<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+/// Joins fields into a CSV line, quoting fields containing commas, quotes
+/// or leading/trailing spaces.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Reads a whole CSV file; returns nullopt if the file cannot be opened or
+/// any line is malformed. Empty lines are skipped.
+std::optional<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows to a CSV file; returns false on I/O failure.
+bool WriteCsvFile(const std::string& path,
+                  const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace ctbus::io
+
+#endif  // CTBUS_IO_CSV_H_

@@ -1,0 +1,96 @@
+#include "io/geojson.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ctbus::io {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string FormatCoord(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  return buffer;
+}
+
+}  // namespace
+
+void GeoJsonWriter::AddPolyline(const std::vector<graph::Point>& points,
+                                const std::string& name,
+                                const std::string& kind) {
+  std::string feature =
+      R"({"type":"Feature","properties":{"name":")" + EscapeJson(name) +
+      R"(","kind":")" + EscapeJson(kind) +
+      R"("},"geometry":{"type":"LineString","coordinates":[)";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (i > 0) feature += ',';
+    feature += '[' + FormatCoord(points[i].x) + ',' +
+               FormatCoord(points[i].y) + ']';
+  }
+  feature += "]}}";
+  features_.push_back(std::move(feature));
+}
+
+void GeoJsonWriter::AddRoadNetwork(const graph::RoadNetwork& road) {
+  const graph::Graph& g = road.graph();
+  for (int e = 0; e < g.num_edges(); ++e) {
+    AddPolyline({g.position(g.edge(e).u), g.position(g.edge(e).v)},
+                "road_edge_" + std::to_string(e), "road");
+  }
+}
+
+void GeoJsonWriter::AddTransitNetwork(const graph::TransitNetwork& transit,
+                                      bool include_routes) {
+  for (int e = 0; e < transit.num_edges(); ++e) {
+    if (!transit.EdgeActive(e)) continue;
+    const auto& edge = transit.edge(e);
+    AddPolyline(
+        {transit.stop(edge.u).position, transit.stop(edge.v).position},
+        "transit_edge_" + std::to_string(e), "transit");
+  }
+  if (!include_routes) return;
+  for (int r = 0; r < transit.num_routes(); ++r) {
+    if (!transit.route(r).active) continue;
+    std::vector<graph::Point> points;
+    for (int s : transit.route(r).stops) {
+      points.push_back(transit.stop(s).position);
+    }
+    AddPolyline(points, "route_" + std::to_string(r), "route");
+  }
+}
+
+void GeoJsonWriter::AddPlannedRoute(const graph::TransitNetwork& transit,
+                                    const std::vector<int>& route_stops,
+                                    const std::string& name) {
+  std::vector<graph::Point> points;
+  for (int s : route_stops) points.push_back(transit.stop(s).position);
+  AddPolyline(points, name, "planned");
+}
+
+std::string GeoJsonWriter::ToString() const {
+  std::string out = R"({"type":"FeatureCollection","features":[)";
+  for (std::size_t i = 0; i < features_.size(); ++i) {
+    if (i > 0) out += ',';
+    out += features_[i];
+  }
+  out += "]}";
+  return out;
+}
+
+bool GeoJsonWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << ToString() << '\n';
+  return out.good();
+}
+
+}  // namespace ctbus::io

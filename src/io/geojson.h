@@ -1,0 +1,51 @@
+// GeoJSON export of networks and planned routes, standing in for the
+// paper's Mapv-based visualizations (Figures 5, 7, 8). Coordinates are the
+// local planar meters used throughout; any GeoJSON viewer renders the
+// geometry faithfully (it is not georeferenced).
+#ifndef CTBUS_IO_GEOJSON_H_
+#define CTBUS_IO_GEOJSON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/edge_universe.h"
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+
+namespace ctbus::io {
+
+/// Builder for a GeoJSON FeatureCollection of LineString features.
+class GeoJsonWriter {
+ public:
+  /// Adds one polyline feature with a `name` and `kind` property.
+  void AddPolyline(const std::vector<graph::Point>& points,
+                   const std::string& name, const std::string& kind);
+
+  /// Every road edge as a 2-point line (kind "road").
+  void AddRoadNetwork(const graph::RoadNetwork& road);
+
+  /// Every active transit edge (kind "transit"), plus per-route lines
+  /// (kind "route") when `include_routes` is set.
+  void AddTransitNetwork(const graph::TransitNetwork& transit,
+                         bool include_routes);
+
+  /// A planned route through the universe edges (kind "planned").
+  void AddPlannedRoute(const graph::TransitNetwork& transit,
+                       const std::vector<int>& route_stops,
+                       const std::string& name);
+
+  /// Serializes the FeatureCollection.
+  std::string ToString() const;
+
+  /// Writes to a file; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  int num_features() const { return static_cast<int>(features_.size()); }
+
+ private:
+  std::vector<std::string> features_;
+};
+
+}  // namespace ctbus::io
+
+#endif  // CTBUS_IO_GEOJSON_H_

@@ -1,0 +1,147 @@
+#include "io/network_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace ctbus::io {
+
+namespace {
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == '\t') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<int> ParseIntList(const std::string& s) {
+  std::vector<int> out;
+  std::istringstream in(s);
+  int v;
+  while (in >> v) out.push_back(v);
+  return out;
+}
+
+std::string FormatIntList(const std::vector<int>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool SaveRoadNetwork(const graph::RoadNetwork& road,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  const graph::Graph& g = road.graph();
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    out << "V\t" << v << '\t' << g.position(v).x << '\t' << g.position(v).y
+        << '\n';
+  }
+  for (int e = 0; e < g.num_edges(); ++e) {
+    out << "E\t" << e << '\t' << g.edge(e).u << '\t' << g.edge(e).v << '\t'
+        << g.edge(e).length << '\t' << road.trip_count(e) << '\n';
+  }
+  return out.good();
+}
+
+std::optional<graph::RoadNetwork> LoadRoadNetwork(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  graph::Graph g;
+  std::vector<std::pair<int, long long>> counts;  // (edge, trips)
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = SplitTabs(line);
+    if (fields[0] == "V" && fields.size() == 4) {
+      if (g.AddVertex({std::stod(fields[2]), std::stod(fields[3])}) !=
+          std::stoi(fields[1])) {
+        return std::nullopt;  // ids must be dense and in order
+      }
+    } else if (fields[0] == "E" && fields.size() == 6) {
+      const int id = g.AddEdge(std::stoi(fields[2]), std::stoi(fields[3]),
+                               std::stod(fields[4]));
+      if (id != std::stoi(fields[1])) return std::nullopt;
+      counts.emplace_back(id, std::stoll(fields[5]));
+    } else {
+      return std::nullopt;
+    }
+  }
+  graph::RoadNetwork road(std::move(g));
+  for (const auto& [edge, trips] : counts) road.AddTripCount(edge, trips);
+  return road;
+}
+
+bool SaveTransitNetwork(const graph::TransitNetwork& transit,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  for (int s = 0; s < transit.num_stops(); ++s) {
+    const auto& stop = transit.stop(s);
+    out << "S\t" << s << '\t' << stop.road_vertex << '\t' << stop.position.x
+        << '\t' << stop.position.y << '\n';
+  }
+  for (int e = 0; e < transit.num_edges(); ++e) {
+    const auto& edge = transit.edge(e);
+    out << "E\t" << e << '\t' << edge.u << '\t' << edge.v << '\t'
+        << edge.length << '\t' << FormatIntList(edge.road_edges) << '\n';
+  }
+  for (int r = 0; r < transit.num_routes(); ++r) {
+    if (!transit.route(r).active) continue;
+    out << "R\t" << r << '\t' << FormatIntList(transit.route(r).stops)
+        << '\n';
+  }
+  return out.good();
+}
+
+std::optional<graph::TransitNetwork> LoadTransitNetwork(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  graph::TransitNetwork transit;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = SplitTabs(line);
+    if (fields[0] == "S" && fields.size() == 5) {
+      if (transit.AddStop(std::stoi(fields[2]),
+                          {std::stod(fields[3]), std::stod(fields[4])}) !=
+          std::stoi(fields[1])) {
+        return std::nullopt;
+      }
+    } else if (fields[0] == "E" && fields.size() == 6) {
+      const int id =
+          transit.AddEdge(std::stoi(fields[2]), std::stoi(fields[3]),
+                          std::stod(fields[4]), ParseIntList(fields[5]));
+      if (id != std::stoi(fields[1])) return std::nullopt;
+    } else if (fields[0] == "R" && fields.size() == 3) {
+      const auto stops = ParseIntList(fields[2]);
+      if (stops.size() < 2) return std::nullopt;
+      transit.AddRoute(stops);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return transit;
+}
+
+}  // namespace ctbus::io

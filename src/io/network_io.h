@@ -1,0 +1,36 @@
+// Dataset persistence: save/load road networks (with demand) and transit
+// networks as TSV files, so externally prepared data (e.g. converted GTFS /
+// DIMACS extracts) can be fed to the planner and synthetic datasets can be
+// exported for inspection.
+//
+// Formats (tab-separated, one record per line):
+//   road:    V <id> <x> <y>
+//            E <id> <u> <v> <length> <trip_count>
+//   transit: S <id> <road_vertex> <x> <y>
+//            E <id> <u> <v> <length> <road_edge>*   (road edges space-sep)
+//            R <id> <stop>+                          (stops space-separated)
+#ifndef CTBUS_IO_NETWORK_IO_H_
+#define CTBUS_IO_NETWORK_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+
+namespace ctbus::io {
+
+bool SaveRoadNetwork(const graph::RoadNetwork& road, const std::string& path);
+
+/// Returns nullopt on missing file or malformed content.
+std::optional<graph::RoadNetwork> LoadRoadNetwork(const std::string& path);
+
+bool SaveTransitNetwork(const graph::TransitNetwork& transit,
+                        const std::string& path);
+
+std::optional<graph::TransitNetwork> LoadTransitNetwork(
+    const std::string& path);
+
+}  // namespace ctbus::io
+
+#endif  // CTBUS_IO_NETWORK_IO_H_

@@ -1,0 +1,54 @@
+#include "linalg/dense_matrix.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/sparse_matrix.h"
+
+namespace ctbus::linalg {
+
+DenseMatrix DenseMatrix::Identity(int n) {
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) m.Set(i, i, 1.0);
+  return m;
+}
+
+DenseMatrix DenseMatrix::FromSparse(const SymmetricSparseMatrix& a) {
+  const int n = a.dim();
+  DenseMatrix m(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (const auto& e : a.Row(i)) m.Set(i, e.col, e.value);
+  }
+  return m;
+}
+
+void DenseMatrix::Apply(const std::vector<double>& x,
+                        std::vector<double>* y) const {
+  assert(rows_ == cols_);
+  assert(static_cast<int>(x.size()) == cols_);
+  assert(static_cast<int>(y->size()) == rows_);
+  for (int i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* row = &data_[Index(i, 0)];
+    for (int j = 0; j < cols_; ++j) acc += row[j] * x[j];
+    (*y)[i] = acc;
+  }
+}
+
+std::vector<double> DenseMatrix::Column(int j) const {
+  std::vector<double> col(rows_);
+  for (int i = 0; i < rows_; ++i) col[i] = At(i, j);
+  return col;
+}
+
+double DenseMatrix::FrobeniusDistance(const DenseMatrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace ctbus::linalg

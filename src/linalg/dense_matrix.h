@@ -1,0 +1,56 @@
+// Small dense matrices (row-major). Used for the exact eigensolver baseline
+// and for the tridiagonal eigenproblems inside Lanczos quadrature.
+#ifndef CTBUS_LINALG_DENSE_MATRIX_H_
+#define CTBUS_LINALG_DENSE_MATRIX_H_
+
+#include <vector>
+
+#include "linalg/matvec.h"
+
+namespace ctbus::linalg {
+
+class SymmetricSparseMatrix;
+
+/// Row-major dense matrix. Rows == cols for all uses in this library.
+class DenseMatrix : public MatVec {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols) {}
+
+  static DenseMatrix Identity(int n);
+
+  /// Densifies a sparse symmetric matrix.
+  static DenseMatrix FromSparse(const SymmetricSparseMatrix& a);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int dim() const override { return rows_; }
+
+  double At(int i, int j) const { return data_[Index(i, j)]; }
+  double& MutableAt(int i, int j) { return data_[Index(i, j)]; }
+  void Set(int i, int j, double value) { data_[Index(i, j)] = value; }
+
+  /// y = A x (requires rows == cols).
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override;
+
+  /// Returns column j as a vector.
+  std::vector<double> Column(int j) const;
+
+  /// Frobenius-norm distance to another matrix of the same shape.
+  double FrobeniusDistance(const DenseMatrix& other) const;
+
+ private:
+  std::size_t Index(int i, int j) const {
+    return static_cast<std::size_t>(i) * cols_ + j;
+  }
+
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ctbus::linalg
+
+#endif  // CTBUS_LINALG_DENSE_MATRIX_H_

@@ -1,0 +1,34 @@
+#include "linalg/hutchinson.h"
+
+#include <cassert>
+
+#include "linalg/lanczos.h"
+#include "linalg/vector_ops.h"
+
+namespace ctbus::linalg {
+
+std::vector<std::vector<double>> MakeGaussianProbes(int dim, int probes,
+                                                    Rng* rng) {
+  assert(probes >= 1);
+  std::vector<std::vector<double>> out(probes, std::vector<double>(dim));
+  for (auto& v : out) FillGaussian(rng, &v);
+  return out;
+}
+
+double EstimateTraceExp(const MatVec& a, int probes, int steps, Rng* rng) {
+  const auto probe_vectors = MakeGaussianProbes(a.dim(), probes, rng);
+  return EstimateTraceExpWithProbes(a, probe_vectors, steps);
+}
+
+double EstimateTraceExpWithProbes(
+    const MatVec& a, const std::vector<std::vector<double>>& probes,
+    int steps) {
+  assert(!probes.empty());
+  double acc = 0.0;
+  for (const auto& v : probes) {
+    acc += LanczosExpQuadrature(a, v, steps);
+  }
+  return acc / static_cast<double>(probes.size());
+}
+
+}  // namespace ctbus::linalg

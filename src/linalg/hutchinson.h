@@ -1,0 +1,37 @@
+// Hutchinson's stochastic trace estimator specialized to tr(exp(A)).
+//
+// tr(exp(A)) = E[v^T exp(A) v] for v with i.i.d. unit-variance entries
+// (Equation 6/7 of the paper). Each quadratic form is evaluated with
+// `steps`-iteration Lanczos quadrature, so one estimate costs
+// O(probes * steps * nnz(A)).
+//
+// The `WithProbes` variant evaluates several matrices with the *same* probe
+// vectors (common random numbers). CT-Bus relies on this to estimate tiny
+// connectivity increments Delta(e) = lambda(G+e) - lambda(G): with shared
+// probes the stochastic error largely cancels in the difference.
+#ifndef CTBUS_LINALG_HUTCHINSON_H_
+#define CTBUS_LINALG_HUTCHINSON_H_
+
+#include <vector>
+
+#include "linalg/matvec.h"
+#include "linalg/rng.h"
+
+namespace ctbus::linalg {
+
+/// Draws `probes` Gaussian probe vectors of dimension `dim`.
+std::vector<std::vector<double>> MakeGaussianProbes(int dim, int probes,
+                                                    Rng* rng);
+
+/// Estimates tr(exp(A)) with `probes` fresh Gaussian probes and
+/// `steps`-iteration Lanczos quadrature per probe.
+double EstimateTraceExp(const MatVec& a, int probes, int steps, Rng* rng);
+
+/// Same estimator but with caller-supplied probes (common random numbers).
+double EstimateTraceExpWithProbes(
+    const MatVec& a, const std::vector<std::vector<double>>& probes,
+    int steps);
+
+}  // namespace ctbus::linalg
+
+#endif  // CTBUS_LINALG_HUTCHINSON_H_

@@ -1,0 +1,78 @@
+#include "linalg/hutchpp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "linalg/lanczos.h"
+#include "linalg/vector_ops.h"
+
+namespace ctbus::linalg {
+
+namespace {
+
+// Orthonormalizes `vectors` in place with two-pass modified Gram-Schmidt,
+// dropping near-dependent columns.
+void Orthonormalize(std::vector<std::vector<double>>* vectors) {
+  std::vector<std::vector<double>> basis;
+  for (auto& v : *vectors) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const auto& q : basis) {
+        Axpy(-Dot(v, q), q, &v);
+      }
+    }
+    if (Normalize(&v) > 1e-10) basis.push_back(std::move(v));
+  }
+  *vectors = std::move(basis);
+}
+
+}  // namespace
+
+double EstimateTraceExpHutchPlusPlus(const MatVec& a,
+                                     const HutchPlusPlusOptions& options,
+                                     Rng* rng) {
+  const int n = a.dim();
+  assert(options.probes >= 3);
+  if (n == 0) return 0.0;
+  const int sketch = std::max(1, options.probes / 3);
+  const int residual_probes = std::max(1, options.probes - 2 * sketch);
+
+  // 1. Sketch the heavy eigendirections: Q = orth(exp(A) S).
+  std::vector<std::vector<double>> q(sketch, std::vector<double>(n));
+  for (auto& column : q) {
+    std::vector<double> s(n);
+    FillGaussian(rng, &s);
+    column = LanczosExpApply(a, s, options.lanczos_steps);
+  }
+  Orthonormalize(&q);
+
+  // 2. Exact trace over the sketched subspace: sum_i q_i^T exp(A) q_i.
+  double trace = 0.0;
+  std::vector<std::vector<double>> exp_a_q;
+  exp_a_q.reserve(q.size());
+  for (const auto& column : q) {
+    exp_a_q.push_back(LanczosExpApply(a, column, options.lanczos_steps));
+    trace += Dot(column, exp_a_q.back());
+  }
+
+  // 3. Hutchinson on the deflated remainder: g' = (I - QQ^T) g, and
+  //    accumulate g'^T exp(A) g' minus its component inside the subspace.
+  double residual = 0.0;
+  for (int i = 0; i < residual_probes; ++i) {
+    std::vector<double> g(n);
+    FillGaussian(rng, &g);
+    for (const auto& column : q) {
+      Axpy(-Dot(g, column), column, &g);
+    }
+    const auto exp_a_g = LanczosExpApply(a, g, options.lanczos_steps);
+    // Project the output too: g'^T (I-QQ^T) exp(A) (I-QQ^T) g'.
+    std::vector<double> projected = exp_a_g;
+    for (const auto& column : q) {
+      Axpy(-Dot(exp_a_g, column), column, &projected);
+    }
+    residual += Dot(g, projected);
+  }
+  return trace + residual / residual_probes;
+}
+
+}  // namespace ctbus::linalg

@@ -1,0 +1,84 @@
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ctbus::linalg {
+
+int SymmetricSparseMatrix::FindInRow(int row, int col) const {
+  const auto& entries = rows_[row];
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].col == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void SymmetricSparseMatrix::Set(int u, int v, double value) {
+  assert(u != v);
+  assert(u >= 0 && u < dim() && v >= 0 && v < dim());
+  const int iu = FindInRow(u, v);
+  if (iu >= 0) {
+    rows_[u][iu].value = value;
+    rows_[v][FindInRow(v, u)].value = value;
+    return;
+  }
+  rows_[u].push_back({v, value});
+  rows_[v].push_back({u, value});
+  ++num_entries_;
+}
+
+void SymmetricSparseMatrix::Add(int u, int v, double delta) {
+  const int iu = FindInRow(u, v);
+  if (iu < 0) {
+    Set(u, v, delta);
+    return;
+  }
+  rows_[u][iu].value += delta;
+  rows_[v][FindInRow(v, u)].value += delta;
+}
+
+bool SymmetricSparseMatrix::Remove(int u, int v) {
+  const int iu = FindInRow(u, v);
+  if (iu < 0) return false;
+  rows_[u][iu] = rows_[u].back();
+  rows_[u].pop_back();
+  const int iv = FindInRow(v, u);
+  rows_[v][iv] = rows_[v].back();
+  rows_[v].pop_back();
+  --num_entries_;
+  return true;
+}
+
+double SymmetricSparseMatrix::At(int u, int v) const {
+  const int iu = FindInRow(u, v);
+  return iu < 0 ? 0.0 : rows_[u][iu].value;
+}
+
+bool SymmetricSparseMatrix::Contains(int u, int v) const {
+  return FindInRow(u, v) >= 0;
+}
+
+void SymmetricSparseMatrix::Apply(const std::vector<double>& x,
+                                  std::vector<double>* y) const {
+  assert(static_cast<int>(x.size()) == dim());
+  assert(static_cast<int>(y->size()) == dim());
+  const int n = dim();
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (const Entry& e : rows_[i]) acc += e.value * x[e.col];
+    (*y)[i] = acc;
+  }
+}
+
+double SymmetricSparseMatrix::SpectralNormUpperBound() const {
+  double best = 0.0;
+  for (const auto& row : rows_) {
+    double sum = 0.0;
+    for (const Entry& e : row) sum += std::abs(e.value);
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+}  // namespace ctbus::linalg

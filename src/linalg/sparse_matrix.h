@@ -1,0 +1,75 @@
+// Symmetric sparse matrix stored as per-row adjacency lists.
+//
+// This is the adjacency-matrix representation used for transit networks: the
+// CT-Bus search adds and removes candidate edges thousands of times, so the
+// storage is optimized for O(deg) edge insertion/removal plus fast
+// matrix-vector products, rather than for a frozen CSR layout.
+#ifndef CTBUS_LINALG_SPARSE_MATRIX_H_
+#define CTBUS_LINALG_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matvec.h"
+
+namespace ctbus::linalg {
+
+/// Symmetric matrix with zero diagonal (a weighted undirected adjacency
+/// matrix). Entries are stored twice, once per incident row.
+class SymmetricSparseMatrix : public MatVec {
+ public:
+  struct Entry {
+    int col = 0;
+    double value = 0.0;
+  };
+
+  SymmetricSparseMatrix() = default;
+  explicit SymmetricSparseMatrix(int n) : rows_(n) {}
+
+  int dim() const override { return static_cast<int>(rows_.size()); }
+
+  /// Number of stored symmetric entries (each off-diagonal pair counts once).
+  std::int64_t num_entries() const { return num_entries_; }
+
+  /// Sets A[u][v] = A[v][u] = value. Overwrites an existing entry.
+  /// Requires u != v (zero diagonal) and both in [0, dim()).
+  void Set(int u, int v, double value);
+
+  /// Adds `delta` to A[u][v] (creating the entry if absent).
+  void Add(int u, int v, double delta);
+
+  /// Removes the (u, v) entry if present; returns true if it existed.
+  bool Remove(int u, int v);
+
+  /// Returns A[u][v] (0.0 if no stored entry).
+  double At(int u, int v) const;
+
+  /// True if a (u, v) entry is stored.
+  bool Contains(int u, int v) const;
+
+  /// Number of stored entries in row u.
+  int RowDegree(int u) const { return static_cast<int>(rows_[u].size()); }
+
+  /// Stored entries of row u.
+  const std::vector<Entry>& Row(int u) const { return rows_[u]; }
+
+  /// y = A x.
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override;
+
+  /// Cheap upper bound on the spectral norm: max over rows of the row sum of
+  /// absolute values (the infinity norm, which dominates ||A||_2 for
+  /// symmetric A).
+  double SpectralNormUpperBound() const;
+
+ private:
+  // Returns the index of `col` in rows_[row], or -1.
+  int FindInRow(int row, int col) const;
+
+  std::vector<std::vector<Entry>> rows_;
+  std::int64_t num_entries_ = 0;
+};
+
+}  // namespace ctbus::linalg
+
+#endif  // CTBUS_LINALG_SPARSE_MATRIX_H_

@@ -1,0 +1,156 @@
+#include "connectivity/perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "connectivity/natural_connectivity.h"
+#include "linalg/rng.h"
+#include "linalg/sparse_matrix.h"
+
+namespace ctbus::connectivity {
+namespace {
+
+linalg::SymmetricSparseMatrix RandomGraph(int n, double avg_degree,
+                                          linalg::Rng* rng) {
+  linalg::SymmetricSparseMatrix a(n);
+  const int edges = static_cast<int>(n * avg_degree / 2.0);
+  for (int i = 0; i < edges; ++i) {
+    const int u = static_cast<int>(rng->NextIndex(n));
+    const int v = static_cast<int>(rng->NextIndex(n));
+    if (u != v) a.Set(u, v, 1.0);
+  }
+  return a;
+}
+
+double DenseTraceExp(const linalg::SymmetricSparseMatrix& a) {
+  // exp(lambda(G)) * n = tr(e^A).
+  return std::exp(NaturalConnectivityExact(a)) * a.dim();
+}
+
+std::pair<int, int> FindAbsentEdge(const linalg::SymmetricSparseMatrix& a,
+                                   linalg::Rng* rng) {
+  for (;;) {
+    const int u = static_cast<int>(rng->NextIndex(a.dim()));
+    const int v = static_cast<int>(rng->NextIndex(a.dim()));
+    if (u != v && !a.Contains(u, v)) return {u, v};
+  }
+}
+
+TEST(PerturbationTest, ModelBuildKeepsRequestedEigenpairs) {
+  linalg::Rng rng(1);
+  const auto a = RandomGraph(60, 4.0, &rng);
+  PerturbationIncrementModel::Options options;
+  options.num_eigenpairs = 12;
+  const auto model = PerturbationIncrementModel::Build(
+      a, DenseTraceExp(a), options);
+  EXPECT_EQ(model.num_eigenpairs(), 12);
+}
+
+TEST(PerturbationTest, IncrementPositiveForNewEdges) {
+  linalg::Rng rng(2);
+  const auto a = RandomGraph(60, 4.0, &rng);
+  const auto model =
+      PerturbationIncrementModel::Build(a, DenseTraceExp(a), {});
+  // Trace increments can be slightly negative to first order for
+  // adversarial sign patterns, but with the e^{2 z_u z_v} form the typical
+  // new edge yields a positive estimate. Check the average direction.
+  int positive = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto [u, v] = FindAbsentEdge(a, &rng);
+    if (model.EdgeIncrement(u, v) > 0.0) ++positive;
+  }
+  EXPECT_GE(positive, 15);
+}
+
+TEST(PerturbationTest, TracksExactIncrementWithinFactor) {
+  linalg::Rng rng(3);
+  auto a = RandomGraph(80, 4.0, &rng);
+  const double base_exact = NaturalConnectivityExact(a);
+  const auto model =
+      PerturbationIncrementModel::Build(a, DenseTraceExp(a), {});
+  double total_exact = 0.0;
+  double total_model = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto [u, v] = FindAbsentEdge(a, &rng);
+    a.Set(u, v, 1.0);
+    const double exact_inc = NaturalConnectivityExact(a) - base_exact;
+    a.Remove(u, v);
+    total_exact += exact_inc;
+    total_model += model.EdgeIncrement(u, v);
+  }
+  // First-order estimates track the exact aggregate within ~2x.
+  EXPECT_GT(total_model, 0.3 * total_exact);
+  EXPECT_LT(total_model, 2.5 * total_exact);
+}
+
+TEST(PerturbationTest, RanksEdgesConsistentlyWithExactIncrements) {
+  // ETA-Pre only needs a good *ranking* of Delta(e). Verify rank
+  // correlation between the model and exact increments.
+  linalg::Rng rng(4);
+  auto a = RandomGraph(70, 4.0, &rng);
+  const double base_exact = NaturalConnectivityExact(a);
+  const auto model =
+      PerturbationIncrementModel::Build(a, DenseTraceExp(a), {});
+  std::vector<std::pair<double, double>> scored;  // (model, exact)
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto [u, v] = FindAbsentEdge(a, &rng);
+    a.Set(u, v, 1.0);
+    const double exact_inc = NaturalConnectivityExact(a) - base_exact;
+    a.Remove(u, v);
+    scored.emplace_back(model.EdgeIncrement(u, v), exact_inc);
+  }
+  // Count concordant pairs (same order under both scores).
+  int concordant = 0;
+  int total = 0;
+  for (std::size_t i = 0; i < scored.size(); ++i) {
+    for (std::size_t j = i + 1; j < scored.size(); ++j) {
+      ++total;
+      const double dm = scored[i].first - scored[j].first;
+      const double de = scored[i].second - scored[j].second;
+      if (dm * de > 0) ++concordant;
+    }
+  }
+  EXPECT_GT(static_cast<double>(concordant) / total, 0.65);
+}
+
+TEST(PerturbationTest, TraceIncrementConsistentWithLogForm) {
+  linalg::Rng rng(5);
+  const auto a = RandomGraph(50, 4.0, &rng);
+  const double trace = DenseTraceExp(a);
+  const auto model = PerturbationIncrementModel::Build(a, trace, {});
+  const auto [u, v] = FindAbsentEdge(a, &rng);
+  const double expected =
+      std::log(1.0 + model.TraceIncrement(u, v) / trace);
+  EXPECT_NEAR(model.EdgeIncrement(u, v), expected, 1e-12);
+}
+
+TEST(PerturbationTest, MoreEigenpairsImproveAggregateAccuracy) {
+  linalg::Rng rng(6);
+  auto a = RandomGraph(80, 4.0, &rng);
+  const double base_exact = NaturalConnectivityExact(a);
+  const double trace = DenseTraceExp(a);
+  PerturbationIncrementModel::Options small_options;
+  small_options.num_eigenpairs = 4;
+  PerturbationIncrementModel::Options large_options;
+  large_options.num_eigenpairs = 60;
+  const auto small = PerturbationIncrementModel::Build(a, trace, small_options);
+  const auto large = PerturbationIncrementModel::Build(a, trace, large_options);
+  double err_small = 0.0;
+  double err_large = 0.0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto [u, v] = FindAbsentEdge(a, &rng);
+    a.Set(u, v, 1.0);
+    const double exact_inc = NaturalConnectivityExact(a) - base_exact;
+    a.Remove(u, v);
+    err_small += std::abs(small.EdgeIncrement(u, v) - exact_inc);
+    err_large += std::abs(large.EdgeIncrement(u, v) - exact_inc);
+  }
+  EXPECT_LE(err_large, err_small * 1.05);
+}
+
+}  // namespace
+}  // namespace ctbus::connectivity

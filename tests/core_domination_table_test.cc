@@ -1,0 +1,50 @@
+#include "core/domination_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ctbus::core {
+namespace {
+
+TEST(DominationTableTest, FirstEntryAlwaysSurvives) {
+  DominationTable dt;
+  EXPECT_TRUE(dt.CheckAndUpdate(1, 2, 0.5));
+  EXPECT_EQ(dt.size(), 1u);
+}
+
+TEST(DominationTableTest, HigherObjectiveSurvives) {
+  DominationTable dt;
+  dt.CheckAndUpdate(1, 2, 0.5);
+  EXPECT_TRUE(dt.CheckAndUpdate(1, 2, 0.7));
+  EXPECT_FALSE(dt.CheckAndUpdate(1, 2, 0.6));
+}
+
+TEST(DominationTableTest, EqualObjectiveIsDominated) {
+  DominationTable dt;
+  dt.CheckAndUpdate(1, 2, 0.5);
+  EXPECT_FALSE(dt.CheckAndUpdate(1, 2, 0.5));
+}
+
+TEST(DominationTableTest, KeyIsUnordered) {
+  DominationTable dt;
+  dt.CheckAndUpdate(3, 7, 0.9);
+  EXPECT_FALSE(dt.CheckAndUpdate(7, 3, 0.8));
+  EXPECT_EQ(dt.size(), 1u);
+}
+
+TEST(DominationTableTest, DistinctPairsIndependent) {
+  DominationTable dt;
+  dt.CheckAndUpdate(1, 2, 0.9);
+  EXPECT_TRUE(dt.CheckAndUpdate(1, 3, 0.1));
+  EXPECT_TRUE(dt.CheckAndUpdate(2, 3, 0.1));
+  EXPECT_EQ(dt.size(), 3u);
+}
+
+TEST(DominationTableTest, SameEdgeBothEndsIsValidKey) {
+  // Single-edge paths have begin_edge == end_edge.
+  DominationTable dt;
+  EXPECT_TRUE(dt.CheckAndUpdate(5, 5, 0.2));
+  EXPECT_FALSE(dt.CheckAndUpdate(5, 5, 0.1));
+}
+
+}  // namespace
+}  // namespace ctbus::core

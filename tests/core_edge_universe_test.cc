@@ -1,0 +1,115 @@
+#include "core/edge_universe.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "graph/geo.h"
+
+namespace ctbus::core {
+namespace {
+
+EdgeUniverse BuildDefault(const gen::Dataset& d, double tau = 500.0) {
+  EdgeUniverseOptions options;
+  options.tau = tau;
+  return EdgeUniverse::Build(d.road, d.transit, options);
+}
+
+TEST(EdgeUniverseTest, ContainsAllActiveTransitEdges) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const EdgeUniverse u = BuildDefault(d);
+  EXPECT_EQ(u.num_existing_edges(), d.transit.num_active_edges());
+  int existing_seen = 0;
+  for (int e = 0; e < u.num_edges(); ++e) {
+    if (!u.edge(e).is_new) {
+      ++existing_seen;
+      EXPECT_GE(u.edge(e).transit_edge, 0);
+      EXPECT_TRUE(d.transit.EdgeActive(u.edge(e).transit_edge));
+    } else {
+      EXPECT_EQ(u.edge(e).transit_edge, -1);
+    }
+  }
+  EXPECT_EQ(existing_seen, u.num_existing_edges());
+}
+
+TEST(EdgeUniverseTest, NewEdgesRespectTau) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const double tau = 300.0;
+  const EdgeUniverse u = BuildDefault(d, tau);
+  for (int e = 0; e < u.num_edges(); ++e) {
+    if (u.edge(e).is_new) {
+      EXPECT_LE(u.edge(e).straight_distance, tau + 1e-9);
+    }
+  }
+}
+
+TEST(EdgeUniverseTest, NewEdgesAreNotExistingTransitEdges) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const EdgeUniverse u = BuildDefault(d);
+  for (int e = 0; e < u.num_edges(); ++e) {
+    if (u.edge(e).is_new) {
+      EXPECT_FALSE(
+          d.transit.ActiveEdgeBetween(u.edge(e).u, u.edge(e).v).has_value());
+    }
+  }
+}
+
+TEST(EdgeUniverseTest, LargerTauYieldsMoreCandidates) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const EdgeUniverse small = BuildDefault(d, 250.0);
+  const EdgeUniverse large = BuildDefault(d, 600.0);
+  EXPECT_GE(large.num_new_edges(), small.num_new_edges());
+  EXPECT_GT(large.num_new_edges(), 0);
+}
+
+TEST(EdgeUniverseTest, RoadPathsAreConsistent) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const EdgeUniverse u = BuildDefault(d);
+  const auto& g = d.road.graph();
+  for (int e = 0; e < u.num_edges(); ++e) {
+    const auto& edge = u.edge(e);
+    if (edge.road_edges.empty()) continue;
+    double length = 0.0;
+    for (int re : edge.road_edges) length += g.edge(re).length;
+    EXPECT_NEAR(edge.length, length, 1e-9);
+    EXPECT_DOUBLE_EQ(edge.demand, d.road.PathDemand(edge.road_edges));
+  }
+}
+
+TEST(EdgeUniverseTest, IncidenceIsConsistent) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const EdgeUniverse u = BuildDefault(d);
+  for (int s = 0; s < d.transit.num_stops(); ++s) {
+    for (int e : u.IncidentEdges(s)) {
+      EXPECT_TRUE(u.edge(e).u == s || u.edge(e).v == s);
+      EXPECT_EQ(u.OtherEnd(e, s), u.edge(e).u == s ? u.edge(e).v
+                                                   : u.edge(e).u);
+    }
+  }
+}
+
+TEST(EdgeUniverseTest, DemandScoresMatchEdges) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const EdgeUniverse u = BuildDefault(d);
+  const auto scores = u.DemandScores();
+  ASSERT_EQ(static_cast<int>(scores.size()), u.num_edges());
+  for (int e = 0; e < u.num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(scores[e], u.edge(e).demand);
+  }
+}
+
+TEST(EdgeUniverseTest, NoDuplicatePairs) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const EdgeUniverse u = BuildDefault(d);
+  for (int e1 = 0; e1 < u.num_edges(); ++e1) {
+    for (int e2 = e1 + 1; e2 < u.num_edges(); ++e2) {
+      const bool same = (u.edge(e1).u == u.edge(e2).u &&
+                         u.edge(e1).v == u.edge(e2).v) ||
+                        (u.edge(e1).u == u.edge(e2).v &&
+                         u.edge(e1).v == u.edge(e2).u);
+      EXPECT_FALSE(same) << "edges " << e1 << " and " << e2;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctbus::core

@@ -1,0 +1,165 @@
+// Property tests: ETA's feasibility invariants must hold across the whole
+// parameter grid, and the planner must degrade gracefully on degenerate
+// inputs (no candidates, trivial networks, zero demand).
+#include <cmath>
+#include <tuple>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/eta.h"
+#include "gen/datasets.h"
+#include "graph/geo.h"
+
+namespace ctbus::core {
+namespace {
+
+CtBusOptions GridOptions(int k, double w, int max_turns) {
+  CtBusOptions options;
+  options.k = k;
+  options.w = w;
+  options.max_turns = max_turns;
+  options.seed_count = 300;
+  options.max_iterations = 400;
+  options.online_estimator = {/*probes=*/12, /*lanczos_steps=*/8, /*seed=*/5};
+  options.precompute_estimator = {/*probes=*/6, /*lanczos_steps=*/6,
+                                  /*seed=*/6};
+  return options;
+}
+
+const gen::Dataset& SharedMidtown() {
+  static const gen::Dataset* dataset = new gen::Dataset(gen::MakeMidtown());
+  return *dataset;
+}
+
+class EtaGridTest
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(EtaGridTest, ResultSatisfiesAllConstraints) {
+  const auto [k, w, max_turns] = GetParam();
+  const auto& d = SharedMidtown();
+  auto ctx = PlanningContext::Build(d.road, d.transit,
+                                    GridOptions(k, w, max_turns));
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  if (!result.found) return;  // strict parameter corners may yield nothing
+
+  // Budget and turn constraints (Definition 6).
+  EXPECT_LE(result.path.num_edges(), k);
+  EXPECT_LE(result.path.turns(), max_turns);
+
+  // Circle-free in the transit network (loop closure at the ends allowed).
+  std::unordered_set<int> seen;
+  const auto& stops = result.path.stops();
+  for (std::size_t i = 0; i < stops.size(); ++i) {
+    const bool closing = i + 1 == stops.size() && stops[i] == stops[0];
+    if (!closing) EXPECT_TRUE(seen.insert(stops[i]).second);
+  }
+
+  // Circle-free in the road network: no road edge crossed twice.
+  std::unordered_set<int> road_edges;
+  for (int e : result.path.edges()) {
+    for (int re : ctx.universe().edge(e).road_edges) {
+      EXPECT_TRUE(road_edges.insert(re).second)
+          << "road edge " << re << " crossed twice";
+    }
+  }
+
+  // Every new edge respects the tau straight-line threshold.
+  for (int e : result.path.edges()) {
+    if (ctx.universe().edge(e).is_new) {
+      EXPECT_LE(ctx.universe().edge(e).straight_distance,
+                ctx.options().tau + 1e-9);
+    }
+  }
+
+  // Objective decomposition is exact.
+  EXPECT_NEAR(result.objective,
+              ctx.Objective(result.demand, result.connectivity_increment),
+              1e-12);
+
+  // Turn count re-derivable from the geometry (Algorithm 2's rule).
+  int turns = 0;
+  for (std::size_t i = 2; i < stops.size(); ++i) {
+    const double angle = graph::TurnAngle(
+        d.transit.stop(stops[i - 2]).position,
+        d.transit.stop(stops[i - 1]).position,
+        d.transit.stop(stops[i]).position);
+    if (angle > M_PI / 2) {
+      turns += CandidatePath::kSharpTurnPenalty;
+    } else if (angle > M_PI / 4) {
+      ++turns;
+    }
+  }
+  EXPECT_EQ(result.path.turns(), turns);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParameterGrid, EtaGridTest,
+    ::testing::Combine(::testing::Values(1, 3, 6, 12),
+                       ::testing::Values(0.0, 0.3, 0.5, 0.7, 1.0),
+                       ::testing::Values(0, 2, 5)));
+
+TEST(EtaDegenerateTest, NoTransitEdgesYieldsNotFound) {
+  // A transit network of isolated stops far beyond tau: no candidates.
+  graph::Graph g;
+  g.AddVertex({0, 0});
+  g.AddVertex({100000, 0});
+  g.AddEdge(0, 1, 100000);
+  graph::RoadNetwork road(std::move(g));
+  graph::TransitNetwork transit;
+  transit.AddStop(0, {0, 0});
+  transit.AddStop(1, {100000, 0});
+  auto ctx = PlanningContext::Build(road, transit, GridOptions(5, 0.5, 3));
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.iterations, 0);
+}
+
+TEST(EtaDegenerateTest, SingleStopNetwork) {
+  graph::Graph g;
+  g.AddVertex({0, 0});
+  g.AddVertex({1, 0});
+  g.AddEdge(0, 1, 1.0);
+  graph::RoadNetwork road(std::move(g));
+  graph::TransitNetwork transit;
+  transit.AddStop(0, {0, 0});
+  auto ctx = PlanningContext::Build(road, transit, GridOptions(5, 0.5, 3));
+  EXPECT_FALSE(RunEta(&ctx, SearchMode::kPrecomputed).found);
+}
+
+TEST(EtaDegenerateTest, ZeroDemandStillPlansByConnectivity) {
+  // Without any trips the demand term is 0 everywhere; the planner must
+  // still produce a feasible route driven by connectivity alone.
+  gen::Dataset d = gen::MakeMidtown();
+  d.road.ResetTripCounts();
+  auto ctx = PlanningContext::Build(d.road, d.transit,
+                                    GridOptions(6, 0.5, 3));
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  EXPECT_DOUBLE_EQ(result.demand, 0.0);
+  EXPECT_GT(result.connectivity_increment, 0.0);
+}
+
+TEST(EtaDegenerateTest, TwoStopsOneCandidate) {
+  // Exactly one plannable new edge: the planner must return it.
+  graph::Graph g;
+  g.AddVertex({0, 0});
+  g.AddVertex({100, 0});
+  g.AddVertex({200, 0});
+  g.AddEdge(0, 1, 100);
+  g.AddEdge(1, 2, 100);
+  graph::RoadNetwork road(std::move(g));
+  road.AddTripCount(0, 5);
+  road.AddTripCount(1, 5);
+  graph::TransitNetwork transit;
+  transit.AddStop(0, {0, 0});
+  transit.AddStop(2, {200, 0});
+  auto ctx = PlanningContext::Build(road, transit, GridOptions(3, 0.5, 3));
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.path.num_edges(), 1);
+  EXPECT_GT(result.demand, 0.0);
+}
+
+}  // namespace
+}  // namespace ctbus::core

@@ -1,0 +1,246 @@
+#include "core/eta.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+
+namespace ctbus::core {
+namespace {
+
+CtBusOptions FastOptions() {
+  CtBusOptions options;
+  options.k = 8;
+  options.max_turns = 3;
+  options.seed_count = 200;
+  options.max_iterations = 300;
+  options.online_estimator = {/*probes=*/16, /*lanczos_steps=*/8, /*seed=*/5};
+  options.precompute_estimator = {/*probes=*/6, /*lanczos_steps=*/6,
+                                  /*seed=*/6};
+  return options;
+}
+
+// Route feasibility invariants shared by all planner tests.
+void ExpectFeasible(const PlanningContext& ctx, const PlanResult& result) {
+  ASSERT_TRUE(result.found);
+  const auto& path = result.path;
+  ASSERT_GE(path.num_edges(), 1);
+  EXPECT_LE(path.num_edges(), ctx.options().k);
+  EXPECT_LE(path.turns(), ctx.options().max_turns);
+  // Stop sequence is chain-consistent with the edges.
+  ASSERT_EQ(path.stops().size(),
+            static_cast<std::size_t>(path.num_edges()) + 1);
+  for (int i = 0; i < path.num_edges(); ++i) {
+    const auto& edge = ctx.universe().edge(path.edges()[i]);
+    const int a = path.stops()[i];
+    const int b = path.stops()[i + 1];
+    EXPECT_TRUE((edge.u == a && edge.v == b) || (edge.u == b && edge.v == a));
+  }
+  // Circle-free: no stop repeats except a closing loop at the ends.
+  std::unordered_set<int> seen;
+  for (std::size_t i = 0; i < path.stops().size(); ++i) {
+    const int s = path.stops()[i];
+    const bool closing =
+        i + 1 == path.stops().size() && s == path.stops().front();
+    if (!closing) {
+      EXPECT_TRUE(seen.insert(s).second) << "repeated stop " << s;
+    }
+  }
+  // No universe edge repeats.
+  std::unordered_set<int> edge_seen;
+  for (int e : path.edges()) {
+    EXPECT_TRUE(edge_seen.insert(e).second) << "repeated edge " << e;
+  }
+  // Demand bookkeeping is consistent.
+  double demand = 0.0;
+  for (int e : path.edges()) demand += ctx.universe().edge(e).demand;
+  EXPECT_NEAR(result.demand, demand, 1e-9);
+}
+
+class EtaTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new gen::Dataset(gen::MakeMidtown());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static gen::Dataset* dataset_;
+};
+
+gen::Dataset* EtaTest::dataset_ = nullptr;
+
+TEST_F(EtaTest, PrecomputedModeFindsFeasibleRoute) {
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    FastOptions());
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ExpectFeasible(ctx, result);
+  EXPECT_GT(result.objective, 0.0);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST_F(EtaTest, OnlineModeFindsFeasibleRoute) {
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    FastOptions());
+  const PlanResult result = RunEta(&ctx, SearchMode::kOnline);
+  ExpectFeasible(ctx, result);
+  EXPECT_GT(result.objective, 0.0);
+}
+
+TEST_F(EtaTest, ModesAgreeWithinTolerance) {
+  // ETA-Pre must be competitive with online ETA (Table 6's message).
+  auto ctx1 = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                     FastOptions());
+  const PlanResult online = RunEta(&ctx1, SearchMode::kOnline);
+  auto ctx2 = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                     FastOptions());
+  const PlanResult pre = RunEta(&ctx2, SearchMode::kPrecomputed);
+  ASSERT_TRUE(online.found);
+  ASSERT_TRUE(pre.found);
+  EXPECT_GT(pre.objective, 0.25 * online.objective);
+}
+
+TEST_F(EtaTest, DeterministicAcrossRuns) {
+  auto ctx1 = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                     FastOptions());
+  auto ctx2 = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                     FastOptions());
+  const PlanResult a = RunEta(&ctx1, SearchMode::kPrecomputed);
+  const PlanResult b = RunEta(&ctx2, SearchMode::kPrecomputed);
+  ASSERT_EQ(a.found, b.found);
+  EXPECT_EQ(a.path.edges(), b.path.edges());
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST_F(EtaTest, RespectsMaxIterations) {
+  CtBusOptions options = FastOptions();
+  options.max_iterations = 5;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  EXPECT_LE(result.iterations, 5);
+}
+
+TEST_F(EtaTest, KOneYieldsSingleEdgeRoute) {
+  CtBusOptions options = FastOptions();
+  options.k = 1;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.path.num_edges(), 1);
+}
+
+TEST_F(EtaTest, LargerKDoesNotReduceRawObjectiveParts) {
+  // With bigger k the planner may add more edges; the raw demand of the
+  // result should not shrink (normalized objective can, per Figure 10's
+  // normalization discussion).
+  CtBusOptions small = FastOptions();
+  small.k = 3;
+  CtBusOptions large = FastOptions();
+  large.k = 10;
+  auto ctx_small =
+      PlanningContext::Build(dataset_->road, dataset_->transit, small);
+  auto ctx_large =
+      PlanningContext::Build(dataset_->road, dataset_->transit, large);
+  const PlanResult rs = RunEta(&ctx_small, SearchMode::kPrecomputed);
+  const PlanResult rl = RunEta(&ctx_large, SearchMode::kPrecomputed);
+  ASSERT_TRUE(rs.found);
+  ASSERT_TRUE(rl.found);
+  EXPECT_GE(rl.path.num_edges(), rs.path.num_edges());
+}
+
+TEST_F(EtaTest, TurnThresholdBindsRoutes) {
+  CtBusOptions strict = FastOptions();
+  strict.max_turns = 0;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    strict);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  if (result.found) {
+    EXPECT_EQ(result.path.turns(), 0);
+  }
+}
+
+TEST_F(EtaTest, TraceRecordsMonotoneObjective) {
+  CtBusOptions options = FastOptions();
+  options.trace_every = 1;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_FALSE(result.trace.empty());
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i - 1].second, result.trace[i].second + 1e-12);
+    EXPECT_LT(result.trace[i - 1].first, result.trace[i].first);
+  }
+}
+
+TEST_F(EtaTest, AllNeighborVariantAlsoFeasible) {
+  CtBusOptions options = FastOptions();
+  options.best_neighbor_only = false;  // ETA-AN
+  options.max_iterations = 100;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  if (result.found) ExpectFeasible(ctx, result);
+}
+
+TEST_F(EtaTest, NoDominationTableVariantAlsoFeasible) {
+  CtBusOptions options = FastOptions();
+  options.use_domination_table = false;  // ETA-DT
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  ExpectFeasible(ctx, result);
+}
+
+TEST_F(EtaTest, SeedAllEdgesVariantAlsoFeasible) {
+  CtBusOptions options = FastOptions();
+  options.seed_all_edges = true;  // ETA-ALL
+  options.max_iterations = 100;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  ExpectFeasible(ctx, result);
+}
+
+TEST_F(EtaTest, NewEdgesOnlyRestrictsRoute) {
+  CtBusOptions options = FastOptions();
+  options.new_edges_only = true;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  for (int e : result.path.edges()) {
+    EXPECT_TRUE(ctx.universe().edge(e).is_new);
+  }
+}
+
+TEST_F(EtaTest, WeightOneIgnoresConnectivityInObjective) {
+  CtBusOptions options = FastOptions();
+  options.w = 1.0;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  EXPECT_NEAR(result.objective, result.demand / ctx.d_max(), 1e-9);
+}
+
+TEST_F(EtaTest, WeightZeroMaximizesConnectivityOnly) {
+  CtBusOptions options = FastOptions();
+  options.w = 0.0;
+  auto ctx = PlanningContext::Build(dataset_->road, dataset_->transit,
+                                    options);
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  EXPECT_NEAR(result.objective,
+              result.connectivity_increment / ctx.lambda_max(), 1e-9);
+  // A pure-connectivity route must contain new edges.
+  EXPECT_GT(result.path.num_new_edges(), 0);
+}
+
+}  // namespace
+}  // namespace ctbus::core

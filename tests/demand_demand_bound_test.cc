@@ -1,0 +1,135 @@
+#include "demand/demand_bound.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "demand/ranked_list.h"
+#include "linalg/rng.h"
+
+namespace ctbus::demand {
+namespace {
+
+// Scores: edge0=10, edge1=8, edge2=6, edge3=4, edge4=2.
+RankedList MakeList() { return RankedList({10.0, 8.0, 6.0, 4.0, 2.0}); }
+
+TEST(DemandBoundTest, SeedInsideTopKKeepsFullSum) {
+  const RankedList list = MakeList();
+  const IncrementalDemandBound bound(&list, 3);
+  const BoundState state = bound.SeedState(0);
+  EXPECT_DOUBLE_EQ(state.bound, 24.0);  // 10 + 8 + 6
+  EXPECT_EQ(state.cursor, 3);
+}
+
+TEST(DemandBoundTest, SeedOutsideTopKReplacesKth) {
+  const RankedList list = MakeList();
+  const IncrementalDemandBound bound(&list, 3);
+  const BoundState state = bound.SeedState(4);  // score 2, rank 4
+  // Replace the 3rd best (6) with 2: 24 - (6 - 2) = 20.
+  EXPECT_DOUBLE_EQ(state.bound, 20.0);
+  EXPECT_EQ(state.cursor, 2);
+}
+
+TEST(DemandBoundTest, AppendWeakerEdgeShrinksBound) {
+  const RankedList list = MakeList();
+  const IncrementalDemandBound bound(&list, 3);
+  BoundState state = bound.SeedState(0);
+  state = bound.Append(state, 3);  // score 4 < L(cursor-1=2) = 6
+  EXPECT_DOUBLE_EQ(state.bound, 22.0);  // 24 - (6 - 4)
+  EXPECT_EQ(state.cursor, 2);
+}
+
+TEST(DemandBoundTest, AppendTopEdgeLeavesBoundUnchanged) {
+  const RankedList list = MakeList();
+  const IncrementalDemandBound bound(&list, 3);
+  BoundState state = bound.SeedState(0);
+  state = bound.Append(state, 1);  // score 8 >= L(2) = 6
+  EXPECT_DOUBLE_EQ(state.bound, 24.0);
+  EXPECT_EQ(state.cursor, 3);
+}
+
+TEST(DemandBoundTest, CursorNeverGoesNegative) {
+  const RankedList list = MakeList();
+  const IncrementalDemandBound bound(&list, 1);
+  BoundState state = bound.SeedState(4);
+  EXPECT_EQ(state.cursor, 0);
+  const BoundState after = bound.Append(state, 3);
+  EXPECT_EQ(after.cursor, 0);
+  EXPECT_DOUBLE_EQ(after.bound, state.bound);
+}
+
+TEST(DemandBoundTest, BoundIsMonotoneNonIncreasingUnderAppends) {
+  linalg::Rng rng(11);
+  std::vector<double> scores(50);
+  for (double& s : scores) s = rng.NextDouble(0, 100);
+  const RankedList list(scores);
+  const IncrementalDemandBound bound(&list, 10);
+  BoundState state = bound.SeedState(static_cast<int>(rng.NextIndex(50)));
+  double prev = state.bound;
+  for (int step = 0; step < 9; ++step) {
+    state = bound.Append(state, static_cast<int>(rng.NextIndex(50)));
+    EXPECT_LE(state.bound, prev + 1e-12);
+    prev = state.bound;
+  }
+}
+
+TEST(DemandBoundTest, RescanBoundEmptyPathIsTopK) {
+  const RankedList list = MakeList();
+  const IncrementalDemandBound bound(&list, 3);
+  EXPECT_DOUBLE_EQ(bound.RescanBound({}), 24.0);
+}
+
+TEST(DemandBoundTest, RescanBoundSkipsPathEdges) {
+  const RankedList list = MakeList();
+  const IncrementalDemandBound bound(&list, 3);
+  // Path = {edge4 (2)}; two free slots filled by best non-path edges 10, 8.
+  EXPECT_DOUBLE_EQ(bound.RescanBound({4}), 20.0);
+  // Path = {edge0, edge1}; one free slot -> 6.
+  EXPECT_DOUBLE_EQ(bound.RescanBound({0, 1}), 24.0);
+}
+
+TEST(DemandBoundTest, RescanBoundFullPathIsOwnDemand) {
+  const RankedList list = MakeList();
+  const IncrementalDemandBound bound(&list, 2);
+  EXPECT_DOUBLE_EQ(bound.RescanBound({2, 3}), 10.0);  // 6 + 4, no slots left
+}
+
+TEST(DemandBoundTest, IncrementalDominatesTrueCompletionValue) {
+  // The incremental bound must remain an upper bound on the demand of the
+  // path plus the best (k - len) remaining distinct edges.
+  linalg::Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> scores(30);
+    for (double& s : scores) s = rng.NextDouble(0, 100);
+    const RankedList list(scores);
+    const int k = 6;
+    const IncrementalDemandBound bound(&list, k);
+
+    // Build a random path of distinct edges.
+    std::vector<int> path;
+    while (static_cast<int>(path.size()) < k) {
+      const int e = static_cast<int>(rng.NextIndex(30));
+      bool dup = false;
+      for (int p : path) dup = dup || (p == e);
+      if (!dup) path.push_back(e);
+    }
+    BoundState state = bound.SeedState(path[0]);
+    double path_demand = list.ValueOf(path[0]);
+    for (std::size_t i = 1; i < path.size(); ++i) {
+      state = bound.Append(state, path[i]);
+      path_demand += list.ValueOf(path[i]);
+      // The final achievable demand of this path (completed to k edges with
+      // the best remaining edges) is at most the incremental bound.
+      std::vector<int> prefix(path.begin(), path.begin() + i + 1);
+      const double rescan = bound.RescanBound(prefix);
+      EXPECT_GE(state.bound + 1e-9, path_demand);
+      // Rescan is itself an upper bound on the completion's demand; the
+      // incremental bound should stay within one ranked-edge swap of it.
+      EXPECT_GE(state.bound + 1e-9, rescan - list.ValueAtRank(0));
+    }
+    EXPECT_GE(state.bound + 1e-9, path_demand);
+  }
+}
+
+}  // namespace
+}  // namespace ctbus::demand

@@ -1,0 +1,96 @@
+#include "demand/demand_index.h"
+
+#include <gtest/gtest.h>
+
+#include "demand/trajectory.h"
+#include "graph/graph.h"
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+
+namespace ctbus::demand {
+namespace {
+
+// Road: 0 -100- 1 -100- 2 -100- 3. Transit: stops at road vertices 0, 2, 3;
+// edge A spans road edges {0,1}, edge B spans road edge {2}.
+struct Fixture {
+  graph::RoadNetwork road;
+  graph::TransitNetwork transit;
+  int edge_a = -1;
+  int edge_b = -1;
+
+  Fixture() {
+    graph::Graph g;
+    for (int i = 0; i < 4; ++i) g.AddVertex({i * 100.0, 0});
+    for (int i = 0; i < 3; ++i) g.AddEdge(i, i + 1, 100.0);
+    road = graph::RoadNetwork(std::move(g));
+    transit.AddStop(0, {0, 0});
+    transit.AddStop(2, {200, 0});
+    transit.AddStop(3, {300, 0});
+    edge_a = transit.AddEdge(0, 1, 200.0, {0, 1});
+    edge_b = transit.AddEdge(1, 2, 100.0, {2});
+    transit.AddRoute({0, 1, 2});
+  }
+};
+
+TEST(DemandIndexTest, AccumulateTrajectoriesCountsEdgeCrossings) {
+  Fixture f;
+  std::vector<Trajectory> ts;
+  ts.push_back(*Trajectory::FromVertices(f.road.graph(), {0, 1, 2}, 0, 10));
+  ts.push_back(*Trajectory::FromVertices(f.road.graph(), {1, 2, 3}, 0, 10));
+  AccumulateTrajectories(ts, &f.road);
+  EXPECT_EQ(f.road.trip_count(0), 1);
+  EXPECT_EQ(f.road.trip_count(1), 2);
+  EXPECT_EQ(f.road.trip_count(2), 1);
+}
+
+TEST(DemandIndexTest, TransitEdgeDemandSumsRoadDemand) {
+  Fixture f;
+  f.road.AddTripCount(0, 3);  // w = 300
+  f.road.AddTripCount(1, 1);  // w = 100
+  f.road.AddTripCount(2, 5);  // w = 500
+  EXPECT_DOUBLE_EQ(TransitEdgeDemand(f.road, f.transit, f.edge_a), 400.0);
+  EXPECT_DOUBLE_EQ(TransitEdgeDemand(f.road, f.transit, f.edge_b), 500.0);
+}
+
+TEST(DemandIndexTest, RouteDemandSumsEdges) {
+  Fixture f;
+  f.road.AddTripCount(0, 1);
+  f.road.AddTripCount(2, 2);
+  EXPECT_DOUBLE_EQ(RouteDemand(f.road, f.transit, {f.edge_a, f.edge_b}),
+                   100.0 + 200.0);
+}
+
+TEST(DemandIndexTest, EmptyRouteHasZeroDemand) {
+  Fixture f;
+  EXPECT_DOUBLE_EQ(RouteDemand(f.road, f.transit, {}), 0.0);
+}
+
+TEST(DemandIndexTest, AllTransitEdgeDemandsIndexedById) {
+  Fixture f;
+  f.road.AddTripCount(1, 2);
+  const auto demands = AllTransitEdgeDemands(f.road, f.transit);
+  ASSERT_EQ(demands.size(), 2u);
+  EXPECT_DOUBLE_EQ(demands[f.edge_a], 200.0);
+  EXPECT_DOUBLE_EQ(demands[f.edge_b], 0.0);
+}
+
+TEST(DemandIndexTest, EdgeWithNoRoadPathHasZeroDemand) {
+  Fixture f;
+  f.road.AddTripCount(0, 9);
+  const int synthetic = f.transit.AddEdge(0, 2, 300.0, {});
+  EXPECT_DOUBLE_EQ(TransitEdgeDemand(f.road, f.transit, synthetic), 0.0);
+}
+
+TEST(DemandIndexTest, DemandScalesLinearlyWithTrajectories) {
+  Fixture f;
+  std::vector<Trajectory> one;
+  one.push_back(*Trajectory::FromVertices(f.road.graph(), {0, 1, 2}, 0, 10));
+  AccumulateTrajectories(one, &f.road);
+  const double d1 = TransitEdgeDemand(f.road, f.transit, f.edge_a);
+  AccumulateTrajectories(one, &f.road);
+  const double d2 = TransitEdgeDemand(f.road, f.transit, f.edge_a);
+  EXPECT_DOUBLE_EQ(d2, 2.0 * d1);
+}
+
+}  // namespace
+}  // namespace ctbus::demand

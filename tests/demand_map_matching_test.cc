@@ -1,0 +1,114 @@
+#include "demand/map_matching.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+#include "graph/spatial_grid.h"
+
+namespace ctbus::demand {
+namespace {
+
+// 5x5 grid with 100 m spacing.
+graph::Graph MakeGrid() {
+  graph::Graph g;
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      g.AddVertex({x * 100.0, y * 100.0});
+    }
+  }
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      const int v = y * 5 + x;
+      if (x + 1 < 5) g.AddEdge(v, v + 1, 100.0);
+      if (y + 1 < 5) g.AddEdge(v, v + 5, 100.0);
+    }
+  }
+  return g;
+}
+
+graph::SpatialGrid IndexOf(const graph::Graph& g) {
+  std::vector<graph::Point> positions;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    positions.push_back(g.position(v));
+  }
+  return graph::SpatialGrid(positions, 100.0);
+}
+
+TEST(MapMatchingTest, CleanSamplesSnapToVertices) {
+  const graph::Graph g = MakeGrid();
+  const auto index = IndexOf(g);
+  // Samples near (0,0), (100,0), (200,0) with ~10 m noise.
+  const std::vector<graph::Point> samples = {
+      {5, -8}, {103, 9}, {195, -4}};
+  const auto t = MapMatch(g, index, samples, {});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->points().front().vertex, 0);
+  EXPECT_EQ(t->points().back().vertex, 2);
+  EXPECT_EQ(t->edges().size(), 2u);
+}
+
+TEST(MapMatchingTest, SparseSamplesAreStitchedWithShortestPaths) {
+  const graph::Graph g = MakeGrid();
+  const auto index = IndexOf(g);
+  // Only endpoints sampled: (0,0) and (400,400) - 8 edges apart.
+  const auto t = MapMatch(g, index, {{0, 0}, {400, 400}}, {});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->edges().size(), 8u);
+  EXPECT_DOUBLE_EQ(t->Length(g), 800.0);
+}
+
+TEST(MapMatchingTest, OutliersAreDropped) {
+  const graph::Graph g = MakeGrid();
+  const auto index = IndexOf(g);
+  MapMatchOptions options;
+  options.max_snap_distance = 50.0;
+  const std::vector<graph::Point> samples = {
+      {0, 0}, {5000, 5000} /* outlier */, {100, 0}};
+  const auto t = MapMatch(g, index, samples, options);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->edges().size(), 1u);
+}
+
+TEST(MapMatchingTest, TooFewSurvivingSamplesFails) {
+  const graph::Graph g = MakeGrid();
+  const auto index = IndexOf(g);
+  MapMatchOptions options;
+  options.max_snap_distance = 50.0;
+  EXPECT_FALSE(MapMatch(g, index, {{0, 0}}, options).has_value());
+  EXPECT_FALSE(
+      MapMatch(g, index, {{0, 0}, {9999, 9999}}, options).has_value());
+}
+
+TEST(MapMatchingTest, DuplicateSnapsCollapse) {
+  const graph::Graph g = MakeGrid();
+  const auto index = IndexOf(g);
+  // Two samples snapping to the same vertex then one more.
+  const auto t = MapMatch(g, index, {{2, 1}, {-3, 2}, {101, 1}}, {});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->num_points(), 2);
+}
+
+TEST(MapMatchingTest, DisconnectedNetworkFails) {
+  graph::Graph g;
+  g.AddVertex({0, 0});
+  g.AddVertex({1000, 0});
+  const auto index = IndexOf(g);
+  MapMatchOptions options;
+  options.max_snap_distance = 100.0;
+  EXPECT_FALSE(MapMatch(g, index, {{0, 0}, {1000, 0}}, options).has_value());
+}
+
+TEST(MapMatchingTest, TimestampsUseConfiguredSpeed) {
+  const graph::Graph g = MakeGrid();
+  const auto index = IndexOf(g);
+  MapMatchOptions options;
+  options.speed = 20.0;
+  options.start_time = 100.0;
+  const auto t = MapMatch(g, index, {{0, 0}, {200, 0}}, options);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(t->points().front().timestamp, 100.0);
+  EXPECT_DOUBLE_EQ(t->points().back().timestamp, 110.0);
+}
+
+}  // namespace
+}  // namespace ctbus::demand

@@ -1,0 +1,71 @@
+#include "demand/ranked_list.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/rng.h"
+
+namespace ctbus::demand {
+namespace {
+
+TEST(RankedListTest, EmptyList) {
+  RankedList list;
+  EXPECT_EQ(list.size(), 0);
+  EXPECT_DOUBLE_EQ(list.ValueAtRank(0), 0.0);
+  EXPECT_DOUBLE_EQ(list.TopSum(5), 0.0);
+}
+
+TEST(RankedListTest, RanksDescending) {
+  RankedList list({3.0, 9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(list.ValueAtRank(0), 9.0);
+  EXPECT_DOUBLE_EQ(list.ValueAtRank(1), 5.0);
+  EXPECT_DOUBLE_EQ(list.ValueAtRank(2), 3.0);
+  EXPECT_DOUBLE_EQ(list.ValueAtRank(3), 1.0);
+  EXPECT_EQ(list.EdgeAtRank(0), 1);
+  EXPECT_EQ(list.EdgeAtRank(3), 2);
+}
+
+TEST(RankedListTest, ValueOfAndRankOf) {
+  RankedList list({3.0, 9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(list.ValueOf(3), 5.0);
+  EXPECT_EQ(list.RankOf(1), 0);
+  EXPECT_EQ(list.RankOf(2), 3);
+}
+
+TEST(RankedListTest, TopSumPrefixes) {
+  RankedList list({3.0, 9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(list.TopSum(0), 0.0);
+  EXPECT_DOUBLE_EQ(list.TopSum(1), 9.0);
+  EXPECT_DOUBLE_EQ(list.TopSum(2), 14.0);
+  EXPECT_DOUBLE_EQ(list.TopSum(4), 18.0);
+  EXPECT_DOUBLE_EQ(list.TopSum(100), 18.0);  // saturates
+}
+
+TEST(RankedListTest, OutOfRangeRankIsZero) {
+  RankedList list({1.0});
+  EXPECT_DOUBLE_EQ(list.ValueAtRank(1), 0.0);
+  EXPECT_DOUBLE_EQ(list.ValueAtRank(42), 0.0);
+}
+
+TEST(RankedListTest, TiesBrokenByEdgeId) {
+  RankedList list({5.0, 5.0, 5.0});
+  EXPECT_EQ(list.EdgeAtRank(0), 0);
+  EXPECT_EQ(list.EdgeAtRank(1), 1);
+  EXPECT_EQ(list.EdgeAtRank(2), 2);
+}
+
+TEST(RankedListTest, RankRoundTripProperty) {
+  linalg::Rng rng(3);
+  std::vector<double> scores(200);
+  for (double& s : scores) s = rng.NextDouble(0, 1000);
+  RankedList list(scores);
+  for (int e = 0; e < 200; ++e) {
+    EXPECT_EQ(list.EdgeAtRank(list.RankOf(e)), e);
+    EXPECT_DOUBLE_EQ(list.ValueAtRank(list.RankOf(e)), scores[e]);
+  }
+  for (int r = 0; r + 1 < 200; ++r) {
+    EXPECT_GE(list.ValueAtRank(r), list.ValueAtRank(r + 1));
+  }
+}
+
+}  // namespace
+}  // namespace ctbus::demand

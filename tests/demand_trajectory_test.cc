@@ -1,0 +1,71 @@
+#include "demand/trajectory.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace ctbus::demand {
+namespace {
+
+graph::Graph MakePathGraph(int n, double edge_length) {
+  graph::Graph g;
+  for (int i = 0; i < n; ++i) {
+    g.AddVertex({static_cast<double>(i) * edge_length, 0});
+  }
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1, edge_length);
+  return g;
+}
+
+TEST(TrajectoryTest, FromVerticesBuildsEdgesAndTimestamps) {
+  const graph::Graph g = MakePathGraph(4, 100.0);
+  const auto t = Trajectory::FromVertices(g, {0, 1, 2, 3}, 10.0, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->num_points(), 4);
+  EXPECT_EQ(t->edges(), (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(t->points()[0].timestamp, 10.0);
+  EXPECT_DOUBLE_EQ(t->points()[1].timestamp, 20.0);
+  EXPECT_DOUBLE_EQ(t->Duration(), 30.0);
+  EXPECT_DOUBLE_EQ(t->Length(g), 300.0);
+}
+
+TEST(TrajectoryTest, FromVerticesRejectsNonAdjacent) {
+  const graph::Graph g = MakePathGraph(4, 100.0);
+  EXPECT_FALSE(Trajectory::FromVertices(g, {0, 2}, 0.0, 10.0).has_value());
+}
+
+TEST(TrajectoryTest, FromVerticesRejectsEmptyAndBadSpeed) {
+  const graph::Graph g = MakePathGraph(3, 100.0);
+  EXPECT_FALSE(Trajectory::FromVertices(g, {}, 0.0, 10.0).has_value());
+  EXPECT_FALSE(Trajectory::FromVertices(g, {0, 1}, 0.0, 0.0).has_value());
+  EXPECT_FALSE(Trajectory::FromVertices(g, {0, 1}, 0.0, -1.0).has_value());
+}
+
+TEST(TrajectoryTest, SingleVertexTrajectoryIsValid) {
+  const graph::Graph g = MakePathGraph(3, 100.0);
+  const auto t = Trajectory::FromVertices(g, {1}, 5.0, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->edges().empty());
+  EXPECT_DOUBLE_EQ(t->Duration(), 0.0);
+}
+
+TEST(TrajectoryTest, FromPointsValidatesTimestamps) {
+  const graph::Graph g = MakePathGraph(3, 100.0);
+  EXPECT_TRUE(Trajectory::FromPoints(g, {{0, 0.0}, {1, 5.0}}).has_value());
+  EXPECT_FALSE(Trajectory::FromPoints(g, {{0, 5.0}, {1, 0.0}}).has_value());
+}
+
+TEST(TrajectoryTest, FromPointsValidatesAdjacency) {
+  const graph::Graph g = MakePathGraph(3, 100.0);
+  EXPECT_FALSE(Trajectory::FromPoints(g, {{0, 0.0}, {2, 5.0}}).has_value());
+}
+
+TEST(TrajectoryTest, WalkMayRevisitVertices) {
+  const graph::Graph g = MakePathGraph(3, 100.0);
+  const auto t = Trajectory::FromVertices(g, {0, 1, 0, 1, 2}, 0.0, 10.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->edges().size(), 4u);
+  EXPECT_DOUBLE_EQ(t->Length(g), 400.0);
+}
+
+}  // namespace
+}  // namespace ctbus::demand

@@ -1,0 +1,50 @@
+#include "eval/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ctbus::eval {
+namespace {
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Num(-0.5, 3), "-0.500");
+}
+
+TEST(TableTest, IntFormats) {
+  EXPECT_EQ(Table::Int(42), "42");
+  EXPECT_EQ(Table::Int(-7), "-7");
+}
+
+TEST(TableTest, PrintsHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  int newlines = 0;
+  for (char c : out) {
+    if (c == '\n') ++newlines;
+  }
+  EXPECT_EQ(newlines, 4);
+}
+
+TEST(TableTest, ColumnsAlignToWidestCell) {
+  Table t({"h", "x"});
+  t.AddRow({"longcell", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  // Header line must be padded at least as wide as "longcell".
+  const std::string first_line = os.str().substr(0, os.str().find('\n'));
+  EXPECT_GE(first_line.size(), std::string("longcell").size());
+}
+
+}  // namespace
+}  // namespace ctbus::eval

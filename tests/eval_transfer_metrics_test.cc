@@ -1,0 +1,184 @@
+#include "eval/transfer_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/edge_universe.h"
+#include "gen/datasets.h"
+#include "graph/road_network.h"
+
+namespace ctbus::eval {
+namespace {
+
+// Three parallel horizontal routes, no shared stops:
+//   route 0: 0-1-2      (y=0)
+//   route 1: 3-4-5      (y=200)
+//   route 2: 6-7-8      (y=400)
+// plus a connector route 9: 1-4 (shares stops with routes 0 and 1).
+graph::TransitNetwork ParallelTransit() {
+  graph::TransitNetwork t;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      t.AddStop(row * 3 + col,
+                {col * 300.0, row * 200.0});
+    }
+  }
+  for (int row = 0; row < 3; ++row) {
+    const int base = row * 3;
+    t.AddEdge(base, base + 1, 300, {});
+    t.AddEdge(base + 1, base + 2, 300, {});
+    t.AddRoute({base, base + 1, base + 2});
+  }
+  t.AddEdge(1, 4, 200, {});
+  t.AddRoute({1, 4});
+  return t;
+}
+
+TEST(MinTransfersTest, SameStopIsZero) {
+  const auto t = ParallelTransit();
+  EXPECT_EQ(MinTransfers(t, 0, 0), 0);
+}
+
+TEST(MinTransfersTest, SameRouteIsZero) {
+  const auto t = ParallelTransit();
+  EXPECT_EQ(MinTransfers(t, 0, 2), 0);
+}
+
+TEST(MinTransfersTest, OneTransferAcrossConnector) {
+  const auto t = ParallelTransit();
+  // 0 -> 4: route 0 to connector at stop 1 (1 transfer).
+  EXPECT_EQ(MinTransfers(t, 0, 4), 1);
+  // 0 -> 5: route 0, connector, route 1 => 2 transfers.
+  EXPECT_EQ(MinTransfers(t, 0, 5), 2);
+}
+
+TEST(MinTransfersTest, UnreachableIsMinusOne) {
+  const auto t = ParallelTransit();
+  // Row 2 (stops 6-8) is not connected to anything else.
+  EXPECT_EQ(MinTransfers(t, 0, 7), -1);
+}
+
+TEST(MinTransfersTest, RemovingConnectorDisconnects) {
+  auto t = ParallelTransit();
+  t.RemoveRoute(3);
+  EXPECT_EQ(MinTransfers(t, 0, 4), -1);
+}
+
+// Universe fixture for EvaluateRoute: a vertical new route crossing all
+// three horizontal lines at column 2 (stops 2, 5, 8).
+struct EvalFixture {
+  graph::RoadNetwork road;
+  graph::TransitNetwork transit = ParallelTransit();
+  core::EdgeUniverse universe;
+
+  EvalFixture() {
+    // Road grid matching the stop layout (stop i affiliates with road
+    // vertex i): 3 columns x 300 m, 3 rows x 200 m.
+    graph::Graph g;
+    for (int row = 0; row < 3; ++row) {
+      for (int col = 0; col < 3; ++col) {
+        g.AddVertex({col * 300.0, row * 200.0});
+      }
+    }
+    for (int row = 0; row < 3; ++row) {
+      for (int col = 0; col < 3; ++col) {
+        const int v = row * 3 + col;
+        if (col + 1 < 3) g.AddEdge(v, v + 1, 300.0);
+        if (row + 1 < 3) g.AddEdge(v, v + 3, 200.0);
+      }
+    }
+    road = graph::RoadNetwork(std::move(g));
+    core::EdgeUniverseOptions options;
+    options.tau = 250.0;  // stops 2-5 and 5-8 are 200 apart -> candidates
+    universe = core::EdgeUniverse::Build(road, transit, options);
+  }
+
+  int UniverseEdge(int a, int b) const {
+    for (int e = 0; e < universe.num_edges(); ++e) {
+      if ((universe.edge(e).u == a && universe.edge(e).v == b) ||
+          (universe.edge(e).u == b && universe.edge(e).v == a)) {
+        return e;
+      }
+    }
+    return -1;
+  }
+};
+
+TEST(EvaluateRouteTest, CrossedRoutesCountsTouchedRoutes) {
+  EvalFixture f;
+  const int e25 = f.UniverseEdge(2, 5);
+  const int e58 = f.UniverseEdge(5, 8);
+  ASSERT_GE(e25, 0);
+  ASSERT_GE(e58, 0);
+  const auto metrics =
+      EvaluateRoute(f.transit, f.universe, {2, 5, 8}, {e25, e58});
+  // Touches routes 0, 1, 2 (not the connector 3, which serves stops 1/4).
+  EXPECT_EQ(metrics.crossed_routes, 3);
+}
+
+TEST(EvaluateRouteTest, TransfersAvoidedPositiveWhenOldNetworkNeedsThem) {
+  EvalFixture f;
+  const int e25 = f.UniverseEdge(2, 5);
+  const int e58 = f.UniverseEdge(5, 8);
+  const auto metrics =
+      EvaluateRoute(f.transit, f.universe, {2, 5, 8}, {e25, e58});
+  // In the old network 2 -> 5 needs 2 transfers (route0 -> connector ->
+  // route1); 2 -> 8 and 5 -> 8 are unreachable (row 2 isolated).
+  EXPECT_GT(metrics.avg_transfers_avoided, 0.0);
+  EXPECT_GT(metrics.unreachable_pairs, 0);
+}
+
+TEST(EvaluateRouteTest, DistanceRatioAtLeastOne) {
+  EvalFixture f;
+  const int e25 = f.UniverseEdge(2, 5);
+  const int e58 = f.UniverseEdge(5, 8);
+  const auto metrics =
+      EvaluateRoute(f.transit, f.universe, {2, 5, 8}, {e25, e58});
+  EXPECT_GE(metrics.distance_ratio, 1.0);
+}
+
+TEST(EvaluateRouteTest, TrivialRouteYieldsDefaults) {
+  EvalFixture f;
+  const auto metrics = EvaluateRoute(f.transit, f.universe, {2}, {});
+  EXPECT_DOUBLE_EQ(metrics.avg_transfers_avoided, 0.0);
+  EXPECT_EQ(metrics.crossed_routes, 0);
+}
+
+TEST(EvaluateRouteTest, RouteAlongExistingLineAvoidsNothing) {
+  EvalFixture f;
+  const int e01 = f.UniverseEdge(0, 1);
+  const int e12 = f.UniverseEdge(1, 2);
+  ASSERT_GE(e01, 0);
+  ASSERT_GE(e12, 0);
+  const auto metrics =
+      EvaluateRoute(f.transit, f.universe, {0, 1, 2}, {e01, e12});
+  // All pairs already direct on route 0.
+  EXPECT_DOUBLE_EQ(metrics.avg_transfers_avoided, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.distance_ratio, 1.0);
+}
+
+TEST(EvaluateRouteTest, OnFullDatasetMetricsAreSane) {
+  const gen::Dataset d = gen::MakeMidtown();
+  core::EdgeUniverseOptions options;
+  options.tau = 400.0;
+  const auto universe = core::EdgeUniverse::Build(d.road, d.transit, options);
+  // Use an existing route as the "new" route: transfers avoided 0-ish,
+  // crossed routes >= 1 (itself).
+  const auto& route = d.transit.route(0);
+  std::vector<int> edges;
+  for (std::size_t i = 1; i < route.stops.size(); ++i) {
+    for (int e = 0; e < universe.num_edges(); ++e) {
+      const auto& edge = universe.edge(e);
+      if ((edge.u == route.stops[i - 1] && edge.v == route.stops[i]) ||
+          (edge.v == route.stops[i - 1] && edge.u == route.stops[i])) {
+        edges.push_back(e);
+        break;
+      }
+    }
+  }
+  const auto metrics = EvaluateRoute(d.transit, universe, route.stops, edges);
+  EXPECT_GE(metrics.crossed_routes, 1);
+  EXPECT_GE(metrics.distance_ratio, 1.0);
+}
+
+}  // namespace
+}  // namespace ctbus::eval

@@ -1,0 +1,109 @@
+#include "gen/city_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/geo.h"
+
+namespace ctbus::gen {
+namespace {
+
+TEST(CityGeneratorTest, ProducesExpectedVertexCount) {
+  CityOptions options;
+  options.grid_width = 12;
+  options.grid_height = 9;
+  const auto road = GenerateCity(options);
+  EXPECT_EQ(road.graph().num_vertices(), 108);
+}
+
+TEST(CityGeneratorTest, AlwaysConnected) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    CityOptions options;
+    options.grid_width = 20;
+    options.grid_height = 15;
+    options.edge_keep_probability = 0.8;  // aggressive deletion
+    options.seed = seed;
+    const auto road = GenerateCity(options);
+    EXPECT_TRUE(road.graph().IsConnected()) << "seed " << seed;
+  }
+}
+
+TEST(CityGeneratorTest, DeterministicPerSeed) {
+  CityOptions options;
+  options.seed = 7;
+  const auto a = GenerateCity(options);
+  const auto b = GenerateCity(options);
+  ASSERT_EQ(a.graph().num_edges(), b.graph().num_edges());
+  for (int e = 0; e < a.graph().num_edges(); ++e) {
+    EXPECT_EQ(a.graph().edge(e).u, b.graph().edge(e).u);
+    EXPECT_EQ(a.graph().edge(e).v, b.graph().edge(e).v);
+    EXPECT_DOUBLE_EQ(a.graph().edge(e).length, b.graph().edge(e).length);
+  }
+}
+
+TEST(CityGeneratorTest, DifferentSeedsDiffer) {
+  CityOptions a_options;
+  a_options.seed = 1;
+  CityOptions b_options;
+  b_options.seed = 2;
+  const auto a = GenerateCity(a_options);
+  const auto b = GenerateCity(b_options);
+  // Edge sets almost surely differ.
+  bool differs = a.graph().num_edges() != b.graph().num_edges();
+  if (!differs) {
+    for (int e = 0; e < a.graph().num_edges() && !differs; ++e) {
+      differs = a.graph().edge(e).u != b.graph().edge(e).u ||
+                a.graph().edge(e).v != b.graph().edge(e).v;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CityGeneratorTest, EdgeLengthsMatchVertexDistances) {
+  CityOptions options;
+  options.seed = 3;
+  const auto road = GenerateCity(options);
+  const auto& g = road.graph();
+  for (int e = 0; e < g.num_edges(); ++e) {
+    EXPECT_NEAR(g.edge(e).length,
+                graph::Distance(g.position(g.edge(e).u),
+                                g.position(g.edge(e).v)),
+                1e-9);
+  }
+}
+
+TEST(CityGeneratorTest, DegreesStayLow) {
+  // Planar-ish road networks: max degree must stay small (<= 8 with
+  // diagonals) and average near 3-4.
+  CityOptions options;
+  options.seed = 5;
+  const auto road = GenerateCity(options);
+  const auto& g = road.graph();
+  double total_degree = 0.0;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(g.Degree(v), 8);
+    total_degree += g.Degree(v);
+  }
+  const double avg = total_degree / g.num_vertices();
+  EXPECT_GT(avg, 2.0);
+  EXPECT_LT(avg, 4.5);
+}
+
+TEST(CityGeneratorTest, FullKeepProbabilityGivesFullGrid) {
+  CityOptions options;
+  options.grid_width = 5;
+  options.grid_height = 4;
+  options.edge_keep_probability = 1.0;
+  options.diagonal_probability = 0.0;
+  const auto road = GenerateCity(options);
+  // 4*4 + 5*3 = 31 grid edges.
+  EXPECT_EQ(road.graph().num_edges(), 31);
+}
+
+TEST(CityGeneratorTest, TripCountsStartAtZero) {
+  CityOptions options;
+  const auto road = GenerateCity(options);
+  EXPECT_EQ(road.TotalTripCount(), 0);
+}
+
+}  // namespace
+}  // namespace ctbus::gen

@@ -1,0 +1,74 @@
+#include "gen/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace ctbus::gen {
+namespace {
+
+TEST(DatasetsTest, MidtownIsTinyAndComplete) {
+  const Dataset d = MakeMidtown();
+  EXPECT_EQ(d.name, "midtown");
+  EXPECT_EQ(d.road.graph().num_vertices(), 100);
+  EXPECT_TRUE(d.road.graph().IsConnected());
+  EXPECT_EQ(d.transit.num_routes(), 4);
+  EXPECT_GT(d.transit.num_stops(), 0);
+  EXPECT_GT(d.num_trips, 0);
+  EXPECT_GT(d.road.TotalTripCount(), 0);
+}
+
+TEST(DatasetsTest, ChicagoLikeShape) {
+  const Dataset d = MakeChicagoLike(0.25);
+  EXPECT_EQ(d.name, "chicago_like");
+  EXPECT_TRUE(d.road.graph().IsConnected());
+  EXPECT_GT(d.transit.num_stops(), 50);
+  EXPECT_GT(d.transit.num_active_edges(), 50);
+  EXPECT_GT(d.num_trips, 1000);
+}
+
+TEST(DatasetsTest, NycLikeIsBiggerThanChicagoLike) {
+  const Dataset chi = MakeChicagoLike(0.25);
+  const Dataset nyc = MakeNycLike(0.25);
+  EXPECT_GT(nyc.road.graph().num_vertices(),
+            chi.road.graph().num_vertices());
+  EXPECT_GT(nyc.transit.num_routes(), chi.transit.num_routes());
+}
+
+TEST(DatasetsTest, DatasetsAreDeterministic) {
+  const Dataset a = MakeChicagoLike(0.1);
+  const Dataset b = MakeChicagoLike(0.1);
+  EXPECT_EQ(a.road.graph().num_edges(), b.road.graph().num_edges());
+  EXPECT_EQ(a.transit.num_stops(), b.transit.num_stops());
+  EXPECT_EQ(a.num_trips, b.num_trips);
+  for (int e = 0; e < a.road.graph().num_edges(); ++e) {
+    EXPECT_EQ(a.road.trip_count(e), b.road.trip_count(e));
+  }
+}
+
+TEST(DatasetsTest, AllBoroughsPresent) {
+  const auto boroughs = AllBoroughs(0.2);
+  ASSERT_EQ(boroughs.size(), 5u);
+  EXPECT_EQ(boroughs[0].name, "Manhattan");
+  EXPECT_EQ(boroughs[4].name, "Bronx");
+  for (const auto& b : boroughs) {
+    EXPECT_TRUE(b.road.graph().IsConnected()) << b.name;
+    EXPECT_GT(b.transit.num_active_routes(), 0) << b.name;
+    EXPECT_GT(b.num_trips, 0) << b.name;
+  }
+}
+
+TEST(DatasetsTest, BoroughNames) {
+  EXPECT_EQ(BoroughName(Borough::kManhattan), "Manhattan");
+  EXPECT_EQ(BoroughName(Borough::kStatenIsland), "Staten Island");
+}
+
+TEST(DatasetsTest, ScaleGrowsNetworks) {
+  const Dataset small = MakeChicagoLike(0.1);
+  const Dataset large = MakeChicagoLike(0.3);
+  EXPECT_GT(large.road.graph().num_vertices(),
+            small.road.graph().num_vertices());
+  EXPECT_GT(large.transit.num_routes(), small.transit.num_routes());
+  EXPECT_GT(large.num_trips, small.num_trips);
+}
+
+}  // namespace
+}  // namespace ctbus::gen

@@ -1,0 +1,126 @@
+#include "gen/transit_generator.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "gen/city_generator.h"
+#include "graph/geo.h"
+
+namespace ctbus::gen {
+namespace {
+
+graph::RoadNetwork TestCity(std::uint64_t seed = 11) {
+  CityOptions options;
+  options.grid_width = 24;
+  options.grid_height = 20;
+  options.seed = seed;
+  return GenerateCity(options);
+}
+
+TEST(TransitGeneratorTest, GeneratesRequestedRoutes) {
+  const auto road = TestCity();
+  TransitOptions options;
+  options.num_routes = 12;
+  const auto transit = GenerateTransit(road, options);
+  EXPECT_EQ(transit.num_routes(), 12);
+  EXPECT_EQ(transit.num_active_routes(), 12);
+  EXPECT_GT(transit.num_stops(), 0);
+  EXPECT_GT(transit.num_active_edges(), 0);
+}
+
+TEST(TransitGeneratorTest, DeterministicPerSeed) {
+  const auto road = TestCity();
+  TransitOptions options;
+  options.num_routes = 8;
+  options.seed = 77;
+  const auto a = GenerateTransit(road, options);
+  const auto b = GenerateTransit(road, options);
+  ASSERT_EQ(a.num_stops(), b.num_stops());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (int r = 0; r < a.num_routes(); ++r) {
+    EXPECT_EQ(a.route(r).stops, b.route(r).stops);
+  }
+}
+
+TEST(TransitGeneratorTest, StopsAffiliatedWithRoadVertices) {
+  const auto road = TestCity();
+  const auto transit = GenerateTransit(road, {});
+  for (int s = 0; s < transit.num_stops(); ++s) {
+    const auto& stop = transit.stop(s);
+    ASSERT_GE(stop.road_vertex, 0);
+    ASSERT_LT(stop.road_vertex, road.graph().num_vertices());
+    EXPECT_DOUBLE_EQ(stop.position.x,
+                     road.graph().position(stop.road_vertex).x);
+  }
+}
+
+TEST(TransitGeneratorTest, EdgesTraceRealRoadPaths) {
+  const auto road = TestCity();
+  const auto transit = GenerateTransit(road, {});
+  const auto& g = road.graph();
+  for (int e = 0; e < transit.num_edges(); ++e) {
+    const auto& edge = transit.edge(e);
+    ASSERT_FALSE(edge.road_edges.empty());
+    // Road path endpoints must match the stops' road vertices, and the
+    // edges must chain.
+    double length = 0.0;
+    for (int re : edge.road_edges) length += g.edge(re).length;
+    EXPECT_NEAR(edge.length, length, 1e-9);
+    // Endpoint check: the first road edge touches u's road vertex, the last
+    // touches v's.
+    const int u_vertex = transit.stop(edge.u).road_vertex;
+    const int v_vertex = transit.stop(edge.v).road_vertex;
+    const auto& first = g.edge(edge.road_edges.front());
+    const auto& last = g.edge(edge.road_edges.back());
+    EXPECT_TRUE(first.u == u_vertex || first.v == u_vertex);
+    EXPECT_TRUE(last.u == v_vertex || last.v == v_vertex);
+  }
+}
+
+TEST(TransitGeneratorTest, RoutesShareStops) {
+  // Hub bias must create transfer opportunities: at least one stop belongs
+  // to two or more routes.
+  const auto road = TestCity();
+  TransitOptions options;
+  options.num_routes = 15;
+  options.num_hubs = 3;
+  options.hub_bias = 0.8;
+  const auto transit = GenerateTransit(road, options);
+  bool has_shared = false;
+  for (int s = 0; s < transit.num_stops() && !has_shared; ++s) {
+    has_shared = transit.RoutesAtStop(s).size() >= 2;
+  }
+  EXPECT_TRUE(has_shared);
+}
+
+TEST(TransitGeneratorTest, RouteStopsAreDistinctPerRoute) {
+  const auto road = TestCity();
+  const auto transit = GenerateTransit(road, {});
+  for (int r = 0; r < transit.num_routes(); ++r) {
+    const auto& stops = transit.route(r).stops;
+    ASSERT_GE(stops.size(), 2u);
+    for (std::size_t i = 1; i < stops.size(); ++i) {
+      EXPECT_NE(stops[i - 1], stops[i]);
+    }
+  }
+}
+
+TEST(TransitGeneratorTest, RespectsMaxStops) {
+  const auto road = TestCity();
+  TransitOptions options;
+  options.max_stops_per_route = 6;
+  const auto transit = GenerateTransit(road, options);
+  for (int r = 0; r < transit.num_routes(); ++r) {
+    EXPECT_LE(transit.route(r).stops.size(), 6u);
+  }
+}
+
+TEST(TransitGeneratorTest, AdjacencyMatrixDimensionMatchesStops) {
+  const auto road = TestCity();
+  const auto transit = GenerateTransit(road, {});
+  EXPECT_EQ(transit.AdjacencyMatrix().dim(), transit.num_stops());
+}
+
+}  // namespace
+}  // namespace ctbus::gen

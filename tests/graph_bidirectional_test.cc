@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "gen/city_generator.h"
+#include "graph/shortest_path.h"
+#include "linalg/rng.h"
+
+namespace ctbus::graph {
+namespace {
+
+TEST(BidirectionalTest, TrivialSelfPath) {
+  Graph g;
+  g.AddVertex({0, 0});
+  const auto path = BidirectionalShortestPath(g, 0, 0);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->vertices, std::vector<int>{0});
+  EXPECT_DOUBLE_EQ(path->length, 0.0);
+}
+
+TEST(BidirectionalTest, UnreachableReturnsNullopt) {
+  Graph g;
+  g.AddVertex({0, 0});
+  g.AddVertex({1, 0});
+  EXPECT_FALSE(BidirectionalShortestPath(g, 0, 1).has_value());
+}
+
+TEST(BidirectionalTest, PrefersMultiHopOverLongDirect) {
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddVertex({static_cast<double>(i), 0});
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(0, 2, 5.0);
+  const auto path = BidirectionalShortestPath(g, 0, 2);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_DOUBLE_EQ(path->length, 2.0);
+  EXPECT_EQ(path->vertices, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(BidirectionalTest, MatchesUnidirectionalOnCityNetwork) {
+  gen::CityOptions options;
+  options.grid_width = 30;
+  options.grid_height = 25;
+  options.seed = 5;
+  const auto road = gen::GenerateCity(options);
+  const Graph& g = road.graph();
+  linalg::Rng rng(11);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int s = static_cast<int>(rng.NextIndex(g.num_vertices()));
+    const int t = static_cast<int>(rng.NextIndex(g.num_vertices()));
+    const auto uni = ShortestPathBetween(g, s, t);
+    const auto bi = BidirectionalShortestPath(g, s, t);
+    ASSERT_EQ(uni.has_value(), bi.has_value());
+    if (!uni.has_value()) continue;
+    EXPECT_NEAR(uni->length, bi->length, 1e-9) << "s=" << s << " t=" << t;
+    // The returned walk must be valid and have the claimed length.
+    ASSERT_EQ(bi->vertices.size(), bi->edges.size() + 1);
+    double total = 0.0;
+    for (std::size_t i = 0; i < bi->edges.size(); ++i) {
+      const auto& e = g.edge(bi->edges[i]);
+      const int a = bi->vertices[i];
+      const int b = bi->vertices[i + 1];
+      EXPECT_TRUE((e.u == a && e.v == b) || (e.u == b && e.v == a));
+      total += e.length;
+    }
+    EXPECT_NEAR(total, bi->length, 1e-9);
+  }
+}
+
+TEST(BidirectionalTest, EndpointsCorrect) {
+  gen::CityOptions options;
+  options.grid_width = 12;
+  options.grid_height = 12;
+  options.seed = 9;
+  const auto road = gen::GenerateCity(options);
+  linalg::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int s =
+        static_cast<int>(rng.NextIndex(road.graph().num_vertices()));
+    const int t =
+        static_cast<int>(rng.NextIndex(road.graph().num_vertices()));
+    const auto path = BidirectionalShortestPath(road.graph(), s, t);
+    if (!path.has_value()) continue;
+    EXPECT_EQ(path->vertices.front(), s);
+    EXPECT_EQ(path->vertices.back(), t);
+  }
+}
+
+}  // namespace
+}  // namespace ctbus::graph

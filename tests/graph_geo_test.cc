@@ -1,0 +1,68 @@
+#include "graph/geo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ctbus::graph {
+namespace {
+
+TEST(GeoTest, DistanceBasic) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(GeoTest, DistanceIsSymmetric) {
+  const Point a{1.5, -2.0};
+  const Point b{-3.0, 7.0};
+  EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+}
+
+TEST(GeoTest, DistanceToSelfIsZero) {
+  const Point p{12.0, -8.0};
+  EXPECT_DOUBLE_EQ(Distance(p, p), 0.0);
+}
+
+TEST(GeoTest, SquaredDistanceMatchesDistance) {
+  const Point a{2.0, 3.0};
+  const Point b{-1.0, 9.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), Distance(a, b) * Distance(a, b));
+}
+
+TEST(GeoTest, PolylineLengthEmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(PolylineLength({}), 0.0);
+  EXPECT_DOUBLE_EQ(PolylineLength({{1, 1}}), 0.0);
+}
+
+TEST(GeoTest, PolylineLengthSumsSegments) {
+  EXPECT_DOUBLE_EQ(PolylineLength({{0, 0}, {3, 4}, {3, 14}}), 15.0);
+}
+
+TEST(GeoTest, TurnAngleStraightLineIsZero) {
+  EXPECT_NEAR(TurnAngle({0, 0}, {1, 0}, {2, 0}), 0.0, 1e-12);
+}
+
+TEST(GeoTest, TurnAngleRightAngle) {
+  EXPECT_NEAR(TurnAngle({0, 0}, {1, 0}, {1, 1}), M_PI / 2, 1e-12);
+}
+
+TEST(GeoTest, TurnAngleUTurn) {
+  EXPECT_NEAR(TurnAngle({0, 0}, {1, 0}, {0, 0}), M_PI, 1e-12);
+}
+
+TEST(GeoTest, TurnAngleFortyFiveDegrees) {
+  EXPECT_NEAR(TurnAngle({0, 0}, {1, 0}, {2, 1}), M_PI / 4, 1e-12);
+}
+
+TEST(GeoTest, TurnAngleDegenerateSegmentIsZero) {
+  EXPECT_DOUBLE_EQ(TurnAngle({1, 1}, {1, 1}, {5, 5}), 0.0);
+  EXPECT_DOUBLE_EQ(TurnAngle({0, 0}, {1, 1}, {1, 1}), 0.0);
+}
+
+TEST(GeoTest, TurnAngleIndependentOfSegmentLengths) {
+  const double short_legs = TurnAngle({0, 0}, {1, 0}, {1, 1});
+  const double long_legs = TurnAngle({-100, 0}, {50, 0}, {50, 300});
+  EXPECT_NEAR(short_legs, long_legs, 1e-12);
+}
+
+}  // namespace
+}  // namespace ctbus::graph

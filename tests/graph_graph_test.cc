@@ -1,0 +1,108 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace ctbus::graph {
+namespace {
+
+Graph MakeTriangle() {
+  Graph g;
+  g.AddVertex({0, 0});
+  g.AddVertex({1, 0});
+  g.AddVertex({0, 1});
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 0, 3.0);
+  return g;
+}
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_TRUE(g.IsConnected());
+}
+
+TEST(GraphTest, AddVertexAssignsSequentialIds) {
+  Graph g;
+  EXPECT_EQ(g.AddVertex({1, 2}), 0);
+  EXPECT_EQ(g.AddVertex({3, 4}), 1);
+  EXPECT_DOUBLE_EQ(g.position(1).x, 3.0);
+}
+
+TEST(GraphTest, AddEdgeStoresEndpointsAndLength) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.edge(1).u, 1);
+  EXPECT_EQ(g.edge(1).v, 2);
+  EXPECT_DOUBLE_EQ(g.edge(1).length, 2.0);
+}
+
+TEST(GraphTest, AddEdgeRejectsSelfLoop) {
+  Graph g;
+  g.AddVertex({0, 0});
+  EXPECT_EQ(g.AddEdge(0, 0, 1.0), -1);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(GraphTest, AddEdgeRejectsParallelEdge) {
+  Graph g;
+  g.AddVertex({0, 0});
+  g.AddVertex({1, 1});
+  EXPECT_EQ(g.AddEdge(0, 1, 1.0), 0);
+  EXPECT_EQ(g.AddEdge(1, 0, 2.0), -1);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(GraphTest, NeighborsListsIncidentEdges) {
+  Graph g = MakeTriangle();
+  const auto& nbrs = g.Neighbors(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(g.Degree(0), 2);
+}
+
+TEST(GraphTest, OtherEnd) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.OtherEnd(0, 0), 1);
+  EXPECT_EQ(g.OtherEnd(0, 1), 0);
+}
+
+TEST(GraphTest, EdgeBetweenFindsAndMisses) {
+  Graph g = MakeTriangle();
+  EXPECT_TRUE(g.EdgeBetween(0, 2).has_value());
+  EXPECT_EQ(*g.EdgeBetween(2, 0), 2);
+  Graph g2;
+  g2.AddVertex({0, 0});
+  g2.AddVertex({1, 0});
+  EXPECT_FALSE(g2.EdgeBetween(0, 1).has_value());
+}
+
+TEST(GraphTest, ConnectedComponentsLabels) {
+  Graph g;
+  for (int i = 0; i < 5; ++i) g.AddVertex({0, 0});
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(3, 4, 1.0);
+  const auto comp = g.ConnectedComponents();
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_FALSE(g.IsConnected());
+}
+
+TEST(GraphTest, IsConnectedTriangle) {
+  EXPECT_TRUE(MakeTriangle().IsConnected());
+}
+
+TEST(GraphTest, TotalEdgeLength) {
+  EXPECT_DOUBLE_EQ(MakeTriangle().TotalEdgeLength(), 6.0);
+}
+
+TEST(GraphTest, SingleVertexIsConnected) {
+  Graph g;
+  g.AddVertex({0, 0});
+  EXPECT_TRUE(g.IsConnected());
+}
+
+}  // namespace
+}  // namespace ctbus::graph

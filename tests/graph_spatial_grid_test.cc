@@ -1,0 +1,86 @@
+#include "graph/spatial_grid.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/rng.h"
+
+namespace ctbus::graph {
+namespace {
+
+TEST(SpatialGridTest, EmptyIndex) {
+  SpatialGrid grid({}, 100.0);
+  EXPECT_EQ(grid.size(), 0);
+  EXPECT_TRUE(grid.WithinRadius({0, 0}, 1000.0).empty());
+  EXPECT_EQ(grid.Nearest({0, 0}), -1);
+}
+
+TEST(SpatialGridTest, SinglePoint) {
+  SpatialGrid grid({{5, 5}}, 10.0);
+  EXPECT_EQ(grid.Nearest({0, 0}), 0);
+  EXPECT_EQ(grid.WithinRadius({0, 0}, 10.0), std::vector<int>{0});
+  EXPECT_TRUE(grid.WithinRadius({0, 0}, 5.0).empty());
+}
+
+TEST(SpatialGridTest, RadiusBoundaryInclusive) {
+  SpatialGrid grid({{3, 4}}, 1.0);
+  EXPECT_EQ(grid.WithinRadius({0, 0}, 5.0).size(), 1u);
+}
+
+TEST(SpatialGridTest, WithinRadiusMatchesBruteForce) {
+  linalg::Rng rng(12);
+  std::vector<Point> points(500);
+  for (auto& p : points) {
+    p.x = rng.NextDouble(0, 5000);
+    p.y = rng.NextDouble(0, 5000);
+  }
+  SpatialGrid grid(points, 250.0);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point center{rng.NextDouble(0, 5000), rng.NextDouble(0, 5000)};
+    const double radius = rng.NextDouble(50, 800);
+    std::vector<int> expected;
+    for (int i = 0; i < 500; ++i) {
+      if (Distance(points[i], center) <= radius) expected.push_back(i);
+    }
+    EXPECT_EQ(grid.WithinRadius(center, radius), expected);
+  }
+}
+
+TEST(SpatialGridTest, NearestMatchesBruteForce) {
+  linalg::Rng rng(13);
+  std::vector<Point> points(300);
+  for (auto& p : points) {
+    p.x = rng.NextDouble(0, 2000);
+    p.y = rng.NextDouble(0, 2000);
+  }
+  SpatialGrid grid(points, 111.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point center{rng.NextDouble(-200, 2200), rng.NextDouble(-200, 2200)};
+    int best = 0;
+    for (int i = 1; i < 300; ++i) {
+      if (SquaredDistance(points[i], center) <
+          SquaredDistance(points[best], center)) {
+        best = i;
+      }
+    }
+    const int got = grid.Nearest(center);
+    // Allow ties in distance.
+    EXPECT_DOUBLE_EQ(Distance(points[got], center),
+                     Distance(points[best], center));
+  }
+}
+
+TEST(SpatialGridTest, NegativeRadiusYieldsNothing) {
+  SpatialGrid grid({{0, 0}}, 10.0);
+  EXPECT_TRUE(grid.WithinRadius({0, 0}, -1.0).empty());
+}
+
+TEST(SpatialGridTest, DuplicatePointsAllReported) {
+  SpatialGrid grid({{1, 1}, {1, 1}, {1, 1}}, 10.0);
+  EXPECT_EQ(grid.WithinRadius({1, 1}, 0.5).size(), 3u);
+}
+
+}  // namespace
+}  // namespace ctbus::graph

@@ -1,0 +1,51 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace ctbus::graph {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNew) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(3), 4);
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFindTest, ChainUnionAllConnected) {
+  const int n = 100;
+  UnionFind uf(n);
+  for (int i = 0; i + 1 < n; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_TRUE(uf.Connected(0, n - 1));
+  EXPECT_EQ(uf.SetSize(50), n);
+}
+
+TEST(UnionFindTest, EmptyStructure) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.num_sets(), 0);
+}
+
+}  // namespace
+}  // namespace ctbus::graph

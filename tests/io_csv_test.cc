@@ -1,0 +1,64 @@
+#include "io/csv.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace ctbus::io {
+namespace {
+
+TEST(CsvTest, ParseSimpleLine) {
+  const auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  const auto fields = ParseCsvLine(",,");
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ(fields->size(), 3u);
+  for (const auto& f : *fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvTest, ParseQuotedComma) {
+  const auto fields = ParseCsvLine(R"(a,"b,c",d)");
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ((*fields)[1], "b,c");
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  const auto fields = ParseCsvLine(R"("say ""hi""",x)");
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ((*fields)[0], R"(say "hi")");
+}
+
+TEST(CsvTest, ParseUnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine(R"(a,"broken)").has_value());
+}
+
+TEST(CsvTest, FormatRoundTrip) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           R"(with "quote")", " padded "};
+  const auto parsed = ParseCsvLine(FormatCsvLine(fields));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, fields);
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ctbus_csv_test.csv";
+  const std::vector<std::vector<std::string>> rows = {
+      {"h1", "h2"}, {"1", "x,y"}, {"2", ""}};
+  ASSERT_TRUE(WriteCsvFile(path, rows));
+  const auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.has_value());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadCsvFile("/nonexistent/definitely_not_here.csv")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace ctbus::io

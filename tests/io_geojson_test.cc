@@ -1,0 +1,79 @@
+#include "io/geojson.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+
+namespace ctbus::io {
+namespace {
+
+TEST(GeoJsonTest, EmptyCollection) {
+  GeoJsonWriter writer;
+  EXPECT_EQ(writer.ToString(),
+            R"({"type":"FeatureCollection","features":[]})");
+}
+
+TEST(GeoJsonTest, SinglePolyline) {
+  GeoJsonWriter writer;
+  writer.AddPolyline({{0, 0}, {100, 50}}, "test", "planned");
+  const std::string json = writer.ToString();
+  EXPECT_NE(json.find(R"("name":"test")"), std::string::npos);
+  EXPECT_NE(json.find(R"("kind":"planned")"), std::string::npos);
+  EXPECT_NE(json.find("[0.00,0.00],[100.00,50.00]"), std::string::npos);
+}
+
+TEST(GeoJsonTest, EscapesQuotesInNames) {
+  GeoJsonWriter writer;
+  writer.AddPolyline({{0, 0}, {1, 1}}, R"(a"b)", "kind");
+  EXPECT_NE(writer.ToString().find(R"(a\"b)"), std::string::npos);
+}
+
+TEST(GeoJsonTest, NetworkExportCounts) {
+  const gen::Dataset d = gen::MakeMidtown();
+  GeoJsonWriter writer;
+  writer.AddRoadNetwork(d.road);
+  EXPECT_EQ(writer.num_features(), d.road.graph().num_edges());
+  GeoJsonWriter transit_writer;
+  transit_writer.AddTransitNetwork(d.transit, /*include_routes=*/true);
+  EXPECT_EQ(transit_writer.num_features(),
+            d.transit.num_active_edges() + d.transit.num_active_routes());
+}
+
+TEST(GeoJsonTest, WriteFileProducesParseableSkeleton) {
+  const gen::Dataset d = gen::MakeMidtown();
+  GeoJsonWriter writer;
+  writer.AddTransitNetwork(d.transit, false);
+  const std::string path = ::testing::TempDir() + "/ctbus_net.geojson";
+  ASSERT_TRUE(writer.WriteFile(path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.find("{\"type\":\"FeatureCollection\""), 0u);
+  // Balanced braces (crude structural check).
+  int depth = 0;
+  bool ok = true;
+  for (char c : content) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ok = ok && depth >= 0;
+  }
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(depth, 0);
+  std::remove(path.c_str());
+}
+
+TEST(GeoJsonTest, PlannedRouteUsesStopPositions) {
+  const gen::Dataset d = gen::MakeMidtown();
+  GeoJsonWriter writer;
+  const auto& route = d.transit.route(0);
+  writer.AddPlannedRoute(d.transit, route.stops, "mu");
+  EXPECT_EQ(writer.num_features(), 1);
+  EXPECT_NE(writer.ToString().find(R"("kind":"planned")"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctbus::io

@@ -1,0 +1,92 @@
+#include "io/network_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+
+namespace ctbus::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(NetworkIoTest, RoadRoundTripPreservesEverything) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const std::string path = TempPath("road.tsv");
+  ASSERT_TRUE(SaveRoadNetwork(d.road, path));
+  const auto loaded = LoadRoadNetwork(path);
+  ASSERT_TRUE(loaded.has_value());
+  const auto& g0 = d.road.graph();
+  const auto& g1 = loaded->graph();
+  ASSERT_EQ(g0.num_vertices(), g1.num_vertices());
+  ASSERT_EQ(g0.num_edges(), g1.num_edges());
+  for (int v = 0; v < g0.num_vertices(); ++v) {
+    EXPECT_NEAR(g0.position(v).x, g1.position(v).x, 1e-6);
+    EXPECT_NEAR(g0.position(v).y, g1.position(v).y, 1e-6);
+  }
+  for (int e = 0; e < g0.num_edges(); ++e) {
+    EXPECT_EQ(g0.edge(e).u, g1.edge(e).u);
+    EXPECT_EQ(g0.edge(e).v, g1.edge(e).v);
+    EXPECT_NEAR(g0.edge(e).length, g1.edge(e).length, 1e-6);
+    EXPECT_EQ(d.road.trip_count(e), loaded->trip_count(e));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, TransitRoundTripPreservesTopology) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const std::string path = TempPath("transit.tsv");
+  ASSERT_TRUE(SaveTransitNetwork(d.transit, path));
+  const auto loaded = LoadTransitNetwork(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(d.transit.num_stops(), loaded->num_stops());
+  ASSERT_EQ(d.transit.num_edges(), loaded->num_edges());
+  ASSERT_EQ(d.transit.num_active_routes(), loaded->num_active_routes());
+  for (int s = 0; s < d.transit.num_stops(); ++s) {
+    EXPECT_EQ(d.transit.stop(s).road_vertex, loaded->stop(s).road_vertex);
+  }
+  for (int e = 0; e < d.transit.num_edges(); ++e) {
+    EXPECT_EQ(d.transit.edge(e).u, loaded->edge(e).u);
+    EXPECT_EQ(d.transit.edge(e).v, loaded->edge(e).v);
+    EXPECT_EQ(d.transit.edge(e).road_edges, loaded->edge(e).road_edges);
+    EXPECT_EQ(d.transit.EdgeActive(e), loaded->EdgeActive(e));
+  }
+  // Adjacency matrices agree.
+  const auto a0 = d.transit.AdjacencyMatrix();
+  const auto a1 = loaded->AdjacencyMatrix();
+  EXPECT_EQ(a0.num_entries(), a1.num_entries());
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, LoadRejectsMalformedFile) {
+  const std::string path = TempPath("garbage.tsv");
+  {
+    std::ofstream out(path);
+    out << "X\tthis\tis\tnot\tvalid\n";
+  }
+  EXPECT_FALSE(LoadRoadNetwork(path).has_value());
+  EXPECT_FALSE(LoadTransitNetwork(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadRoadNetwork("/nonexistent/road.tsv").has_value());
+  EXPECT_FALSE(LoadTransitNetwork("/nonexistent/transit.tsv").has_value());
+}
+
+TEST(NetworkIoTest, LoadRejectsTruncatedRecords) {
+  const std::string path = TempPath("truncated.tsv");
+  {
+    std::ofstream out(path);
+    out << "V\t0\t1.0\n";  // missing y
+  }
+  EXPECT_FALSE(LoadRoadNetwork(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ctbus::io

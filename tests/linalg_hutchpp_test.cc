@@ -1,0 +1,98 @@
+#include "linalg/hutchpp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_eigen.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/hutchinson.h"
+#include "linalg/rng.h"
+#include "linalg/sparse_matrix.h"
+
+namespace ctbus::linalg {
+namespace {
+
+SymmetricSparseMatrix RandomGraph(int n, double avg_degree, Rng* rng) {
+  SymmetricSparseMatrix a(n);
+  const int edges = static_cast<int>(n * avg_degree / 2.0);
+  for (int i = 0; i < edges; ++i) {
+    const int u = static_cast<int>(rng->NextIndex(n));
+    const int v = static_cast<int>(rng->NextIndex(n));
+    if (u != v) a.Set(u, v, 1.0);
+  }
+  return a;
+}
+
+double DenseTraceExp(const SymmetricSparseMatrix& a) {
+  const auto values = SymmetricEigenvalues(DenseMatrix::FromSparse(a));
+  double acc = 0.0;
+  for (double w : values) acc += std::exp(w);
+  return acc;
+}
+
+TEST(HutchPlusPlusTest, EstimatesTraceOnSparseGraph) {
+  Rng graph_rng(1);
+  const auto a = RandomGraph(120, 4.0, &graph_rng);
+  const double exact = DenseTraceExp(a);
+  Rng rng(7);
+  HutchPlusPlusOptions options;
+  options.probes = 48;
+  options.lanczos_steps = 12;
+  const double estimate = EstimateTraceExpHutchPlusPlus(a, options, &rng);
+  EXPECT_NEAR(estimate, exact, 0.05 * exact);
+}
+
+TEST(HutchPlusPlusTest, EmptyMatrixIsZero) {
+  SymmetricSparseMatrix a(0);
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(EstimateTraceExpHutchPlusPlus(a, {}, &rng), 0.0);
+}
+
+TEST(HutchPlusPlusTest, ZeroMatrixTraceIsN) {
+  // exp(0) = I: trace must be ~n; the sketch degenerates gracefully.
+  SymmetricSparseMatrix a(40);
+  Rng rng(2);
+  HutchPlusPlusOptions options;
+  options.probes = 30;
+  const double estimate = EstimateTraceExpHutchPlusPlus(a, options, &rng);
+  // Residual Hutchinson variance on the deflated identity is ~sqrt(6) per
+  // this budget; allow ~2.5 sigma.
+  EXPECT_NEAR(estimate, 40.0, 6.0);
+}
+
+TEST(HutchPlusPlusTest, BeatsPlainHutchinsonAtMatchedBudget) {
+  // Mean absolute error over several seeds must be lower than vanilla
+  // Hutchinson with the same number of exp(A)-vector products. This is the
+  // O(1/s) vs O(1/sqrt(s)) separation, visible already at s=36 because
+  // tr(e^A) is dominated by the top eigenvalues.
+  Rng graph_rng(3);
+  const auto a = RandomGraph(150, 5.0, &graph_rng);
+  const double exact = DenseTraceExp(a);
+  double err_hpp = 0.0;
+  double err_plain = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng1(100 + t);
+    HutchPlusPlusOptions options;
+    options.probes = 36;
+    options.lanczos_steps = 12;
+    err_hpp += std::abs(
+        EstimateTraceExpHutchPlusPlus(a, options, &rng1) - exact);
+    Rng rng2(100 + t);
+    err_plain += std::abs(EstimateTraceExp(a, 36, 12, &rng2) - exact);
+  }
+  EXPECT_LT(err_hpp, err_plain);
+}
+
+TEST(HutchPlusPlusTest, DeterministicGivenSeed) {
+  Rng graph_rng(4);
+  const auto a = RandomGraph(60, 4.0, &graph_rng);
+  Rng rng1(9);
+  Rng rng2(9);
+  EXPECT_DOUBLE_EQ(EstimateTraceExpHutchPlusPlus(a, {}, &rng1),
+                   EstimateTraceExpHutchPlusPlus(a, {}, &rng2));
+}
+
+}  // namespace
+}  // namespace ctbus::linalg

@@ -1,0 +1,288 @@
+#include "linalg/lanczos.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_eigen.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/rng.h"
+#include "linalg/sparse_matrix.h"
+#include "linalg/vector_ops.h"
+
+namespace ctbus::linalg {
+namespace {
+
+// Random sparse graph adjacency with unit weights and ~avg_degree per vertex.
+SymmetricSparseMatrix RandomGraph(int n, double avg_degree, Rng* rng) {
+  SymmetricSparseMatrix a(n);
+  const int edges = static_cast<int>(n * avg_degree / 2.0);
+  for (int i = 0; i < edges; ++i) {
+    const int u = static_cast<int>(rng->NextIndex(n));
+    const int v = static_cast<int>(rng->NextIndex(n));
+    if (u != v) a.Set(u, v, 1.0);
+  }
+  return a;
+}
+
+// exp(A) v via the dense eigendecomposition (ground truth).
+std::vector<double> DenseExpApply(const SymmetricSparseMatrix& a,
+                                  const std::vector<double>& v) {
+  const DenseMatrix dense = DenseMatrix::FromSparse(a);
+  const auto eig = SymmetricEigen(dense, /*compute_vectors=*/true);
+  const int n = a.dim();
+  std::vector<double> out(n, 0.0);
+  for (int j = 0; j < n; ++j) {
+    const auto col = eig.eigenvectors.Column(j);
+    const double coef = std::exp(eig.eigenvalues[j]) * Dot(col, v);
+    Axpy(coef, col, &out);
+  }
+  return out;
+}
+
+double DenseTraceExp(const SymmetricSparseMatrix& a) {
+  const auto values = SymmetricEigenvalues(DenseMatrix::FromSparse(a));
+  double acc = 0.0;
+  for (double w : values) acc += std::exp(w);
+  return acc;
+}
+
+TEST(LanczosTest, TridiagonalizeRecoversSpectrumOfSmallMatrix) {
+  // On an n-dimensional space, n full-reorthogonalized steps give T with
+  // exactly A's spectrum.
+  Rng rng(5);
+  SymmetricSparseMatrix a(6);
+  a.Set(0, 1, 1.0);
+  a.Set(1, 2, 1.0);
+  a.Set(2, 3, 1.0);
+  a.Set(3, 4, 1.0);
+  a.Set(4, 5, 1.0);
+  a.Set(5, 0, 1.0);  // cycle C6: eigenvalues 2cos(2 pi k / 6)
+  std::vector<double> v0(6);
+  FillGaussian(&rng, &v0);
+  LanczosOptions options;
+  options.steps = 6;
+  options.full_reorthogonalize = true;
+  const auto lanczos = LanczosTridiagonalize(a, v0, options);
+  const auto tri =
+      TridiagonalEigen(lanczos.alpha, lanczos.beta, /*compute_vectors=*/false);
+  const auto exact = SymmetricEigenvalues(DenseMatrix::FromSparse(a));
+  // C6 has repeated eigenvalues; Lanczos from one vector finds each distinct
+  // eigenvalue. Verify every Ritz value is an exact eigenvalue.
+  for (double ritz : tri.eigenvalues) {
+    double best = 1e9;
+    for (double ev : exact) best = std::min(best, std::abs(ritz - ev));
+    EXPECT_LT(best, 1e-8);
+  }
+}
+
+TEST(LanczosTest, BasisIsOrthonormal) {
+  Rng rng(8);
+  const auto a = RandomGraph(60, 4.0, &rng);
+  std::vector<double> v0(60);
+  FillGaussian(&rng, &v0);
+  LanczosOptions options;
+  options.steps = 20;
+  options.full_reorthogonalize = true;
+  const auto lanczos = LanczosTridiagonalize(a, v0, options);
+  for (std::size_t i = 0; i < lanczos.basis.size(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double d = Dot(lanczos.basis[i], lanczos.basis[j]);
+      EXPECT_NEAR(d, i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(LanczosTest, ZeroStartVectorBreaksDownGracefully) {
+  SymmetricSparseMatrix a(4);
+  a.Set(0, 1, 1.0);
+  const std::vector<double> v0(4, 0.0);
+  LanczosOptions options;
+  options.steps = 3;
+  const auto lanczos = LanczosTridiagonalize(a, v0, options);
+  EXPECT_TRUE(lanczos.broke_down);
+  ASSERT_EQ(lanczos.alpha.size(), 1u);
+  EXPECT_DOUBLE_EQ(lanczos.alpha[0], 0.0);
+}
+
+TEST(LanczosTest, ExpApplyMatchesDenseGroundTruth) {
+  Rng rng(21);
+  const auto a = RandomGraph(50, 4.0, &rng);
+  std::vector<double> v(50);
+  FillGaussian(&rng, &v);
+  const auto approx = LanczosExpApply(a, v, 30);
+  const auto exact = DenseExpApply(a, v);
+  std::vector<double> diff = exact;
+  Axpy(-1.0, approx, &diff);
+  EXPECT_LT(Norm2(diff), 1e-6 * Norm2(exact));
+}
+
+TEST(LanczosTest, ExpApplyTenStepsIsAccurateOnSparseGraph) {
+  // The paper uses t = 10; relative error should be far below 1% since
+  // ||A||_2 is small for sparse planar-ish graphs.
+  Rng rng(22);
+  const auto a = RandomGraph(80, 3.0, &rng);
+  std::vector<double> v(80);
+  FillGaussian(&rng, &v);
+  const auto approx = LanczosExpApply(a, v, 10);
+  const auto exact = DenseExpApply(a, v);
+  std::vector<double> diff = exact;
+  Axpy(-1.0, approx, &diff);
+  EXPECT_LT(Norm2(diff), 1e-2 * Norm2(exact));
+}
+
+TEST(LanczosTest, ExpApplyZeroVector) {
+  SymmetricSparseMatrix a(5);
+  a.Set(0, 1, 1.0);
+  const auto out = LanczosExpApply(a, std::vector<double>(5, 0.0), 5);
+  for (double x : out) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(LanczosTest, ExpApplyOnEmptyGraphIsIdentityTimesE) {
+  // A = 0 => exp(A) = I... actually exp(0) = I so exp(A)v = v.
+  SymmetricSparseMatrix a(4);
+  const std::vector<double> v = {1.0, -2.0, 0.5, 3.0};
+  const auto out = LanczosExpApply(a, v, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(out[i], v[i], 1e-12);
+}
+
+TEST(LanczosTest, QuadratureMatchesExplicitForm) {
+  Rng rng(23);
+  const auto a = RandomGraph(40, 4.0, &rng);
+  std::vector<double> v(40);
+  FillGaussian(&rng, &v);
+  const double quad = LanczosExpQuadrature(a, v, 25);
+  const auto exact = DenseExpApply(a, v);
+  EXPECT_NEAR(quad, Dot(v, exact), 1e-6 * std::abs(Dot(v, exact)));
+}
+
+TEST(LanczosTest, QuadratureZeroVectorIsZero) {
+  SymmetricSparseMatrix a(5);
+  a.Set(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(LanczosExpQuadrature(a, std::vector<double>(5, 0.0), 5),
+                   0.0);
+}
+
+TEST(LanczosTest, TopEigenvaluesMatchDense) {
+  Rng rng(44);
+  const auto a = RandomGraph(70, 5.0, &rng);
+  const auto exact = SymmetricEigenvalues(DenseMatrix::FromSparse(a));
+  Rng eig_rng(7);
+  const auto top = TopEigenvalues(a, 5, 60, &eig_rng);
+  ASSERT_EQ(top.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(top[i], exact[exact.size() - 1 - i], 1e-6);
+  }
+  // Descending order.
+  for (int i = 0; i + 1 < 5; ++i) EXPECT_GE(top[i], top[i + 1] - 1e-12);
+}
+
+TEST(LanczosTest, TopEigenvaluesKZero) {
+  SymmetricSparseMatrix a(5);
+  Rng rng(1);
+  EXPECT_TRUE(TopEigenvalues(a, 0, 10, &rng).empty());
+}
+
+TEST(LanczosTest, TopEigenvaluesKLargerThanDim) {
+  SymmetricSparseMatrix a(3);
+  a.Set(0, 1, 1.0);
+  a.Set(1, 2, 1.0);
+  Rng rng(2);
+  const auto top = TopEigenvalues(a, 10, 10, &rng);
+  EXPECT_EQ(top.size(), 3u);
+}
+
+TEST(LanczosTest, TopEigenpairsMatchDenseDecomposition) {
+  Rng rng(55);
+  const auto a = RandomGraph(60, 5.0, &rng);
+  const auto exact =
+      SymmetricEigen(DenseMatrix::FromSparse(a), /*compute_vectors=*/true);
+  Rng eig_rng(6);
+  const auto pairs = TopEigenpairs(a, 4, 55, &eig_rng);
+  ASSERT_EQ(pairs.eigenvalues.size(), 4u);
+  ASSERT_EQ(pairs.eigenvectors.size(), 4u);
+  const int n = a.dim();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(pairs.eigenvalues[i],
+                exact.eigenvalues[exact.eigenvalues.size() - 1 - i], 1e-6);
+    // Ritz vector must satisfy A z = lambda z.
+    std::vector<double> az(n);
+    a.Apply(pairs.eigenvectors[i], &az);
+    for (int row = 0; row < n; ++row) {
+      EXPECT_NEAR(az[row], pairs.eigenvalues[i] * pairs.eigenvectors[i][row],
+                  1e-5);
+    }
+    EXPECT_NEAR(Norm2(pairs.eigenvectors[i]), 1.0, 1e-9);
+  }
+}
+
+TEST(LanczosTest, TopEigenpairsOrthogonal) {
+  Rng rng(56);
+  const auto a = RandomGraph(50, 4.0, &rng);
+  Rng eig_rng(7);
+  const auto pairs = TopEigenpairs(a, 5, 45, &eig_rng);
+  for (std::size_t i = 0; i < pairs.eigenvectors.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_NEAR(Dot(pairs.eigenvectors[i], pairs.eigenvectors[j]), 0.0,
+                  1e-6);
+    }
+  }
+}
+
+TEST(LanczosTest, TopEigenpairsEmptyRequests) {
+  SymmetricSparseMatrix a(5);
+  a.Set(0, 1, 1.0);
+  Rng rng(1);
+  EXPECT_TRUE(TopEigenpairs(a, 0, 10, &rng).eigenvalues.empty());
+  SymmetricSparseMatrix empty(0);
+  EXPECT_TRUE(TopEigenpairs(empty, 3, 10, &rng).eigenvalues.empty());
+}
+
+TEST(LanczosTest, SpectralNormEstimateMatchesDense) {
+  Rng rng(66);
+  const auto a = RandomGraph(60, 4.0, &rng);
+  const auto exact = SymmetricEigenvalues(DenseMatrix::FromSparse(a));
+  const double norm_exact =
+      std::max(std::abs(exact.front()), std::abs(exact.back()));
+  Rng est_rng(3);
+  EXPECT_NEAR(SpectralNormEstimate(a, 40, &est_rng), norm_exact, 1e-6);
+}
+
+// Property sweep: Lanczos exp quadrature error decays with steps across
+// different graph densities.
+class LanczosConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(LanczosConvergenceTest, ErrorDecaysMonotonicallyInSteps) {
+  const auto [n, degree] = GetParam();
+  Rng rng(500 + n);
+  const auto a = RandomGraph(n, degree, &rng);
+  std::vector<double> v(n);
+  FillGaussian(&rng, &v);
+  const auto exact_vec = DenseExpApply(a, v);
+  const double exact = Dot(v, exact_vec);
+  double err_small = std::abs(LanczosExpQuadrature(a, v, 4) - exact);
+  double err_large = std::abs(LanczosExpQuadrature(a, v, 16) - exact);
+  EXPECT_LE(err_large, err_small + 1e-9);
+  EXPECT_LT(err_large, 1e-6 * std::abs(exact) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphFamilies, LanczosConvergenceTest,
+    ::testing::Combine(::testing::Values(20, 40, 80),
+                       ::testing::Values(2.0, 4.0, 8.0)));
+
+TEST(LanczosTest, DenseTraceExpSanity) {
+  // Cross-check helper used in other tests: C4 cycle eigenvalues 2,0,0,-2.
+  SymmetricSparseMatrix a(4);
+  a.Set(0, 1, 1.0);
+  a.Set(1, 2, 1.0);
+  a.Set(2, 3, 1.0);
+  a.Set(3, 0, 1.0);
+  const double expected = std::exp(2.0) + 2.0 + std::exp(-2.0);
+  EXPECT_NEAR(DenseTraceExp(a), expected, 1e-10);
+}
+
+}  // namespace
+}  // namespace ctbus::linalg

@@ -1,0 +1,123 @@
+#include "linalg/sparse_matrix.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/dense_matrix.h"
+#include "linalg/rng.h"
+
+namespace ctbus::linalg {
+namespace {
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SymmetricSparseMatrix m;
+  EXPECT_EQ(m.dim(), 0);
+  EXPECT_EQ(m.num_entries(), 0);
+}
+
+TEST(SparseMatrixTest, SetStoresSymmetrically) {
+  SymmetricSparseMatrix m(4);
+  m.Set(0, 2, 3.5);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 3.5);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 3.5);
+  EXPECT_EQ(m.num_entries(), 1);
+}
+
+TEST(SparseMatrixTest, SetOverwrites) {
+  SymmetricSparseMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(1, 0, 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.num_entries(), 1);
+}
+
+TEST(SparseMatrixTest, AddCreatesAndAccumulates) {
+  SymmetricSparseMatrix m(3);
+  m.Add(0, 1, 1.5);
+  m.Add(0, 1, 1.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 3.0);
+  EXPECT_EQ(m.num_entries(), 1);
+}
+
+TEST(SparseMatrixTest, RemoveExistingEntry) {
+  SymmetricSparseMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(1, 2, 2.0);
+  EXPECT_TRUE(m.Remove(0, 1));
+  EXPECT_FALSE(m.Contains(0, 1));
+  EXPECT_FALSE(m.Contains(1, 0));
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 2.0);
+  EXPECT_EQ(m.num_entries(), 1);
+}
+
+TEST(SparseMatrixTest, RemoveMissingEntryReturnsFalse) {
+  SymmetricSparseMatrix m(3);
+  EXPECT_FALSE(m.Remove(0, 1));
+}
+
+TEST(SparseMatrixTest, AtMissingIsZero) {
+  SymmetricSparseMatrix m(3);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+}
+
+TEST(SparseMatrixTest, RowDegreeCounts) {
+  SymmetricSparseMatrix m(4);
+  m.Set(0, 1, 1.0);
+  m.Set(0, 2, 1.0);
+  m.Set(0, 3, 1.0);
+  EXPECT_EQ(m.RowDegree(0), 3);
+  EXPECT_EQ(m.RowDegree(1), 1);
+}
+
+TEST(SparseMatrixTest, ApplyMatchesManualProduct) {
+  SymmetricSparseMatrix m(3);
+  m.Set(0, 1, 2.0);
+  m.Set(1, 2, -1.0);
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  std::vector<double> y(3);
+  m.Apply(x, &y);
+  // A = [[0,2,0],[2,0,-1],[0,-1,0]]
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -2.0);
+}
+
+TEST(SparseMatrixTest, ApplyMatchesDenseOnRandomGraph) {
+  Rng rng(99);
+  const int n = 40;
+  SymmetricSparseMatrix sparse(n);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int u = static_cast<int>(rng.NextIndex(n));
+    const int v = static_cast<int>(rng.NextIndex(n));
+    if (u == v) continue;
+    sparse.Set(u, v, rng.NextDouble(-2.0, 2.0));
+  }
+  const DenseMatrix dense = DenseMatrix::FromSparse(sparse);
+  std::vector<double> x(n);
+  for (double& val : x) val = rng.NextGaussian();
+  std::vector<double> ys(n), yd(n);
+  sparse.Apply(x, &ys);
+  dense.Apply(x, &yd);
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+}
+
+TEST(SparseMatrixTest, SpectralNormUpperBoundDominates) {
+  // For the path graph P3, ||A||_2 = sqrt(2) ~ 1.414; inf-norm bound is 2.
+  SymmetricSparseMatrix m(3);
+  m.Set(0, 1, 1.0);
+  m.Set(1, 2, 1.0);
+  EXPECT_DOUBLE_EQ(m.SpectralNormUpperBound(), 2.0);
+}
+
+TEST(SparseMatrixTest, DenseFromSparseRoundTrip) {
+  SymmetricSparseMatrix m(3);
+  m.Set(0, 1, 5.0);
+  const DenseMatrix d = DenseMatrix::FromSparse(m);
+  EXPECT_DOUBLE_EQ(d.At(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d.At(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d.At(2, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace ctbus::linalg
