@@ -1,0 +1,97 @@
+// Serving-layer throughput: queries/sec of the PlanningService worker pool
+// at 1, 4, and hardware-concurrency threads over the ChicagoLike preset,
+// with a warmed precompute cache (steady-state serving, not cold start).
+//
+// Environment knobs:
+//   CTBUS_SCALE             dataset scale (default 1.0)
+//   CTBUS_SERVICE_REQUESTS  requests per configuration (default 24)
+#include <algorithm>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "service/planning_service.h"
+
+namespace {
+
+using ctbus::service::PlanRequest;
+using ctbus::service::PlanningService;
+using ctbus::service::ServiceOptions;
+using ctbus::service::ServiceResult;
+
+ctbus::core::CtBusOptions QueryOptions() {
+  ctbus::core::CtBusOptions options = ctbus::bench::BenchOptions();
+  options.k = 12;
+  options.seed_count = 800;
+  options.max_iterations = 4000;
+  return options;
+}
+
+/// Runs `num_requests` identical ETA-Pre queries through a fresh pool of
+/// `num_threads` workers and returns queries/sec (excluding the warmup
+/// request that populates the precompute cache).
+double MeasureThroughput(const ctbus::gen::Dataset& city, int num_threads,
+                         int num_requests, double* check_sum) {
+  ServiceOptions service_options;
+  service_options.num_threads = num_threads;
+  service_options.queue_capacity = static_cast<std::size_t>(num_requests) + 1;
+  PlanningService service(service_options);
+  service.RegisterDataset(city.name, city.road, city.transit);
+
+  PlanRequest request;
+  request.dataset = city.name;
+  request.options = QueryOptions();
+  request.planner = ctbus::core::Planner::kEtaPre;
+
+  // Warm the cache: steady-state serving amortizes the precompute.
+  service.Plan(request);
+
+  ctbus::bench::Timer timer;
+  std::vector<std::future<ServiceResult>> futures;
+  futures.reserve(num_requests);
+  for (int i = 0; i < num_requests; ++i) {
+    futures.push_back(service.Submit(request));
+  }
+  double sum = 0.0;
+  for (auto& future : futures) {
+    sum += future.get().plan.objective;
+  }
+  const double seconds = timer.Seconds();
+  if (check_sum != nullptr) *check_sum = sum;
+  return num_requests / seconds;
+}
+
+}  // namespace
+
+int main() {
+  ctbus::bench::PrintHeader(
+      "service throughput",
+      "serving layer (not in the paper): pool scaling of ETA-Pre queries");
+  const int num_requests = static_cast<int>(
+      ctbus::bench::GetEnvDouble("CTBUS_SERVICE_REQUESTS", 24));
+  const ctbus::gen::Dataset city =
+      ctbus::gen::MakeChicagoLike(ctbus::bench::GetScale());
+  ctbus::bench::PrintDataset(city);
+
+  const int hardware = std::max(1u, std::thread::hardware_concurrency());
+  std::vector<int> thread_counts = {1, 4};
+  if (hardware != 1 && hardware != 4) thread_counts.push_back(hardware);
+
+  std::printf("\n%8s %12s %10s %10s\n", "threads", "queries/s", "speedup",
+              "checksum");
+  double baseline = 0.0;
+  for (int threads : thread_counts) {
+    double check_sum = 0.0;
+    const double qps =
+        MeasureThroughput(city, threads, num_requests, &check_sum);
+    if (threads == 1) baseline = qps;
+    std::printf("%8d %12.2f %9.2fx %10.4f%s\n", threads, qps,
+                baseline > 0.0 ? qps / baseline : 1.0, check_sum,
+                threads == hardware ? "  (hardware)" : "");
+  }
+  std::printf("\nidentical checksums certify the concurrent results match "
+              "the serial ones.\n");
+  return 0;
+}

@@ -12,7 +12,7 @@
 
 namespace ctbus::core {
 
-PlanResult RunVkTsp(PlanningContext* context) {
+PlanResult RunVkTsp(const PlanningContext* context) {
   // The baseline is Algorithm 1 with w = 1 and new edges only
   // (Section 7.2.1). A sibling context is derived from the caller's
   // pre-computation (same universe and Delta(e)); only the weight and the
@@ -22,7 +22,7 @@ PlanResult RunVkTsp(PlanningContext* context) {
   options.new_edges_only = true;
   PlanningContext baseline_context = PlanningContext::BuildWithPrecompute(
       context->road(), context->transit(), options,
-      context->ExportPrecompute());
+      context->SharePrecompute());
   PlanResult result = RunEta(&baseline_context, SearchMode::kPrecomputed);
   // Score the baseline's route under the caller's objective (the paper's
   // Table 6 reports all methods under the same weighted objective).
@@ -33,7 +33,7 @@ PlanResult RunVkTsp(PlanningContext* context) {
   return result;
 }
 
-ConnectivityFirstResult RunConnectivityFirst(PlanningContext* context,
+ConnectivityFirstResult RunConnectivityFirst(const PlanningContext* context,
                                              int l, int rescore_pool) {
   assert(l >= 1);
   const EdgeUniverse& universe = context->universe();

@@ -19,7 +19,7 @@ namespace ctbus::core {
 /// restricts the search to new edges; everything else follows the
 /// configuration in the context's options. Runs in precomputed mode (the
 /// baseline needs no connectivity evaluation at all).
-PlanResult RunVkTsp(PlanningContext* context);
+PlanResult RunVkTsp(const PlanningContext* context);
 
 /// Result of the connectivity-first greedy edge augmentation.
 struct ConnectivityFirstResult {
@@ -45,8 +45,8 @@ struct ConnectivityFirstResult {
 /// Greedy augmentation of [22]: pick `l` discrete new edges one at a time,
 /// each maximizing the marginal connectivity increment. Marginal gains are
 /// re-estimated over the `rescore_pool` current best candidates per round.
-ConnectivityFirstResult RunConnectivityFirst(PlanningContext* context, int l,
-                                             int rescore_pool = 48);
+ConnectivityFirstResult RunConnectivityFirst(const PlanningContext* context,
+                                             int l, int rescore_pool = 48);
 
 }  // namespace ctbus::core
 

@@ -27,7 +27,7 @@ struct QueueEntry {
 // evaluation and bound machinery.
 class EtaSearch {
  public:
-  EtaSearch(PlanningContext* ctx, SearchMode mode)
+  EtaSearch(const PlanningContext* ctx, SearchMode mode)
       : ctx_(ctx),
         mode_(mode),
         options_(ctx->options()),
@@ -237,7 +237,7 @@ class EtaSearch {
         ctx_->Objective(result_.demand, result_.connectivity_increment);
   }
 
-  PlanningContext* ctx_;
+  const PlanningContext* ctx_;
   SearchMode mode_;
   const CtBusOptions& options_;
   demand::IncrementalDemandBound bound_;
@@ -251,7 +251,7 @@ class EtaSearch {
 
 }  // namespace
 
-PlanResult RunEta(PlanningContext* context, SearchMode mode) {
+PlanResult RunEta(const PlanningContext* context, SearchMode mode) {
   return EtaSearch(context, mode).Run();
 }
 

@@ -49,8 +49,10 @@ struct PlanResult {
 };
 
 /// Runs the search over a prepared context. The context is mutated only
-/// through its scratch adjacency (restored after every estimate).
-PlanResult RunEta(PlanningContext* context, SearchMode mode);
+/// through its scratch adjacency (restored after every estimate), so a
+/// const context suffices — but one context must not serve two concurrent
+/// searches.
+PlanResult RunEta(const PlanningContext* context, SearchMode mode);
 
 }  // namespace ctbus::core
 

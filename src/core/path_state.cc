@@ -28,7 +28,7 @@ bool CandidatePath::CanExtend(const EdgeUniverse& universe,
   // Circle-free in the transit network: the far stop may not be revisited,
   // except to close a loop back to the opposite end of the path.
   const int opposite = at_stop == end_stop() ? begin_stop() : end_stop();
-  if (visited_stops_.contains(far) && !(far == opposite && num_edges() >= 2)) {
+  if ((visited_stops_.count(far) > 0) && !(far == opposite && num_edges() >= 2)) {
     return false;
   }
   // Edge reuse (also covers the 1-edge path closing onto itself).
@@ -37,7 +37,7 @@ bool CandidatePath::CanExtend(const EdgeUniverse& universe,
   }
   // Circle-free in the road network: no road edge crossed twice.
   for (int re : e.road_edges) {
-    if (used_road_edges_.contains(re)) return false;
+    if ((used_road_edges_.count(re) > 0)) return false;
   }
   return true;
 }
@@ -69,7 +69,7 @@ void CandidatePath::Extend(const EdgeUniverse& universe,
     edges_.insert(edges_.begin(), edge);
     stops_.insert(stops_.begin(), far);
   }
-  if (visited_stops_.contains(far)) {
+  if ((visited_stops_.count(far) > 0)) {
     closed_ = true;  // loop closure back to the opposite end
   }
   visited_stops_.insert(far);

@@ -8,20 +8,11 @@
 #include "connectivity/bounds.h"
 #include "connectivity/edge_increment.h"
 #include "connectivity/perturbation.h"
+#include "core/timing.h"
 #include "linalg/lanczos.h"
 #include "linalg/rng.h"
 
 namespace ctbus::core {
-
-namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 Precompute PlanningContext::RunPrecompute(
     const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
@@ -81,13 +72,22 @@ PlanningContext PlanningContext::Build(const graph::RoadNetwork& road,
 PlanningContext PlanningContext::BuildWithPrecompute(
     const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
     const CtBusOptions& options, Precompute precompute) {
+  return BuildWithPrecompute(
+      road, transit, options,
+      std::make_shared<const Precompute>(std::move(precompute)));
+}
+
+PlanningContext PlanningContext::BuildWithPrecompute(
+    const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
+    const CtBusOptions& options,
+    std::shared_ptr<const Precompute> precompute) {
   PlanningContext ctx;
   ctx.road_ = &road;
   ctx.transit_ = &transit;
   ctx.options_ = options;
-  ctx.universe_ = std::move(precompute.universe);
-  ctx.increments_ = std::move(precompute.increments);
-  ctx.precompute_stats_ = precompute.stats;
+  ctx.precompute_ = std::move(precompute);
+  const EdgeUniverse& universe = ctx.precompute_->universe;
+  const std::vector<double>& increments = ctx.precompute_->increments;
 
   // Shared estimator + base connectivity.
   ctx.scratch_adjacency_ = transit.AdjacencyMatrix();
@@ -96,16 +96,16 @@ PlanningContext PlanningContext::BuildWithPrecompute(
   ctx.base_lambda_ = ctx.estimator_->Estimate(ctx.scratch_adjacency_);
 
   // Ranked lists and Equation 12 normalization.
-  ctx.demand_list_ = demand::RankedList(ctx.universe_.DemandScores());
-  ctx.increment_list_ = demand::RankedList(ctx.increments_);
+  ctx.demand_list_ = demand::RankedList(universe.DemandScores());
+  ctx.increment_list_ = demand::RankedList(increments);
   ctx.d_max_ = std::max(ctx.demand_list_.TopSum(options.k), 1e-12);
   ctx.lambda_max_ = std::max(ctx.increment_list_.TopSum(options.k), 1e-12);
 
   // Integrated per-edge objective scores L_e (Equation 11).
-  std::vector<double> objective_scores(ctx.universe_.num_edges());
-  for (int e = 0; e < ctx.universe_.num_edges(); ++e) {
+  std::vector<double> objective_scores(universe.num_edges());
+  for (int e = 0; e < universe.num_edges(); ++e) {
     objective_scores[e] =
-        ctx.Objective(ctx.universe_.edge(e).demand, ctx.increments_[e]);
+        ctx.Objective(universe.edge(e).demand, increments[e]);
   }
   ctx.objective_list_ = demand::RankedList(std::move(objective_scores));
 
@@ -125,11 +125,11 @@ double PlanningContext::Objective(double demand,
 }
 
 double PlanningContext::OnlineConnectivityIncrement(
-    const std::vector<int>& path_edges) {
+    const std::vector<int>& path_edges) const {
   // Add the path's new edges, estimate, restore.
   std::vector<std::pair<int, int>> added;
   for (int e : path_edges) {
-    const PlannableEdge& edge = universe_.edge(e);
+    const PlannableEdge& edge = precompute_->universe.edge(e);
     if (!edge.is_new) continue;
     if (scratch_adjacency_.Contains(edge.u, edge.v)) continue;
     scratch_adjacency_.Set(edge.u, edge.v, 1.0);
@@ -144,7 +144,7 @@ double PlanningContext::OnlineConnectivityIncrement(
 double PlanningContext::LinearConnectivityIncrement(
     const std::vector<int>& path_edges) const {
   double total = 0.0;
-  for (int e : path_edges) total += increments_[e];
+  for (int e : path_edges) total += precompute_->increments[e];
   return total;
 }
 

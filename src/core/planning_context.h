@@ -49,17 +49,25 @@ class PlanningContext {
                                const graph::TransitNetwork& transit,
                                const CtBusOptions& options);
 
-  /// Builds a context around an existing pre-computation (copied in).
+  /// Builds a context around an existing pre-computation (moved in).
   /// The precompute must have been produced for the same (road, transit,
   /// tau); only k / w / Tn / sn / estimator seeds may differ.
   static PlanningContext BuildWithPrecompute(
       const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
       const CtBusOptions& options, Precompute precompute);
 
+  /// Shares an existing pre-computation without copying it — the context
+  /// keeps the shared_ptr alive and reads the universe / increments in
+  /// place. This is the hot path of the serving layer's cache hits.
+  static PlanningContext BuildWithPrecompute(
+      const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
+      const CtBusOptions& options,
+      std::shared_ptr<const Precompute> precompute);
+
   const graph::RoadNetwork& road() const { return *road_; }
   const graph::TransitNetwork& transit() const { return *transit_; }
   const CtBusOptions& options() const { return options_; }
-  const EdgeUniverse& universe() const { return universe_; }
+  const EdgeUniverse& universe() const { return precompute_->universe; }
 
   /// L_d, L_lambda, L_e over universe edge ids.
   const demand::RankedList& demand_list() const { return demand_list_; }
@@ -67,7 +75,9 @@ class PlanningContext {
   const demand::RankedList& objective_list() const { return objective_list_; }
 
   /// Delta(e) per universe edge (0 for existing edges).
-  const std::vector<double>& increments() const { return increments_; }
+  const std::vector<double>& increments() const {
+    return precompute_->increments;
+  }
 
   /// Normalization constants of Equation 12.
   double d_max() const { return d_max_; }
@@ -87,12 +97,18 @@ class PlanningContext {
     return top_eigenvalues_;
   }
 
-  const PrecomputeStats& precompute_stats() const { return precompute_stats_; }
+  const PrecomputeStats& precompute_stats() const {
+    return precompute_->stats;
+  }
 
   /// Copies out this context's pre-computation for reuse in sibling
-  /// contexts (different k / w / Tn / sn over the same networks).
-  Precompute ExportPrecompute() const {
-    return {universe_, increments_, precompute_stats_};
+  /// contexts (different k / w / Tn / sn over the same networks). Prefer
+  /// SharePrecompute when a copy is not required.
+  Precompute ExportPrecompute() const { return *precompute_; }
+
+  /// Shares this context's pre-computation without copying.
+  std::shared_ptr<const Precompute> SharePrecompute() const {
+    return precompute_;
   }
 
   /// Normalized objective (Equation 3) from raw demand and connectivity
@@ -101,9 +117,10 @@ class PlanningContext {
 
   /// Online connectivity increment of a path's *new* edges, evaluated with
   /// the shared estimator against the base network (the Lanczos call on
-  /// lines 10/13 of Algorithm 1). Thread-compatible: mutates and restores
-  /// the internal scratch matrix.
-  double OnlineConnectivityIncrement(const std::vector<int>& path_edges);
+  /// lines 10/13 of Algorithm 1). Const but NOT thread-safe per context:
+  /// it mutates and restores the internal scratch matrix, so concurrent
+  /// planners must each own a context (see service/planning_service.h).
+  double OnlineConnectivityIncrement(const std::vector<int>& path_edges) const;
 
   /// Linearized connectivity increment: sum of Delta(e) over the path's
   /// edges (ETA-Pre's surrogate).
@@ -119,18 +136,16 @@ class PlanningContext {
   const graph::RoadNetwork* road_ = nullptr;
   const graph::TransitNetwork* transit_ = nullptr;
   CtBusOptions options_;
-  EdgeUniverse universe_;
+  std::shared_ptr<const Precompute> precompute_;
   demand::RankedList demand_list_;
   demand::RankedList increment_list_;
   demand::RankedList objective_list_;
-  std::vector<double> increments_;
   std::unique_ptr<connectivity::ConnectivityEstimator> estimator_;
-  linalg::SymmetricSparseMatrix scratch_adjacency_;
+  mutable linalg::SymmetricSparseMatrix scratch_adjacency_;
   double base_lambda_ = 0.0;
   std::vector<double> top_eigenvalues_;
   double d_max_ = 1.0;
   double lambda_max_ = 1.0;
-  PrecomputeStats precompute_stats_;
 };
 
 }  // namespace ctbus::core

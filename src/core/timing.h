@@ -1,0 +1,17 @@
+// Shared wall-clock helper for phase timing.
+#ifndef CTBUS_CORE_TIMING_H_
+#define CTBUS_CORE_TIMING_H_
+
+#include <chrono>
+
+namespace ctbus::core {
+
+inline double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace ctbus::core
+
+#endif  // CTBUS_CORE_TIMING_H_

@@ -43,7 +43,7 @@ double IncrementalDemandBound::RescanBound(
   for (int e : path_edges) bound += list_->ValueOf(e);
   int remaining = k_ - static_cast<int>(path_edges.size());
   for (int rank = 0; rank < list_->size() && remaining > 0; ++rank) {
-    if (in_path.contains(list_->EdgeAtRank(rank))) continue;
+    if (in_path.count(list_->EdgeAtRank(rank)) > 0) continue;
     bound += list_->ValueAtRank(rank);
     --remaining;
   }

@@ -1,7 +1,10 @@
 #include "gen/datasets.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <iterator>
+#include <stdexcept>
 #include <utility>
 
 #include "gen/city_generator.h"
@@ -219,6 +222,54 @@ std::string BoroughName(Borough borough) {
       return "Bronx";
   }
   return "unknown";
+}
+
+namespace {
+
+// Single source of truth for the preset registry: DatasetNames,
+// HasDataset, and MakeDatasetByName all read this table.
+struct PresetEntry {
+  const char* name;
+  Dataset (*make)(double scale);
+};
+
+constexpr PresetEntry kPresets[] = {
+    {"midtown", [](double) { return MakeMidtown(); }},
+    {"chicago", [](double scale) { return MakeChicagoLike(scale); }},
+    {"nyc", [](double scale) { return MakeNycLike(scale); }},
+    {"manhattan",
+     [](double scale) { return MakeBorough(Borough::kManhattan, scale); }},
+    {"queens",
+     [](double scale) { return MakeBorough(Borough::kQueens, scale); }},
+    {"brooklyn",
+     [](double scale) { return MakeBorough(Borough::kBrooklyn, scale); }},
+    {"staten_island",
+     [](double scale) { return MakeBorough(Borough::kStatenIsland, scale); }},
+    {"bronx",
+     [](double scale) { return MakeBorough(Borough::kBronx, scale); }},
+};
+
+}  // namespace
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names;
+  names.reserve(std::size(kPresets));
+  for (const PresetEntry& preset : kPresets) names.push_back(preset.name);
+  return names;
+}
+
+bool HasDataset(const std::string& name) {
+  for (const PresetEntry& preset : kPresets) {
+    if (name == preset.name) return true;
+  }
+  return false;
+}
+
+Dataset MakeDatasetByName(const std::string& name, double scale) {
+  for (const PresetEntry& preset : kPresets) {
+    if (name == preset.name) return preset.make(scale);
+  }
+  throw std::invalid_argument("unknown dataset preset: " + name);
 }
 
 }  // namespace ctbus::gen

@@ -56,6 +56,19 @@ std::vector<Dataset> AllBoroughs(double scale = 1.0);
 /// Human-readable name ("Manhattan", ...).
 std::string BoroughName(Borough borough);
 
+/// Registry of every preset by name, for request-driven construction (the
+/// planning service resolves PlanRequest::dataset through this).
+/// Names: "midtown", "chicago", "nyc", "manhattan", "queens", "brooklyn",
+/// "staten_island", "bronx".
+std::vector<std::string> DatasetNames();
+
+/// True if `name` is a registry name.
+bool HasDataset(const std::string& name);
+
+/// Builds the named preset (throws std::invalid_argument for an unknown
+/// name). `scale` is ignored by "midtown", which has a fixed size.
+Dataset MakeDatasetByName(const std::string& name, double scale = 1.0);
+
 }  // namespace ctbus::gen
 
 #endif  // CTBUS_GEN_DATASETS_H_

@@ -1,0 +1,256 @@
+#include "service/planning_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/baselines.h"
+#include "core/timing.h"
+#include "gen/datasets.h"
+
+namespace ctbus::service {
+
+using core::SecondsSince;
+
+PlanningService::PlanningService(const ServiceOptions& options)
+    : cache_(options.cache_capacity),
+      queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)) {
+  int threads = options.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  live_workers_ = threads;
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+PlanningService::~PlanningService() { Shutdown(); }
+
+void PlanningService::RegisterDataset(const std::string& name,
+                                      graph::RoadNetwork road,
+                                      graph::TransitNetwork transit) {
+  auto store = std::make_shared<SnapshotStore>(std::move(road),
+                                               std::move(transit));
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  if (!datasets_.emplace(name, std::move(store)).second) {
+    throw std::invalid_argument("RegisterDataset: duplicate name " + name);
+  }
+}
+
+void PlanningService::RegisterPreset(const std::string& name, double scale) {
+  gen::Dataset dataset = gen::MakeDatasetByName(name, scale);
+  RegisterDataset(name, std::move(dataset.road), std::move(dataset.transit));
+}
+
+bool PlanningService::HasDataset(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  return datasets_.count(name) > 0;
+}
+
+std::vector<std::string> PlanningService::DatasetNames() const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, store] : datasets_) names.push_back(name);
+  return names;
+}
+
+std::shared_ptr<SnapshotStore> PlanningService::Store(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  const auto it = datasets_.find(dataset);
+  if (it == datasets_.end()) {
+    throw std::invalid_argument("unknown dataset: " + dataset);
+  }
+  return it->second;
+}
+
+std::uint64_t PlanningService::LatestVersion(
+    const std::string& dataset) const {
+  return Store(dataset)->latest_version();
+}
+
+SnapshotPtr PlanningService::Snapshot(const std::string& dataset,
+                                      std::uint64_t version) const {
+  const auto store = Store(dataset);
+  return version == 0 ? store->Latest() : store->Get(version);
+}
+
+std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
+  Store(request.dataset);  // validate the dataset name up front
+  Task task;
+  task.request = std::move(request);
+  task.submit_time = std::chrono::steady_clock::now();
+  std::future<ServiceResult> future = task.promise.get_future();
+  // Count the submission before the task becomes visible to workers, so
+  // completed can never be observed ahead of submitted.
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++service_stats_.submitted;
+  }
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_not_full_.wait(lock, [this] {
+      return shutting_down_ || queue_.size() < queue_capacity_;
+    });
+    if (shutting_down_) {
+      lock.unlock();
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      --service_stats_.submitted;
+      throw std::runtime_error("PlanningService: Submit after Shutdown");
+    }
+    queue_.push_back(std::move(task));
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+ServiceResult PlanningService::Plan(PlanRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+std::uint64_t PlanningService::Commit(const ServiceResult& result) {
+  const PlanRequest& request = result.request;
+  const auto store = Store(request.dataset);
+  const std::uint64_t version = result.stats.snapshot_version;
+  const SnapshotPtr snapshot = store->Get(version);
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("Commit: unknown snapshot version");
+  }
+  // The universe that maps the result's edge ids back to stop pairs lives
+  // in the precompute for (dataset, version, tau); typically still hot.
+  const PrecomputeKey key =
+      MakePrecomputeKey(request.dataset, version, request.options);
+  const auto precompute = cache_.GetOrCompute(key, [&] {
+    return core::PlanningContext::RunPrecompute(
+        *snapshot->road, *snapshot->transit, request.options);
+  });
+  // Commit on top of *latest* (base 0), not the version the plan was
+  // computed against: sequential commits of plans from one snapshot must
+  // stack, not clobber each other. The universe still comes from the
+  // planned-against version — that is what maps the result's edge ids.
+  return store->CommitRoute(result.plan, precompute->universe,
+                            /*base_version=*/0);
+}
+
+PlanningService::ServiceStats PlanningService::service_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return service_stats_;
+}
+
+void PlanningService::Shutdown() {
+  // Claim the worker threads under the lock so concurrent Shutdown calls
+  // (e.g. an explicit call racing the destructor) each join a disjoint —
+  // possibly empty — set instead of double-joining the same threads.
+  std::vector<std::thread> claimed;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    shutting_down_ = true;
+    claimed.swap(workers_);
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  for (std::thread& worker : claimed) {
+    if (worker.joinable()) worker.join();
+  }
+  // A caller that claimed no threads (another Shutdown got there first)
+  // must still not return until every worker has left WorkerLoop —
+  // otherwise the destructor could tear members down under a live worker.
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  workers_done_.wait(lock, [this] { return live_workers_ == 0; });
+}
+
+void PlanningService::WorkerLoop(int worker_id) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_not_empty_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {  // shutting down and drained
+        --live_workers_;
+        if (live_workers_ == 0) workers_done_.notify_all();
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_not_full_.notify_one();
+    const double queue_seconds = SecondsSince(task.submit_time);
+    // Count completion before fulfilling the promise, so a caller woken by
+    // the future observes the counter already advanced.
+    try {
+      ServiceResult result = Execute(task.request, worker_id);
+      result.stats.queue_seconds = queue_seconds;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++service_stats_.completed;
+      }
+      task.promise.set_value(std::move(result));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++service_stats_.completed;
+      }
+      task.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+ServiceResult PlanningService::Execute(const PlanRequest& request,
+                                       int worker_id) {
+  const auto store = Store(request.dataset);
+  const SnapshotPtr snapshot = request.snapshot_version == 0
+                                   ? store->Latest()
+                                   : store->Get(request.snapshot_version);
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("unknown snapshot version for dataset " +
+                                request.dataset);
+  }
+
+  ServiceResult result;
+  result.request = request;
+  result.request.snapshot_version = snapshot->version;  // resolved
+  result.stats.worker_id = worker_id;
+  result.stats.snapshot_version = snapshot->version;
+
+  const PrecomputeKey key = MakePrecomputeKey(
+      request.dataset, snapshot->version, request.options);
+  auto timer = std::chrono::steady_clock::now();
+  const auto precompute = cache_.GetOrCompute(
+      key,
+      [&] {
+        return core::PlanningContext::RunPrecompute(
+            *snapshot->road, *snapshot->transit, request.options);
+      },
+      &result.stats.precompute_cache_hit);
+  result.stats.precompute_seconds = SecondsSince(timer);
+
+  // Private context per request: queries share the immutable snapshot and
+  // the const precompute (by shared_ptr, no copy), never the mutable
+  // search scratch.
+  timer = std::chrono::steady_clock::now();
+  core::PlanningContext context = core::PlanningContext::BuildWithPrecompute(
+      *snapshot->road, *snapshot->transit, request.options, precompute);
+  result.stats.context_seconds = SecondsSince(timer);
+
+  timer = std::chrono::steady_clock::now();
+  switch (request.planner) {
+    case core::Planner::kEta:
+      result.plan = core::RunEta(&context, core::SearchMode::kOnline);
+      break;
+    case core::Planner::kEtaPre:
+      result.plan = core::RunEta(&context, core::SearchMode::kPrecomputed);
+      break;
+    case core::Planner::kVkTsp:
+      result.plan = core::RunVkTsp(&context);
+      break;
+  }
+  result.stats.plan_seconds = SecondsSince(timer);
+  return result;
+}
+
+}  // namespace ctbus::service

@@ -1,0 +1,169 @@
+// Concurrent planning service: a fixed worker pool answering CT-Bus
+// planning queries against versioned network snapshots, with a shared
+// precompute cache.
+//
+// Request lifecycle:
+//   Submit(PlanRequest) -> bounded queue -> worker picks it up ->
+//   resolve snapshot (SnapshotStore) -> fetch/compute precompute
+//   (PrecomputeCache) -> build a private PlanningContext -> run the
+//   requested planner -> fulfill the future with PlanResult + stats.
+//
+// Every worker builds its own PlanningContext, so queries never share
+// mutable state: results are bit-identical to running the same requests
+// serially (the estimators are deterministic by construction). Snapshots
+// are held via shared_ptr for the duration of a query, so CommitRoute can
+// advance the city underneath without blocking or corrupting in-flight
+// work.
+#ifndef CTBUS_SERVICE_PLANNING_SERVICE_H_
+#define CTBUS_SERVICE_PLANNING_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/eta.h"
+#include "core/options.h"
+#include "core/planner.h"
+#include "service/precompute_cache.h"
+#include "service/snapshot_store.h"
+
+namespace ctbus::service {
+
+struct ServiceOptions {
+  /// Worker pool size. 0 means std::thread::hardware_concurrency().
+  int num_threads = 1;
+  /// Bounded request queue; Submit blocks while the queue is full.
+  std::size_t queue_capacity = 256;
+  /// Precompute cache entries (0 disables caching).
+  std::size_t cache_capacity = 16;
+};
+
+struct PlanRequest {
+  /// Name of a dataset previously registered with RegisterDataset.
+  std::string dataset;
+  core::CtBusOptions options;
+  core::Planner planner = core::Planner::kEtaPre;
+  /// Snapshot to plan against; 0 = latest at execution time.
+  std::uint64_t snapshot_version = 0;
+};
+
+/// Per-request observability.
+struct RequestStats {
+  /// The version actually planned against (resolved from 0 = latest).
+  std::uint64_t snapshot_version = 0;
+  bool precompute_cache_hit = false;
+  double queue_seconds = 0.0;       // Submit -> worker pickup
+  double precompute_seconds = 0.0;  // cache lookup incl. compute on miss
+  double context_seconds = 0.0;     // PlanningContext::BuildWithPrecompute
+  double plan_seconds = 0.0;        // planner search
+  int worker_id = -1;
+};
+
+struct ServiceResult {
+  core::PlanResult plan;
+  /// The request as executed, with snapshot_version resolved (never 0).
+  /// Commit reads the dataset and precompute parameters from here, so a
+  /// result can never be committed against the wrong universe.
+  PlanRequest request;
+  RequestStats stats;
+};
+
+class PlanningService {
+ public:
+  explicit PlanningService(const ServiceOptions& options);
+  ~PlanningService();  // calls Shutdown()
+
+  PlanningService(const PlanningService&) = delete;
+  PlanningService& operator=(const PlanningService&) = delete;
+
+  /// Registers a city under `name`, seeding its SnapshotStore at version 1.
+  /// Registering an existing name throws.
+  void RegisterDataset(const std::string& name, graph::RoadNetwork road,
+                       graph::TransitNetwork transit);
+
+  /// Registers a gen:: preset by registry name (see gen::DatasetNames()).
+  void RegisterPreset(const std::string& name, double scale = 1.0);
+
+  bool HasDataset(const std::string& name) const;
+  std::vector<std::string> DatasetNames() const;
+
+  std::uint64_t LatestVersion(const std::string& dataset) const;
+  SnapshotPtr Snapshot(const std::string& dataset,
+                       std::uint64_t version = 0) const;
+
+  /// Enqueues a request; blocks while the queue is full. Throws
+  /// std::invalid_argument for an unknown dataset and std::runtime_error
+  /// after Shutdown. Errors during execution (e.g. unknown snapshot
+  /// version) surface through the future.
+  std::future<ServiceResult> Submit(PlanRequest request);
+
+  /// Submit + wait. Convenience for callers without their own pipeline.
+  ServiceResult Plan(PlanRequest request);
+
+  /// Commits a result's route to its dataset, advancing the snapshot
+  /// version. The dataset, precompute parameters, and planned-against
+  /// version come from the result itself (ServiceResult::request), so the
+  /// route's edge ids are always mapped through the universe they were
+  /// planned in. The route is applied on top of the *latest* version, so
+  /// sequential commits stack even when their plans were computed against
+  /// the same older snapshot. Returns the new version id. In-flight
+  /// queries against older versions are unaffected; later latest-version
+  /// requests see the new city.
+  std::uint64_t Commit(const ServiceResult& result);
+
+  PrecomputeCache::Stats cache_stats() const { return cache_.stats(); }
+
+  struct ServiceStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+  };
+  ServiceStats service_stats() const;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Drains the queue, waits for in-flight work, joins the pool. Further
+  /// Submits throw. Idempotent; called by the destructor.
+  void Shutdown();
+
+ private:
+  struct Task {
+    PlanRequest request;
+    std::promise<ServiceResult> promise;
+    std::chrono::steady_clock::time_point submit_time;
+  };
+
+  void WorkerLoop(int worker_id);
+  ServiceResult Execute(const PlanRequest& request, int worker_id);
+  std::shared_ptr<SnapshotStore> Store(const std::string& dataset) const;
+
+  PrecomputeCache cache_;
+  const std::size_t queue_capacity_;
+
+  mutable std::mutex datasets_mu_;
+  std::unordered_map<std::string, std::shared_ptr<SnapshotStore>> datasets_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable workers_done_;
+  std::deque<Task> queue_;
+  bool shutting_down_ = false;
+  int live_workers_ = 0;  // guarded by queue_mu_
+
+  mutable std::mutex stats_mu_;
+  ServiceStats service_stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ctbus::service
+
+#endif  // CTBUS_SERVICE_PLANNING_SERVICE_H_

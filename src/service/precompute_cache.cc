@@ -1,0 +1,144 @@
+#include "service/precompute_cache.h"
+
+#include <utility>
+
+namespace ctbus::service {
+
+bool PrecomputeKey::operator==(const PrecomputeKey& other) const {
+  return dataset == other.dataset &&
+         snapshot_version == other.snapshot_version && tau == other.tau &&
+         probes == other.probes && lanczos_steps == other.lanczos_steps &&
+         seed == other.seed && probe_kind == other.probe_kind &&
+         use_perturbation == other.use_perturbation;
+}
+
+PrecomputeKey MakePrecomputeKey(const std::string& dataset,
+                                std::uint64_t snapshot_version,
+                                const core::CtBusOptions& options) {
+  PrecomputeKey key;
+  key.dataset = dataset;
+  key.snapshot_version = snapshot_version;
+  key.tau = options.tau;
+  key.probes = options.precompute_estimator.probes;
+  key.lanczos_steps = options.precompute_estimator.lanczos_steps;
+  key.seed = options.precompute_estimator.seed;
+  key.probe_kind = static_cast<int>(options.precompute_estimator.probe_kind);
+  key.use_perturbation = options.use_perturbation_precompute;
+  return key;
+}
+
+std::size_t PrecomputeCache::KeyHash::operator()(
+    const PrecomputeKey& key) const {
+  auto mix = [](std::size_t h, std::size_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  std::size_t h = std::hash<std::string>()(key.dataset);
+  h = mix(h, std::hash<std::uint64_t>()(key.snapshot_version));
+  h = mix(h, std::hash<double>()(key.tau));
+  h = mix(h, static_cast<std::size_t>(key.probes));
+  h = mix(h, static_cast<std::size_t>(key.lanczos_steps));
+  h = mix(h, std::hash<std::uint64_t>()(key.seed));
+  h = mix(h, static_cast<std::size_t>(key.probe_kind));
+  h = mix(h, key.use_perturbation ? 1u : 2u);
+  return h;
+}
+
+PrecomputeCache::PrecomputeCache(std::size_t capacity)
+    : capacity_(capacity) {}
+
+PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
+    const PrecomputeKey& key, const ComputeFn& compute, bool* was_hit) {
+  if (capacity_ == 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.misses;
+    }
+    if (was_hit != nullptr) *was_hit = false;
+    return std::make_shared<const core::Precompute>(compute());
+  }
+
+  std::promise<PrecomputePtr> promise;
+  std::uint64_t generation = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      std::shared_future<PrecomputePtr> future = it->second.future;
+      lock.unlock();
+      if (was_hit != nullptr) *was_hit = true;
+      return future.get();  // ready, or being computed by another caller
+    }
+    ++stats_.misses;
+    generation = next_generation_++;
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{promise.get_future().share(), lru_.begin(),
+                                /*ready=*/false, generation});
+    EvictReadyLocked();
+  }
+  if (was_hit != nullptr) *was_hit = false;
+  try {
+    PrecomputePtr result =
+        std::make_shared<const core::Precompute>(compute());
+    promise.set_value(result);
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.generation == generation) {
+      it->second.ready = true;
+      EvictReadyLocked();  // capacity may have been exceeded while in flight
+    }
+    return result;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.generation == generation) {
+      lru_.erase(it->second.lru_it);
+      entries_.erase(it);
+    }
+    throw;
+  }
+}
+
+void PrecomputeCache::EvictReadyLocked() {
+  std::size_t resident = entries_.size();
+  auto candidate = lru_.end();
+  while (resident > capacity_ && candidate != lru_.begin()) {
+    --candidate;  // walk tail -> head, skipping in-flight entries
+    const auto it = entries_.find(*candidate);
+    if (it == entries_.end() || !it->second.ready) continue;
+    entries_.erase(it);
+    candidate = lru_.erase(candidate);
+    ++stats_.evictions;
+    --resident;
+  }
+}
+
+bool PrecomputeCache::Contains(const PrecomputeKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(key) > 0;
+}
+
+std::vector<PrecomputeKey> PrecomputeCache::KeysByRecency() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {lru_.begin(), lru_.end()};
+}
+
+void PrecomputeCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+std::size_t PrecomputeCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+PrecomputeCache::Stats PrecomputeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ctbus::service

@@ -1,0 +1,117 @@
+// Shared LRU cache of PlanningContext::RunPrecompute results.
+//
+// The precompute (plannable-edge universe + Delta(e) increments) is the
+// expensive, sweep-invariant part of answering a planning query: it depends
+// only on (dataset, snapshot version, tau, precompute-estimator params),
+// not on k / w / Tn / sn or the planner. Caching it means a parameter sweep
+// of N cells pays for one precompute, and repeated traffic against a hot
+// snapshot pays for none.
+//
+// Thread-safe. Concurrent misses on the same key are deduplicated: the
+// first caller computes, later callers block on the same shared_future
+// instead of recomputing. Capacity 0 disables caching entirely (every call
+// computes, nothing is stored).
+#ifndef CTBUS_SERVICE_PRECOMPUTE_CACHE_H_
+#define CTBUS_SERVICE_PRECOMPUTE_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/options.h"
+#include "core/planning_context.h"
+
+namespace ctbus::service {
+
+/// Everything RunPrecompute's output depends on.
+struct PrecomputeKey {
+  std::string dataset;
+  std::uint64_t snapshot_version = 0;
+  double tau = 0.0;
+  int probes = 0;
+  int lanczos_steps = 0;
+  std::uint64_t seed = 0;
+  int probe_kind = 0;
+  bool use_perturbation = false;
+
+  bool operator==(const PrecomputeKey& other) const;
+};
+
+/// Extracts the precompute-relevant fields of `options`.
+PrecomputeKey MakePrecomputeKey(const std::string& dataset,
+                                std::uint64_t snapshot_version,
+                                const core::CtBusOptions& options);
+
+class PrecomputeCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  using ComputeFn = std::function<core::Precompute()>;
+  using PrecomputePtr = std::shared_ptr<const core::Precompute>;
+
+  explicit PrecomputeCache(std::size_t capacity);
+
+  PrecomputeCache(const PrecomputeCache&) = delete;
+  PrecomputeCache& operator=(const PrecomputeCache&) = delete;
+
+  /// Returns the cached precompute for `key`, computing it with `compute`
+  /// on a miss. Sets `*was_hit` (if non-null) to whether the result came
+  /// from the cache. Blocks only while the value is being computed by this
+  /// or another caller, never while unrelated keys compute.
+  PrecomputePtr GetOrCompute(const PrecomputeKey& key,
+                             const ComputeFn& compute,
+                             bool* was_hit = nullptr);
+
+  /// True if `key` is resident (does not touch LRU order).
+  bool Contains(const PrecomputeKey& key) const;
+
+  /// Resident keys, most recently used first. For tests and introspection.
+  std::vector<PrecomputeKey> KeysByRecency() const;
+
+  void Clear();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_future<PrecomputePtr> future;
+    std::list<PrecomputeKey>::iterator lru_it;
+    /// In-flight entries (compute still running) are never evicted, so
+    /// the same-key miss dedup cannot be broken by capacity pressure.
+    bool ready = false;
+    /// Distinguishes re-insertions of one key, so a failed compute only
+    /// erases its own generation, never a newer healthy entry.
+    std::uint64_t generation = 0;
+  };
+
+  /// Evicts ready entries from the LRU tail until within capacity (or
+  /// only in-flight entries remain). Caller holds mu_.
+  void EvictReadyLocked();
+
+  struct KeyHash {
+    std::size_t operator()(const PrecomputeKey& key) const;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<PrecomputeKey> lru_;  // front = most recently used
+  std::unordered_map<PrecomputeKey, Entry, KeyHash> entries_;
+  std::uint64_t next_generation_ = 0;
+  Stats stats_;
+};
+
+}  // namespace ctbus::service
+
+#endif  // CTBUS_SERVICE_PRECOMPUTE_CACHE_H_

@@ -1,0 +1,50 @@
+#include "service/scenario_runner.h"
+
+#include <future>
+#include <utility>
+
+namespace ctbus::service {
+
+std::vector<SweepCell> ScenarioRunner::Run(const SweepSpec& spec) {
+  const std::vector<int> ks = spec.ks.empty() ? std::vector<int>{spec.base.k}
+                                              : spec.ks;
+  const std::vector<double> ws =
+      spec.ws.empty() ? std::vector<double>{spec.base.w} : spec.ws;
+  const std::vector<core::Planner> planners =
+      spec.planners.empty()
+          ? std::vector<core::Planner>{core::Planner::kEtaPre}
+          : spec.planners;
+
+  // Pin one snapshot for the whole sweep.
+  const std::uint64_t version = spec.snapshot_version != 0
+                                    ? spec.snapshot_version
+                                    : service_->LatestVersion(spec.dataset);
+
+  std::vector<SweepCell> cells;
+  std::vector<std::future<ServiceResult>> futures;
+  for (int k : ks) {
+    for (double w : ws) {
+      for (core::Planner planner : planners) {
+        PlanRequest request;
+        request.dataset = spec.dataset;
+        request.options = spec.base;
+        request.options.k = k;
+        request.options.w = w;
+        request.planner = planner;
+        request.snapshot_version = version;
+        SweepCell cell;
+        cell.k = k;
+        cell.w = w;
+        cell.planner = planner;
+        cells.push_back(std::move(cell));
+        futures.push_back(service_->Submit(std::move(request)));
+      }
+    }
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    cells[i].result = futures[i].get();
+  }
+  return cells;
+}
+
+}  // namespace ctbus::service

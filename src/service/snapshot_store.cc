@@ -1,0 +1,81 @@
+#include "service/snapshot_store.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ctbus::service {
+
+SnapshotStore::SnapshotStore(graph::RoadNetwork road,
+                             graph::TransitNetwork transit) {
+  Publish(std::move(road), std::move(transit));
+}
+
+SnapshotPtr SnapshotStore::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+SnapshotPtr SnapshotStore::Get(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = versions_.find(version);
+  return it == versions_.end() ? nullptr : it->second;
+}
+
+std::uint64_t SnapshotStore::latest_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_->version;
+}
+
+std::size_t SnapshotStore::num_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return versions_.size();
+}
+
+std::uint64_t SnapshotStore::CommitRoute(const core::PlanResult& result,
+                                         const core::EdgeUniverse& universe,
+                                         std::uint64_t base_version) {
+  if (!result.found) {
+    throw std::invalid_argument("CommitRoute: result has no route");
+  }
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  SnapshotPtr base =
+      base_version == 0 ? Latest() : Get(base_version);
+  if (base == nullptr) {
+    throw std::invalid_argument("CommitRoute: unknown base version");
+  }
+  // Copy-on-write: mutate private copies, then publish atomically.
+  graph::RoadNetwork road = *base->road;
+  graph::TransitNetwork transit = *base->transit;
+  for (int e : result.path.edges()) {
+    const core::PlannableEdge& edge = universe.edge(e);
+    transit.AddEdge(edge.u, edge.v, edge.length, edge.road_edges);
+  }
+  transit.AddRoute(result.path.stops());
+  for (int e : result.path.edges()) {
+    road.ZeroTripCounts(universe.edge(e).road_edges);
+  }
+  return Publish(std::move(road), std::move(transit));
+}
+
+void SnapshotStore::Prune(std::size_t keep_latest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (versions_.size() > keep_latest) {
+    versions_.erase(versions_.begin());
+  }
+}
+
+std::uint64_t SnapshotStore::Publish(graph::RoadNetwork road,
+                                     graph::TransitNetwork transit) {
+  auto snapshot = std::make_shared<NetworkSnapshot>();
+  snapshot->road =
+      std::make_shared<const graph::RoadNetwork>(std::move(road));
+  snapshot->transit =
+      std::make_shared<const graph::TransitNetwork>(std::move(transit));
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot->version = next_version_++;
+  latest_ = SnapshotPtr(std::move(snapshot));
+  versions_[latest_->version] = latest_;
+  return latest_->version;
+}
+
+}  // namespace ctbus::service

@@ -1,0 +1,80 @@
+// Versioned, immutable network snapshots for the planning service.
+//
+// A snapshot is one (RoadNetwork, TransitNetwork) state of a city, shared
+// via shared_ptr by every query planning against it. CommitRoute publishes
+// a *new* version by copy-on-write — readers holding older versions are
+// never blocked, never invalidated, and keep their networks alive until
+// the last in-flight query drops its reference. This is the serving-layer
+// counterpart of CtBusPlanner's invalidate-and-rebuild semantics.
+#ifndef CTBUS_SERVICE_SNAPSHOT_STORE_H_
+#define CTBUS_SERVICE_SNAPSHOT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/edge_universe.h"
+#include "core/eta.h"
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+
+namespace ctbus::service {
+
+/// One immutable version of a city's networks.
+struct NetworkSnapshot {
+  std::uint64_t version = 0;
+  std::shared_ptr<const graph::RoadNetwork> road;
+  std::shared_ptr<const graph::TransitNetwork> transit;
+};
+
+using SnapshotPtr = std::shared_ptr<const NetworkSnapshot>;
+
+class SnapshotStore {
+ public:
+  /// Seeds version 1 with the given networks.
+  SnapshotStore(graph::RoadNetwork road, graph::TransitNetwork transit);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// The most recently committed version.
+  SnapshotPtr Latest() const;
+
+  /// A specific version, or nullptr if it was never published (or pruned).
+  SnapshotPtr Get(std::uint64_t version) const;
+
+  std::uint64_t latest_version() const;
+  std::size_t num_versions() const;
+
+  /// Applies a planned route on top of `base_version` (0 = latest) with
+  /// CtBusPlanner::CommitRoute semantics: realize the route's edges in the
+  /// transit network, register the stop sequence as a new route, and zero
+  /// the demand on covered road edges. `universe` must be the plannable
+  /// universe the result was planned against (it maps the result's edge
+  /// ids to stop pairs and road edges). Publishes and returns the new
+  /// version id. Concurrent commits are serialized (writer lock), so two
+  /// commits against "latest" stack instead of clobbering each other;
+  /// readers are never blocked by a commit in progress.
+  std::uint64_t CommitRoute(const core::PlanResult& result,
+                            const core::EdgeUniverse& universe,
+                            std::uint64_t base_version = 0);
+
+  /// Drops all but the `keep_latest` newest versions from the index.
+  /// In-flight queries holding dropped snapshots keep them alive.
+  void Prune(std::size_t keep_latest);
+
+ private:
+  std::uint64_t Publish(graph::RoadNetwork road,
+                        graph::TransitNetwork transit);
+
+  mutable std::mutex mu_;
+  std::mutex commit_mu_;  // serializes CommitRoute end-to-end
+  std::uint64_t next_version_ = 1;
+  std::map<std::uint64_t, SnapshotPtr> versions_;
+  SnapshotPtr latest_;
+};
+
+}  // namespace ctbus::service
+
+#endif  // CTBUS_SERVICE_SNAPSHOT_STORE_H_

@@ -1,0 +1,275 @@
+#include "service/planning_service.h"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "core/planning_context.h"
+#include "gen/datasets.h"
+#include "service/scenario_runner.h"
+
+namespace ctbus::service {
+namespace {
+
+core::CtBusOptions FastOptions() {
+  core::CtBusOptions options;
+  options.k = 6;
+  options.seed_count = 150;
+  options.max_iterations = 150;
+  options.online_estimator = {/*probes=*/16, /*lanczos_steps=*/8, /*seed=*/5};
+  options.precompute_estimator = {/*probes=*/6, /*lanczos_steps=*/6,
+                                  /*seed=*/6};
+  return options;
+}
+
+/// The ground truth a service result must match bit for bit: a fresh
+/// serial context over the same networks and options.
+core::PlanResult SerialPlan(const gen::Dataset& d,
+                            const core::CtBusOptions& options,
+                            core::Planner planner) {
+  core::PlanningContext context =
+      core::PlanningContext::Build(d.road, d.transit, options);
+  switch (planner) {
+    case core::Planner::kEta:
+      return core::RunEta(&context, core::SearchMode::kOnline);
+    case core::Planner::kEtaPre:
+      return core::RunEta(&context, core::SearchMode::kPrecomputed);
+    case core::Planner::kVkTsp:
+      return core::RunVkTsp(&context);
+  }
+  return {};
+}
+
+void ExpectBitIdentical(const core::PlanResult& actual,
+                        const core::PlanResult& expected) {
+  ASSERT_EQ(actual.found, expected.found);
+  if (!expected.found) return;
+  EXPECT_EQ(actual.path.edges(), expected.path.edges());
+  EXPECT_EQ(actual.path.stops(), expected.path.stops());
+  // Exact double equality on purpose: the estimators are deterministic, so
+  // concurrent execution must not perturb a single bit of the numbers.
+  EXPECT_EQ(actual.objective, expected.objective);
+  EXPECT_EQ(actual.demand, expected.demand);
+  EXPECT_EQ(actual.connectivity_increment, expected.connectivity_increment);
+  EXPECT_EQ(actual.iterations, expected.iterations);
+}
+
+PlanRequest MidtownRequest(core::Planner planner = core::Planner::kEtaPre) {
+  PlanRequest request;
+  request.dataset = "midtown";
+  request.options = FastOptions();
+  request.planner = planner;
+  return request;
+}
+
+TEST(PlanningServiceTest, ConcurrentResultsMatchSerialExecution) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const std::vector<core::Planner> planners = {
+      core::Planner::kEtaPre, core::Planner::kEta, core::Planner::kVkTsp};
+  std::vector<core::PlanResult> expected;
+  for (core::Planner planner : planners) {
+    expected.push_back(SerialPlan(d, FastOptions(), planner));
+  }
+
+  ServiceOptions service_options;
+  service_options.num_threads = 4;
+  PlanningService service(service_options);
+  service.RegisterPreset("midtown");
+
+  // 4 threads x 12 requests, interleaving planners.
+  constexpr int kRequests = 12;
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        service.Submit(MidtownRequest(planners[i % planners.size()])));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    const ServiceResult result = futures[i].get();
+    ExpectBitIdentical(result.plan, expected[i % planners.size()]);
+    EXPECT_EQ(result.stats.snapshot_version, 1u);
+    EXPECT_GE(result.stats.worker_id, 0);
+    EXPECT_LT(result.stats.worker_id, 4);
+  }
+  const auto stats = service.service_stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+}
+
+TEST(PlanningServiceTest, RepeatedTauHitsThePrecomputeCache) {
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  PlanningService service(service_options);
+  service.RegisterPreset("midtown");
+
+  const ServiceResult cold = service.Plan(MidtownRequest());
+  EXPECT_FALSE(cold.stats.precompute_cache_hit);
+
+  // Same tau and precompute estimator => hit, regardless of k / w.
+  PlanRequest warm_request = MidtownRequest();
+  warm_request.options.k = 8;
+  warm_request.options.w = 0.25;
+  const ServiceResult warm = service.Plan(warm_request);
+  EXPECT_TRUE(warm.stats.precompute_cache_hit);
+
+  // Different tau => new universe, miss.
+  PlanRequest other_tau = MidtownRequest();
+  other_tau.options.tau = 650.0;
+  const ServiceResult other = service.Plan(other_tau);
+  EXPECT_FALSE(other.stats.precompute_cache_hit);
+
+  const auto cache = service.cache_stats();
+  EXPECT_EQ(cache.hits, 1u);
+  EXPECT_EQ(cache.misses, 2u);
+}
+
+TEST(PlanningServiceTest, SnapshotIsolationAcrossCommit) {
+  ServiceOptions service_options;
+  service_options.num_threads = 2;
+  PlanningService service(service_options);
+  service.RegisterPreset("midtown");
+
+  const PlanRequest request = MidtownRequest();
+  const ServiceResult before = service.Plan(request);
+  ASSERT_TRUE(before.plan.found);
+  EXPECT_EQ(before.stats.snapshot_version, 1u);
+
+  // Commit advances the city without disturbing version 1.
+  const std::uint64_t v2 = service.Commit(before);
+  EXPECT_EQ(v2, 2u);
+  EXPECT_EQ(service.LatestVersion("midtown"), 2u);
+
+  // Pinned to the old snapshot: bit-identical to the pre-commit plan.
+  PlanRequest pinned = request;
+  pinned.snapshot_version = 1;
+  const ServiceResult replay = service.Plan(pinned);
+  ExpectBitIdentical(replay.plan, before.plan);
+
+  // Against latest: the committed route's demand is zeroed and its stop
+  // pairs are no longer plannable, so the same route cannot win again.
+  const ServiceResult after = service.Plan(request);
+  EXPECT_EQ(after.stats.snapshot_version, 2u);
+  ASSERT_TRUE(after.plan.found);
+  EXPECT_NE(after.plan.path.stops(), before.plan.path.stops());
+
+  // The new snapshot carries the committed route.
+  const SnapshotPtr v2_snapshot = service.Snapshot("midtown", 2);
+  ASSERT_NE(v2_snapshot, nullptr);
+  const SnapshotPtr v1_snapshot = service.Snapshot("midtown", 1);
+  ASSERT_NE(v1_snapshot, nullptr);
+  EXPECT_EQ(v2_snapshot->transit->num_active_routes(),
+            v1_snapshot->transit->num_active_routes() + 1);
+}
+
+TEST(PlanningServiceTest, SequentialCommitsFromOneSnapshotStack) {
+  ServiceOptions service_options;
+  service_options.num_threads = 2;
+  PlanningService service(service_options);
+  service.RegisterPreset("midtown");
+
+  // Two different plans computed against the same snapshot v1.
+  const PlanRequest eta_request = MidtownRequest(core::Planner::kEtaPre);
+  const PlanRequest tsp_request = MidtownRequest(core::Planner::kVkTsp);
+  const ServiceResult eta = service.Plan(eta_request);
+  const ServiceResult tsp = service.Plan(tsp_request);
+  ASSERT_TRUE(eta.plan.found);
+  ASSERT_TRUE(tsp.plan.found);
+  ASSERT_NE(eta.plan.path.stops(), tsp.plan.path.stops());
+
+  // Committing both must stack: the second lands on top of the first
+  // instead of clobbering it from their shared base version.
+  service.Commit(eta);
+  service.Commit(tsp);
+  EXPECT_EQ(service.LatestVersion("midtown"), 3u);
+  const SnapshotPtr v1 = service.Snapshot("midtown", 1);
+  const SnapshotPtr v3 = service.Snapshot("midtown", 3);
+  ASSERT_NE(v1, nullptr);
+  ASSERT_NE(v3, nullptr);
+  EXPECT_EQ(v3->transit->num_active_routes(),
+            v1->transit->num_active_routes() + 2);
+}
+
+TEST(PlanningServiceTest, UnknownDatasetAndVersionFail) {
+  PlanningService service(ServiceOptions{});
+  service.RegisterPreset("midtown");
+
+  PlanRequest bad_dataset = MidtownRequest();
+  bad_dataset.dataset = "atlantis";
+  EXPECT_THROW(service.Submit(std::move(bad_dataset)), std::invalid_argument);
+
+  PlanRequest bad_version = MidtownRequest();
+  bad_version.snapshot_version = 99;
+  auto future = service.Submit(std::move(bad_version));
+  EXPECT_THROW(future.get(), std::invalid_argument);
+}
+
+TEST(PlanningServiceTest, DuplicateRegistrationThrows) {
+  PlanningService service(ServiceOptions{});
+  service.RegisterPreset("midtown");
+  EXPECT_THROW(service.RegisterPreset("midtown"), std::invalid_argument);
+  EXPECT_TRUE(service.HasDataset("midtown"));
+  EXPECT_FALSE(service.HasDataset("nyc"));
+}
+
+TEST(PlanningServiceTest, SubmitAfterShutdownThrows) {
+  PlanningService service(ServiceOptions{});
+  service.RegisterPreset("midtown");
+  service.Shutdown();
+  EXPECT_THROW(service.Submit(MidtownRequest()), std::runtime_error);
+}
+
+TEST(ScenarioRunnerTest, SweepMatchesSerialAndSharesOnePrecompute) {
+  const gen::Dataset d = gen::MakeMidtown();
+
+  ServiceOptions service_options;
+  service_options.num_threads = 4;
+  PlanningService service(service_options);
+  service.RegisterPreset("midtown");
+
+  SweepSpec spec;
+  spec.dataset = "midtown";
+  spec.base = FastOptions();
+  spec.ks = {4, 6};
+  spec.ws = {0.3, 0.7};
+  ScenarioRunner runner(&service);
+  const std::vector<SweepCell> cells = runner.Run(spec);
+  ASSERT_EQ(cells.size(), 4u);
+
+  for (const SweepCell& cell : cells) {
+    core::CtBusOptions options = FastOptions();
+    options.k = cell.k;
+    options.w = cell.w;
+    ExpectBitIdentical(cell.result.plan,
+                       SerialPlan(d, options, cell.planner));
+    EXPECT_EQ(cell.result.stats.snapshot_version, 1u);
+  }
+  // k / w do not enter the precompute key: the whole sweep costs one miss,
+  // and in-flight misses were deduplicated across workers.
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+  EXPECT_EQ(service.cache_stats().hits, 3u);
+}
+
+TEST(ScenarioRunnerTest, SweepPinsTheLaunchSnapshot) {
+  ServiceOptions service_options;
+  service_options.num_threads = 2;
+  PlanningService service(service_options);
+  service.RegisterPreset("midtown");
+
+  // Advance the city once so latest != 1.
+  const PlanRequest request = MidtownRequest();
+  const ServiceResult first = service.Plan(request);
+  service.Commit(first);
+
+  SweepSpec spec;
+  spec.dataset = "midtown";
+  spec.base = FastOptions();
+  spec.ws = {0.2, 0.5, 0.8};
+  const std::vector<SweepCell> cells = ScenarioRunner(&service).Run(spec);
+  for (const SweepCell& cell : cells) {
+    EXPECT_EQ(cell.result.stats.snapshot_version, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace ctbus::service

@@ -1,0 +1,149 @@
+#include "service/precompute_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/options.h"
+
+namespace ctbus::service {
+namespace {
+
+PrecomputeKey Key(const std::string& dataset, std::uint64_t version,
+                  double tau = 500.0) {
+  core::CtBusOptions options;
+  options.tau = tau;
+  return MakePrecomputeKey(dataset, version, options);
+}
+
+/// A recognizable fake precompute: `tag` is stored in the increments.
+core::Precompute FakePrecompute(double tag) {
+  core::Precompute pre;
+  pre.increments = {tag};
+  return pre;
+}
+
+TEST(PrecomputeCacheTest, MissComputesThenHitReuses) {
+  PrecomputeCache cache(4);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return FakePrecompute(7.0);
+  };
+  bool hit = true;
+  const auto first = cache.GetOrCompute(Key("a", 1), compute, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(computes, 1);
+  ASSERT_EQ(first->increments.size(), 1u);
+  EXPECT_EQ(first->increments[0], 7.0);
+
+  const auto second = cache.GetOrCompute(Key("a", 1), compute, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes, 1);          // not recomputed
+  EXPECT_EQ(second.get(), first.get());  // same shared object
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(PrecomputeCacheTest, DistinctKeysAreDistinctEntries) {
+  PrecomputeCache cache(8);
+  // Same dataset, different version / tau => different entries.
+  cache.GetOrCompute(Key("a", 1), [] { return FakePrecompute(1.0); });
+  cache.GetOrCompute(Key("a", 2), [] { return FakePrecompute(2.0); });
+  cache.GetOrCompute(Key("a", 1, /*tau=*/750.0),
+                     [] { return FakePrecompute(3.0); });
+  cache.GetOrCompute(Key("b", 1), [] { return FakePrecompute(4.0); });
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().misses, 4u);
+  const auto a1 = cache.GetOrCompute(Key("a", 1), [] {
+    ADD_FAILURE() << "should have been cached";
+    return FakePrecompute(0.0);
+  });
+  EXPECT_EQ(a1->increments[0], 1.0);
+}
+
+TEST(PrecomputeCacheTest, LruEvictionOrder) {
+  PrecomputeCache cache(2);
+  cache.GetOrCompute(Key("a", 1), [] { return FakePrecompute(1.0); });
+  cache.GetOrCompute(Key("b", 1), [] { return FakePrecompute(2.0); });
+  // Touch "a": it becomes most recently used, "b" is now the LRU victim.
+  cache.GetOrCompute(Key("a", 1), [] { return FakePrecompute(0.0); });
+  cache.GetOrCompute(Key("c", 1), [] { return FakePrecompute(3.0); });
+
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.Contains(Key("a", 1)));
+  EXPECT_FALSE(cache.Contains(Key("b", 1)));
+  EXPECT_TRUE(cache.Contains(Key("c", 1)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  const auto keys = cache.KeysByRecency();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0].dataset, "c");  // most recent
+  EXPECT_EQ(keys[1].dataset, "a");
+
+  // Evicted key recomputes.
+  int computes = 0;
+  cache.GetOrCompute(Key("b", 1), [&] {
+    ++computes;
+    return FakePrecompute(2.0);
+  });
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(PrecomputeCacheTest, CapacityZeroDisablesCaching) {
+  PrecomputeCache cache(0);
+  int computes = 0;
+  const auto compute = [&] {
+    ++computes;
+    return FakePrecompute(5.0);
+  };
+  bool hit = true;
+  const auto first = cache.GetOrCompute(Key("a", 1), compute, &hit);
+  EXPECT_FALSE(hit);
+  const auto second = cache.GetOrCompute(Key("a", 1), compute, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(computes, 2);  // every call recomputes
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains(Key("a", 1)));
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(PrecomputeCacheTest, ConcurrentSameKeyComputesOnce) {
+  PrecomputeCache cache(4);
+  std::atomic<int> computes{0};
+  const auto compute = [&] {
+    computes.fetch_add(1);
+    // Widen the race window a little.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    return FakePrecompute(9.0);
+  };
+  std::vector<std::thread> threads;
+  std::vector<double> seen(4, 0.0);
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&, i] {
+      seen[i] = cache.GetOrCompute(Key("a", 1), compute)->increments[0];
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computes.load(), 1);  // in-flight misses deduplicated
+  for (double v : seen) EXPECT_EQ(v, 9.0);
+}
+
+TEST(PrecomputeCacheTest, ClearEmptiesTheCache) {
+  PrecomputeCache cache(4);
+  cache.GetOrCompute(Key("a", 1), [] { return FakePrecompute(1.0); });
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains(Key("a", 1)));
+}
+
+}  // namespace
+}  // namespace ctbus::service
