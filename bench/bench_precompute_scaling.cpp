@@ -1,0 +1,192 @@
+// Precompute engine scaling: (1) multi-thread speedup of the Delta(e) loop
+// inside one RunPrecompute (Table 4's dominant "Connectivity" column), with
+// bit-identity checks against the serial run; (2) warm-start derivation
+// across a snapshot commit (DerivePrecompute) versus a from-scratch
+// RunPrecompute, reporting the fraction of candidates recomputed and the
+// agreement with from-scratch for both estimator paths.
+//
+// Acceptance targets (ISSUE 2): >= 2-core Delta(e) speedup > 1 when the
+// host has >= 2 cores, warm-start recompute fraction < 20% after a small
+// commit on the default synthetic dataset, derived == from-scratch
+// (bit-identical on the perturbation path).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/eta.h"
+#include "core/parallel_for.h"
+#include "core/planning_context.h"
+#include "gen/datasets.h"
+#include "service/snapshot_store.h"
+
+namespace {
+
+using ctbus::bench::Timer;
+
+double Checksum(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum;
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a == b;
+}
+
+double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::abs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+void ThreadScalingSection(const ctbus::gen::Dataset& city,
+                          ctbus::core::CtBusOptions options,
+                          const char* label) {
+  std::printf("-- thread scaling (%s path) --\n", label);
+  const int hw = ctbus::core::ResolveThreadCount(0);
+  std::vector<int> thread_counts = {1, 2, 4};
+  if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+      thread_counts.end()) {
+    thread_counts.push_back(hw);
+  }
+  double serial_seconds = 0.0;
+  std::vector<double> serial_increments;
+  for (int threads : thread_counts) {
+    options.precompute_threads = threads;
+    const Timer timer;
+    const ctbus::core::Precompute pre =
+        ctbus::core::PlanningContext::RunPrecompute(city.road, city.transit,
+                                                    options);
+    const double total = timer.Seconds();
+    if (threads == 1) {
+      serial_seconds = pre.stats.increments_seconds;
+      serial_increments = pre.increments;
+    }
+    const bool identical = BitIdentical(pre.increments, serial_increments);
+    std::printf(
+        "threads=%-2d  universe=%.3fs  delta(e)=%.3fs  total=%.3fs  "
+        "speedup(delta)=%.2fx  checksum=%.9f  bit-identical=%s\n",
+        threads, pre.stats.universe_seconds, pre.stats.increments_seconds,
+        total,
+        pre.stats.increments_seconds > 0.0
+            ? serial_seconds / pre.stats.increments_seconds
+            : 0.0,
+        Checksum(pre.increments), identical ? "yes" : "NO");
+  }
+  if (hw < 2) {
+    std::printf("note: host has %d core(s); >= 2 cores are needed to "
+                "demonstrate parallel speedup\n",
+                hw);
+  }
+  std::printf("\n");
+}
+
+void WarmStartSection(ctbus::gen::Dataset city,
+                      ctbus::core::CtBusOptions options, const char* label) {
+  std::printf("-- warm start across a commit (%s path) --\n", label);
+  options.precompute_threads = 0;  // hardware concurrency
+  ctbus::service::SnapshotStore store(std::move(city.road),
+                                      std::move(city.transit));
+  const ctbus::service::SnapshotPtr v1 = store.Get(1);
+  const auto pre1 = std::make_shared<const ctbus::core::Precompute>(
+      ctbus::core::PlanningContext::RunPrecompute(*v1->road, *v1->transit,
+                                                  options));
+
+  // One small commit: plan a route with ETA-Pre and publish it.
+  const ctbus::core::PlanningContext context =
+      ctbus::core::PlanningContext::BuildWithPrecompute(*v1->road, *v1->transit,
+                                                        options, pre1);
+  const ctbus::core::PlanResult plan =
+      ctbus::core::RunEta(&context, ctbus::core::SearchMode::kPrecomputed);
+  if (!plan.found) {
+    std::printf("no plannable route on this dataset; skipping\n\n");
+    return;
+  }
+  const std::uint64_t v2_version =
+      store.CommitRoute(plan, pre1->universe, /*base_version=*/1);
+  const ctbus::service::SnapshotPtr v2 = store.Get(v2_version);
+  const auto delta = store.DeltaBetween(1, v2_version);
+  std::printf("commit: %zu edges planned, %zu pairs activated, "
+              "%zu stops touched\n",
+              plan.path.edges().size(), delta->added_stop_pairs.size(),
+              delta->touched_stops.size());
+
+  const Timer scratch_timer;
+  const ctbus::core::Precompute scratch =
+      ctbus::core::PlanningContext::RunPrecompute(*v2->road, *v2->transit,
+                                                  options);
+  const double scratch_seconds = scratch_timer.Seconds();
+
+  const Timer derived_timer;
+  const ctbus::core::Precompute derived =
+      ctbus::core::PlanningContext::DerivePrecompute(*v2->road, *v2->transit,
+                                                     options, *pre1, *delta);
+  const double derived_seconds = derived_timer.Seconds();
+
+  const double recompute_fraction =
+      scratch.universe.num_new_edges() > 0
+          ? static_cast<double>(derived.stats.num_increments_recomputed) /
+                scratch.universe.num_new_edges()
+          : 0.0;
+  std::printf("from-scratch: %.3fs (universe %.3fs + delta(e) %.3fs)\n",
+              scratch_seconds, scratch.stats.universe_seconds,
+              scratch.stats.increments_seconds);
+  std::printf("derived:      %.3fs (universe %.3fs + delta(e) %.3fs)  "
+              "speedup=%.2fx\n",
+              derived_seconds, derived.stats.universe_seconds,
+              derived.stats.increments_seconds,
+              derived_seconds > 0.0 ? scratch_seconds / derived_seconds : 0.0);
+  std::printf("candidates: %d   recomputed: %d (%.1f%%)   carried: %d\n",
+              scratch.universe.num_new_edges(),
+              derived.stats.num_increments_recomputed,
+              100.0 * recompute_fraction,
+              derived.stats.num_increments_carried);
+  const bool identical = BitIdentical(derived.increments, scratch.increments);
+  std::printf("derived vs from-scratch: bit-identical=%s  max|diff|=%.3e  "
+              "max increment=%.3e\n\n",
+              identical ? "yes" : "no",
+              MaxAbsDiff(derived.increments, scratch.increments),
+              *std::max_element(scratch.increments.begin(),
+                                scratch.increments.end()));
+}
+
+}  // namespace
+
+int main() {
+  ctbus::bench::PrintHeader(
+      "precompute scaling (parallel + warm start)",
+      "Table 4: the Delta(e) pre-computation dominates planning cost");
+  const double scale = ctbus::bench::GetScale();
+
+  {
+    const ctbus::gen::Dataset city = ctbus::gen::MakeChicagoLike(scale);
+    ctbus::bench::PrintDataset(city);
+    std::printf("\n");
+
+    ctbus::core::CtBusOptions stochastic = ctbus::bench::BenchOptions();
+    ThreadScalingSection(city, stochastic, "stochastic");
+
+    ctbus::core::CtBusOptions perturbation = ctbus::bench::BenchOptions();
+    perturbation.use_perturbation_precompute = true;
+    ThreadScalingSection(city, perturbation, "perturbation");
+  }
+
+  {
+    ctbus::core::CtBusOptions stochastic = ctbus::bench::BenchOptions();
+    WarmStartSection(ctbus::gen::MakeChicagoLike(scale), stochastic,
+                     "stochastic");
+
+    ctbus::core::CtBusOptions perturbation = ctbus::bench::BenchOptions();
+    perturbation.use_perturbation_precompute = true;
+    WarmStartSection(ctbus::gen::MakeChicagoLike(scale), perturbation,
+                     "perturbation");
+  }
+  return 0;
+}

@@ -80,6 +80,52 @@ EdgeUniverse EdgeUniverse::Build(const graph::RoadNetwork& road,
   return universe;
 }
 
+EdgeUniverse EdgeUniverse::DeriveFrom(const EdgeUniverse& prev,
+                                      const graph::RoadNetwork& road,
+                                      const graph::TransitNetwork& transit) {
+  EdgeUniverse universe;
+  universe.incident_.resize(transit.num_stops());
+
+  // Existing-edge section: same enumeration as Build, re-read from the
+  // (grown) transit network. Activated and appended edges slot into their
+  // transit-id positions exactly as a from-scratch Build would place them.
+  for (int te = 0; te < transit.num_edges(); ++te) {
+    if (!transit.EdgeActive(te)) continue;
+    const auto& t_edge = transit.edge(te);
+    PlannableEdge edge;
+    edge.u = t_edge.u;
+    edge.v = t_edge.v;
+    edge.is_new = false;
+    edge.length = t_edge.length;
+    edge.straight_distance = graph::Distance(transit.stop(t_edge.u).position,
+                                             transit.stop(t_edge.v).position);
+    edge.road_edges = t_edge.road_edges;
+    edge.demand = road.PathDemand(edge.road_edges);
+    edge.transit_edge = te;
+    const int id = universe.num_edges();
+    universe.edges_.push_back(std::move(edge));
+    universe.incident_[t_edge.u].push_back(id);
+    universe.incident_[t_edge.v].push_back(id);
+  }
+
+  // Candidate section: carry over prev's realizations in prev order —
+  // which is Build's (stop, grid-neighbor) order, unchanged because stops
+  // did not move — dropping pairs that became transit-connected, and
+  // re-reading demand from the current road trip counts.
+  for (const PlannableEdge& p : prev.edges_) {
+    if (!p.is_new) continue;
+    if (transit.ActiveEdgeBetween(p.u, p.v).has_value()) continue;
+    PlannableEdge edge = p;
+    edge.demand = road.PathDemand(edge.road_edges);
+    const int id = universe.num_edges();
+    universe.incident_[edge.u].push_back(id);
+    universe.incident_[edge.v].push_back(id);
+    universe.edges_.push_back(std::move(edge));
+    ++universe.num_new_edges_;
+  }
+  return universe;
+}
+
 std::vector<double> EdgeUniverse::DemandScores() const {
   std::vector<double> scores(edges_.size());
   for (std::size_t e = 0; e < edges_.size(); ++e) {

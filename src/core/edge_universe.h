@@ -50,6 +50,22 @@ class EdgeUniverse {
                             const graph::TransitNetwork& transit,
                             const EdgeUniverseOptions& options);
 
+  /// Derives the universe for (road, transit) from `prev`, the universe of
+  /// an earlier snapshot of the same city, skipping every Dijkstra: the
+  /// existing-edge section is re-read from the transit network, candidate
+  /// realizations are carried over from `prev` (dropping pairs that became
+  /// transit-connected), and demands are re-read from the road network.
+  ///
+  /// Preconditions: `prev` was built by Build/DeriveFrom with the same
+  /// EdgeUniverseOptions, the stop set and road topology are unchanged, and
+  /// `transit`'s active edge set is a superset of the one `prev` saw (the
+  /// CommitRoute guarantee). Under these the result is bit-identical to
+  /// Build(road, transit, options): candidates are enumerated in the same
+  /// order and no candidate can appear that `prev` did not already realize.
+  static EdgeUniverse DeriveFrom(const EdgeUniverse& prev,
+                                 const graph::RoadNetwork& road,
+                                 const graph::TransitNetwork& transit);
+
   int num_edges() const { return static_cast<int>(edges_.size()); }
   int num_new_edges() const { return num_new_edges_; }
   int num_existing_edges() const { return num_edges() - num_new_edges_; }

@@ -37,6 +37,13 @@ struct CtBusOptions {
   connectivity::EstimatorOptions precompute_estimator = {
       /*probes=*/8, /*lanczos_steps=*/8, /*seed=*/11};
 
+  /// Worker threads for the Delta(e) pre-computation loop (the dominant
+  /// Table 4 cost). 1 = serial; 0 or negative = hardware concurrency. The
+  /// result is bit-identical at any thread count (each shard owns its
+  /// estimator and scratch adjacency; see docs/PRECOMPUTE.md), so this knob
+  /// is deliberately NOT part of the precompute cache key.
+  int precompute_threads = 1;
+
   /// Use the first-order perturbation model for Delta(e) pre-computation
   /// instead of per-edge stochastic trace estimation: one top-eigenpair
   /// Lanczos run, then O(m) per candidate edge. Implements the paper's

@@ -1,0 +1,80 @@
+// Deterministic fork-join parallelism for the precompute hot loops.
+//
+// ParallelFor statically partitions [0, n) into `num_threads` contiguous
+// shards and runs one worker per shard. The partition depends only on
+// (n, num_threads) — never on scheduling — so a caller that gives every
+// shard its own scratch state (estimator, adjacency copy) and writes each
+// result into its own slot gets output that is bit-identical to a serial
+// run, at any thread count. This is the engine behind
+// PlanningContext::RunPrecompute's Delta(e) loop (see docs/PRECOMPUTE.md
+// for the determinism contract).
+#ifndef CTBUS_CORE_PARALLEL_FOR_H_
+#define CTBUS_CORE_PARALLEL_FOR_H_
+
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ctbus::core {
+
+/// Resolves a user-facing thread-count knob: values >= 1 pass through,
+/// anything else (0 or negative) means std::thread::hardware_concurrency()
+/// (minimum 1). Mirrors ServiceOptions::num_threads semantics.
+inline int ResolveThreadCount(int requested) {
+  if (requested >= 1) return requested;
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw >= 1 ? hw : 1;
+}
+
+/// Runs `body(shard, begin, end)` over a static partition of [0, n) into
+/// min(num_threads, n) contiguous shards. Shard `s` covers
+/// [s*n/T, (s+1)*n/T) — every index exactly once, shards within 1 of equal
+/// size. Blocks until all shards finish (fork-join). The calling thread
+/// executes shard 0, so `num_threads <= 1` (or n <= 1) degenerates to a
+/// plain inline loop with no thread spawn.
+///
+/// Exceptions thrown by any shard are captured; the first one (by shard
+/// id) is rethrown on the calling thread after all workers joined.
+inline void ParallelFor(int n, int num_threads,
+                        const std::function<void(int shard, int begin,
+                                                 int end)>& body) {
+  if (n <= 0) return;
+  const int shards = std::max(1, std::min(num_threads, n));
+  const auto shard_begin = [n, shards](int s) {
+    return static_cast<int>(static_cast<long long>(s) * n / shards);
+  };
+  if (shards == 1) {
+    body(0, 0, n);
+    return;
+  }
+
+  std::mutex error_mu;
+  int error_shard = shards;  // lowest shard id that threw
+  std::exception_ptr error;
+  const auto run_shard = [&](int s) {
+    try {
+      body(s, shard_begin(s), shard_begin(s + 1));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (s < error_shard) {
+        error_shard = s;
+        error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(shards - 1);
+  for (int s = 1; s < shards; ++s) {
+    workers.emplace_back(run_shard, s);
+  }
+  run_shard(0);
+  for (std::thread& worker : workers) worker.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ctbus::core
+
+#endif  // CTBUS_CORE_PARALLEL_FOR_H_

@@ -4,15 +4,111 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 #include "connectivity/bounds.h"
 #include "connectivity/edge_increment.h"
 #include "connectivity/perturbation.h"
+#include "core/parallel_for.h"
 #include "core/timing.h"
 #include "linalg/lanczos.h"
 #include "linalg/rng.h"
 
 namespace ctbus::core {
+
+namespace {
+
+/// Delta(e) via one stochastic trace estimate per edge, for the universe
+/// edges listed in `todo`, sharded over `num_threads` workers. Each shard
+/// owns a fresh adjacency copy and a fresh estimator; the estimator pins
+/// its probes from options.precompute_estimator.seed at construction, so
+/// every shard sees the same common random numbers and each edge's result
+/// is independent of sharding — bit-identical to a serial run.
+void ComputeStochasticIncrements(const graph::TransitNetwork& transit,
+                                 const CtBusOptions& options,
+                                 const EdgeUniverse& universe,
+                                 const std::vector<int>& todo,
+                                 int num_threads,
+                                 std::vector<double>* increments) {
+  // The base estimate is shard-independent (deterministic, pinned probes):
+  // compute it once instead of once per shard.
+  const double base = [&] {
+    const linalg::SymmetricSparseMatrix adjacency = transit.AdjacencyMatrix();
+    const connectivity::ConnectivityEstimator estimator(
+        transit.num_stops(), options.precompute_estimator);
+    return estimator.Estimate(adjacency);
+  }();
+  ParallelFor(static_cast<int>(todo.size()), num_threads,
+              [&](int /*shard*/, int begin, int end) {
+                linalg::SymmetricSparseMatrix adjacency =
+                    transit.AdjacencyMatrix();
+                const connectivity::ConnectivityEstimator estimator(
+                    transit.num_stops(), options.precompute_estimator);
+                for (int i = begin; i < end; ++i) {
+                  const PlannableEdge& edge = universe.edge(todo[i]);
+                  (*increments)[todo[i]] = std::max(
+                      0.0, connectivity::EdgeIncrement(
+                               &adjacency, base, estimator, edge.u, edge.v));
+                }
+              });
+}
+
+/// Delta(e) via the first-order perturbation model: one Lanczos eigenpair
+/// run on the calling thread, then the O(m)-per-edge evaluations sharded
+/// over `num_threads` workers (the model is immutable, so shards share it).
+void ComputePerturbationIncrements(const graph::TransitNetwork& transit,
+                                   const CtBusOptions& options,
+                                   const EdgeUniverse& universe,
+                                   const std::vector<int>& todo,
+                                   int num_threads,
+                                   std::vector<double>* increments) {
+  const linalg::SymmetricSparseMatrix adjacency = transit.AdjacencyMatrix();
+  const connectivity::ConnectivityEstimator estimator(
+      transit.num_stops(), options.precompute_estimator);
+  const double base_trace = estimator.EstimateTraceExp(adjacency);
+  const auto model = connectivity::PerturbationIncrementModel::Build(
+      adjacency, std::max(base_trace, 1e-12), {});
+  ParallelFor(static_cast<int>(todo.size()), num_threads,
+              [&](int /*shard*/, int begin, int end) {
+                for (int i = begin; i < end; ++i) {
+                  const PlannableEdge& edge = universe.edge(todo[i]);
+                  (*increments)[todo[i]] = std::max(
+                      0.0, model.EdgeIncrement(edge.u, edge.v));
+                }
+              });
+}
+
+/// Universe ids of every candidate (is_new) edge, in id order.
+std::vector<int> NewEdgeIds(const EdgeUniverse& universe) {
+  std::vector<int> ids;
+  ids.reserve(universe.num_new_edges());
+  for (int e = 0; e < universe.num_edges(); ++e) {
+    if (universe.edge(e).is_new) ids.push_back(e);
+  }
+  return ids;
+}
+
+/// Runs the configured Delta(e) pass for `todo` and fills in the stats.
+void RunIncrementPass(const graph::TransitNetwork& transit,
+                      const CtBusOptions& options,
+                      const EdgeUniverse& universe,
+                      const std::vector<int>& todo, Precompute* pre) {
+  const int threads =
+      std::max(1, std::min(ResolveThreadCount(options.precompute_threads),
+                           static_cast<int>(todo.size())));
+  if (options.use_perturbation_precompute) {
+    ComputePerturbationIncrements(transit, options, universe, todo, threads,
+                                  &pre->increments);
+  } else {
+    ComputeStochasticIncrements(transit, options, universe, todo, threads,
+                                &pre->increments);
+  }
+  pre->stats.num_increments_recomputed = static_cast<int>(todo.size());
+  pre->stats.threads_used = threads;
+}
+
+}  // namespace
 
 Precompute PlanningContext::RunPrecompute(
     const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
@@ -31,32 +127,77 @@ Precompute PlanningContext::RunPrecompute(
   // Phase 2: Delta(e) for every new edge (Table 4's "Connectivity"
   // column) — either one stochastic trace estimate per edge, or the
   // perturbation model (one Lanczos eigenpair run, then O(m) per edge).
+  // Sharded over options.precompute_threads; bit-identical to serial.
   start = std::chrono::steady_clock::now();
   pre.increments.assign(pre.universe.num_edges(), 0.0);
-  {
-    linalg::SymmetricSparseMatrix adjacency = transit.AdjacencyMatrix();
-    const connectivity::ConnectivityEstimator pre_estimator(
-        transit.num_stops(), options.precompute_estimator);
-    if (options.use_perturbation_precompute) {
-      const double base_trace = pre_estimator.EstimateTraceExp(adjacency);
-      const auto model = connectivity::PerturbationIncrementModel::Build(
-          adjacency, std::max(base_trace, 1e-12), {});
-      for (int e = 0; e < pre.universe.num_edges(); ++e) {
-        const PlannableEdge& edge = pre.universe.edge(e);
-        if (!edge.is_new) continue;
-        pre.increments[e] =
-            std::max(0.0, model.EdgeIncrement(edge.u, edge.v));
-      }
-    } else {
-      const double pre_base = pre_estimator.Estimate(adjacency);
-      for (int e = 0; e < pre.universe.num_edges(); ++e) {
-        const PlannableEdge& edge = pre.universe.edge(e);
-        if (!edge.is_new) continue;  // existing edges add no connectivity
-        pre.increments[e] = std::max(
-            0.0, connectivity::EdgeIncrement(&adjacency, pre_base,
-                                             pre_estimator, edge.u, edge.v));
+  RunIncrementPass(transit, options, pre.universe, NewEdgeIds(pre.universe),
+                   &pre);
+  pre.stats.increments_seconds = SecondsSince(start);
+  return pre;
+}
+
+Precompute PlanningContext::DerivePrecompute(const graph::RoadNetwork& road,
+                                             const graph::TransitNetwork& transit,
+                                             const CtBusOptions& options,
+                                             const Precompute& prev,
+                                             const SnapshotDelta& delta) {
+  Precompute pre;
+  pre.stats.derived = true;
+  pre.stats.derivation_depth = prev.stats.derivation_depth + 1;
+
+  // Phase 1 replacement: carry the shortest-path realizations over. The
+  // derived universe is bit-identical to EdgeUniverse::Build on the new
+  // networks (commits add transit edges and zero demand; they never move
+  // stops or change road topology).
+  auto start = std::chrono::steady_clock::now();
+  pre.universe = EdgeUniverse::DeriveFrom(prev.universe, road, transit);
+  pre.stats.universe_seconds = SecondsSince(start);
+  pre.stats.num_new_edges = pre.universe.num_new_edges();
+
+  start = std::chrono::steady_clock::now();
+  pre.increments.assign(pre.universe.num_edges(), 0.0);
+  if (options.use_perturbation_precompute) {
+    // The perturbation model is global (eigenpairs of the new adjacency),
+    // so every candidate is re-evaluated — O(m) per edge after one Lanczos
+    // run — keeping the derived result bit-identical to RunPrecompute.
+    RunIncrementPass(transit, options, pre.universe, NewEdgeIds(pre.universe),
+                     &pre);
+  } else {
+    // Stochastic path: recompute Delta(e) only for candidates with an
+    // endpoint among the delta's touched stops (their increments see the
+    // added edges at zeroth order); carry the rest over from the donor.
+    // Recomputed values are bit-identical to from-scratch; carried values
+    // differ only by the second-order interaction with the added edges.
+    std::vector<char> touched(transit.num_stops(), 0);
+    for (int s : delta.touched_stops) touched[s] = 1;
+    std::unordered_map<std::uint64_t, double> prev_increment;
+    prev_increment.reserve(prev.universe.num_new_edges());
+    const auto pair_key = [](int u, int v) {
+      return (static_cast<std::uint64_t>(u) << 32) |
+             static_cast<std::uint32_t>(v);
+    };
+    for (int e = 0; e < prev.universe.num_edges(); ++e) {
+      const PlannableEdge& edge = prev.universe.edge(e);
+      if (!edge.is_new) continue;
+      prev_increment.emplace(pair_key(edge.u, edge.v), prev.increments[e]);
+    }
+    std::vector<int> todo;
+    int carried = 0;
+    for (int e = 0; e < pre.universe.num_edges(); ++e) {
+      const PlannableEdge& edge = pre.universe.edge(e);
+      if (!edge.is_new) continue;
+      const auto it = touched[edge.u] || touched[edge.v]
+                          ? prev_increment.end()
+                          : prev_increment.find(pair_key(edge.u, edge.v));
+      if (it == prev_increment.end()) {
+        todo.push_back(e);  // touched, or (defensively) unknown to the donor
+      } else {
+        pre.increments[e] = it->second;
+        ++carried;
       }
     }
+    RunIncrementPass(transit, options, pre.universe, todo, &pre);
+    pre.stats.num_increments_carried = carried;
   }
   pre.stats.increments_seconds = SecondsSince(start);
   return pre;

@@ -19,17 +19,54 @@
 
 namespace ctbus::core {
 
-/// Wall-clock cost of the pre-computation phases (Table 4).
+/// Wall-clock cost of the pre-computation phases (Table 4), plus the
+/// provenance of a warm-started run.
 struct PrecomputeStats {
   double universe_seconds = 0.0;     // shortest-path realization
   double increments_seconds = 0.0;   // Delta(e) estimation
   int num_new_edges = 0;
+  /// True if this precompute was derived from a previous snapshot version
+  /// (DerivePrecompute) instead of computed from scratch.
+  bool derived = false;
+  /// Derivation chain length: 0 for a from-scratch precompute, donor's
+  /// depth + 1 for a derived one. On the stochastic path each hop can add
+  /// carry error, so the serving layer bounds this
+  /// (ServiceOptions::max_warm_start_depth) and prefers depth-0 donors.
+  int derivation_depth = 0;
+  /// Delta(e) evaluations actually executed in this run. From scratch this
+  /// equals num_new_edges; a warm start only evaluates the candidates
+  /// touched by the snapshot delta (stochastic path) or re-applies the
+  /// rebuilt O(m)-per-edge perturbation model (perturbation path).
+  int num_increments_recomputed = 0;
+  /// Delta(e) values carried over verbatim from the donor precompute.
+  int num_increments_carried = 0;
+  /// Shards actually used for the Delta(e) loop (after clamping
+  /// CtBusOptions::precompute_threads to the amount of work).
+  int threads_used = 1;
+};
+
+/// Edge-level difference between two snapshot versions of one city, as
+/// recorded by service::SnapshotStore::CommitRoute and consumed by
+/// PlanningContext::DerivePrecompute. A commit only ever *adds* transit
+/// edges and zeroes road demand, so the delta is purely additive.
+struct SnapshotDelta {
+  /// Stop pairs whose transit edge became active between the versions
+  /// (pairs that were already active-connected before are not listed).
+  std::vector<std::pair<int, int>> added_stop_pairs;
+  /// Sorted, deduplicated endpoints of added_stop_pairs. Candidates with
+  /// neither endpoint in this set keep their Delta(e) on a warm start.
+  std::vector<int> touched_stops;
+  /// Sorted, deduplicated road edges whose trip counts were zeroed
+  /// (demand changes propagate to every universe edge crossing them).
+  std::vector<int> changed_road_edges;
 };
 
 /// The expensive, parameter-sweep-invariant part of context construction:
 /// the plannable-edge universe (depends on tau) and the Delta(e)
 /// pre-computation (depends on the precompute estimator). Reusable across
-/// contexts with different k / w / Tn / sn.
+/// contexts with different k / w / Tn / sn. Immutable once built; the
+/// serving layer shares it across threads via shared_ptr<const Precompute>
+/// without further synchronization.
 struct Precompute {
   EdgeUniverse universe;
   std::vector<double> increments;
@@ -38,10 +75,36 @@ struct Precompute {
 
 class PlanningContext {
  public:
-  /// Runs only the expensive pre-computation phases.
+  /// Runs only the expensive pre-computation phases. The Delta(e) loop is
+  /// sharded over options.precompute_threads workers (1 = serial, <= 0 =
+  /// hardware concurrency); each shard owns its estimator and scratch
+  /// adjacency, so the result is bit-identical at any thread count for
+  /// both estimator paths. Thread-safe for concurrent callers (shares
+  /// nothing but its const inputs).
   static Precompute RunPrecompute(const graph::RoadNetwork& road,
                                   const graph::TransitNetwork& transit,
                                   const CtBusOptions& options);
+
+  /// Warm start: derives the precompute for the networks (road, transit)
+  /// from `prev`, the precompute of an *ancestor* snapshot version, given
+  /// the composed `delta` between the two versions. Requirements: same
+  /// city (stop set unchanged), same options (tau, detour, precompute
+  /// estimator), and the newer snapshot reachable from the older one by
+  /// CommitRoute steps only.
+  ///
+  /// The carried-over work: the universe's shortest-path realizations are
+  /// reused wholesale (bit-identical to EdgeUniverse::Build on the new
+  /// networks), and on the stochastic path the Delta(e) of candidates not
+  /// touching delta.touched_stops is carried from `prev` (exact for
+  /// recomputed candidates, first-order-accurate for carried ones). On the
+  /// perturbation path every candidate is re-evaluated against a model
+  /// rebuilt on the new adjacency — O(m) per edge — so the result is
+  /// bit-identical to RunPrecompute. See docs/PRECOMPUTE.md.
+  static Precompute DerivePrecompute(const graph::RoadNetwork& road,
+                                     const graph::TransitNetwork& transit,
+                                     const CtBusOptions& options,
+                                     const Precompute& prev,
+                                     const SnapshotDelta& delta);
 
   /// Builds the full context (runs RunPrecompute internally).
   /// `road` and `transit` must outlive it.
@@ -58,7 +121,11 @@ class PlanningContext {
 
   /// Shares an existing pre-computation without copying it — the context
   /// keeps the shared_ptr alive and reads the universe / increments in
-  /// place. This is the hot path of the serving layer's cache hits.
+  /// place. This is the hot path of the serving layer's cache hits: the
+  /// Precompute is immutable, so any number of contexts (on any threads)
+  /// may share one instance; each context only adds mutable state of its
+  /// own (scratch adjacency, estimator), which is what makes a *context*
+  /// single-threaded while the *precompute* is freely shared.
   static PlanningContext BuildWithPrecompute(
       const graph::RoadNetwork& road, const graph::TransitNetwork& transit,
       const CtBusOptions& options,

@@ -13,7 +13,9 @@ namespace ctbus::service {
 using core::SecondsSince;
 
 PlanningService::PlanningService(const ServiceOptions& options)
-    : cache_(options.cache_capacity),
+    : warm_start_precompute_(options.warm_start_precompute),
+      max_warm_start_depth_(std::max(1, options.max_warm_start_depth)),
+      cache_(options.cache_capacity),
       queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)) {
   int threads = options.num_threads;
   if (threads <= 0) {
@@ -122,18 +124,69 @@ std::uint64_t PlanningService::Commit(const ServiceResult& result) {
   }
   // The universe that maps the result's edge ids back to stop pairs lives
   // in the precompute for (dataset, version, tau); typically still hot.
-  const PrecomputeKey key =
-      MakePrecomputeKey(request.dataset, version, request.options);
-  const auto precompute = cache_.GetOrCompute(key, [&] {
-    return core::PlanningContext::RunPrecompute(
-        *snapshot->road, *snapshot->transit, request.options);
-  });
+  const auto precompute =
+      ResolvePrecompute(*store, request.dataset, *snapshot, request.options,
+                        /*cache_hit=*/nullptr, /*derived=*/nullptr);
   // Commit on top of *latest* (base 0), not the version the plan was
   // computed against: sequential commits of plans from one snapshot must
   // stack, not clobber each other. The universe still comes from the
   // planned-against version — that is what maps the result's edge ids.
   return store->CommitRoute(result.plan, precompute->universe,
                             /*base_version=*/0);
+}
+
+PrecomputeCache::PrecomputePtr PlanningService::ResolvePrecompute(
+    SnapshotStore& store, const std::string& dataset,
+    const NetworkSnapshot& snapshot, const core::CtBusOptions& options,
+    bool* cache_hit, bool* derived) {
+  const PrecomputeKey key =
+      MakePrecomputeKey(dataset, snapshot.version, options);
+  bool was_derived = false;
+  bool was_hit = false;
+  const auto precompute = cache_.GetOrCompute(
+      key,
+      [&]() -> core::Precompute {
+        if (warm_start_precompute_) {
+          // Donor choice: a from-scratch (depth-0) precompute anchors the
+          // derivation exactly, so prefer the nearest one even over a
+          // closer derived donor; deriving from derived donors is allowed
+          // up to max_warm_start_depth_ so stochastic carry error cannot
+          // compound without bound. ReadySiblings sorts by descending
+          // version; DeltaBetween rejects non-ancestors.
+          const auto siblings = cache_.ReadySiblings(key);
+          for (const bool scratch_only : {true, false}) {
+            for (const auto& [donor_version, donor] : siblings) {
+              if (donor_version >= snapshot.version) continue;
+              const int depth = donor->stats.derivation_depth;
+              if (scratch_only ? depth != 0
+                               : depth >= max_warm_start_depth_) {
+                continue;
+              }
+              const auto delta =
+                  store.DeltaBetween(donor_version, snapshot.version);
+              if (!delta.has_value()) continue;
+              was_derived = true;
+              return core::PlanningContext::DerivePrecompute(
+                  *snapshot.road, *snapshot.transit, options, *donor,
+                  *delta);
+            }
+          }
+        }
+        return core::PlanningContext::RunPrecompute(
+            *snapshot.road, *snapshot.transit, options);
+      },
+      &was_hit);
+  if (cache_hit != nullptr) *cache_hit = was_hit;
+  if (derived != nullptr) *derived = was_derived;
+  if (!was_hit) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (was_derived) {
+      ++service_stats_.precomputes_derived;
+    } else {
+      ++service_stats_.precomputes_from_scratch;
+    }
+  }
+  return precompute;
 }
 
 PlanningService::ServiceStats PlanningService::service_stats() const {
@@ -217,17 +270,12 @@ ServiceResult PlanningService::Execute(const PlanRequest& request,
   result.stats.worker_id = worker_id;
   result.stats.snapshot_version = snapshot->version;
 
-  const PrecomputeKey key = MakePrecomputeKey(
-      request.dataset, snapshot->version, request.options);
   auto timer = std::chrono::steady_clock::now();
-  const auto precompute = cache_.GetOrCompute(
-      key,
-      [&] {
-        return core::PlanningContext::RunPrecompute(
-            *snapshot->road, *snapshot->transit, request.options);
-      },
-      &result.stats.precompute_cache_hit);
+  const auto precompute = ResolvePrecompute(
+      *store, request.dataset, *snapshot, request.options,
+      &result.stats.precompute_cache_hit, &result.stats.precompute_derived);
   result.stats.precompute_seconds = SecondsSince(timer);
+  result.stats.precompute = precompute->stats;
 
   // Private context per request: queries share the immutable snapshot and
   // the const precompute (by shared_ptr, no copy), never the mutable

@@ -44,6 +44,18 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   /// Precompute cache entries (0 disables caching).
   std::size_t cache_capacity = 16;
+  /// On a precompute-cache miss, derive the precompute from a resident
+  /// ancestor version (PlanningContext::DerivePrecompute) instead of
+  /// recomputing from scratch, when the snapshot store can produce the
+  /// delta. Disable to force every miss down the from-scratch path (A/B
+  /// measurement, paranoia).
+  bool warm_start_precompute = true;
+  /// Bound on the stochastic path's carry-error compounding: a donor whose
+  /// derivation chain is already this deep is not derived from again (the
+  /// service falls back to an older shallower donor, or from scratch).
+  /// From-scratch donors are always preferred when resident, so chains
+  /// normally stay at depth 1; must be >= 1.
+  int max_warm_start_depth = 8;
 };
 
 struct PlanRequest {
@@ -60,6 +72,14 @@ struct RequestStats {
   /// The version actually planned against (resolved from 0 = latest).
   std::uint64_t snapshot_version = 0;
   bool precompute_cache_hit = false;
+  /// True if this request's cache miss was served by warm-starting from an
+  /// ancestor version's precompute rather than computing from scratch
+  /// (always false on a cache hit).
+  bool precompute_derived = false;
+  /// Provenance and phase timings of the precompute this request planned
+  /// over (shared with every other request on the same key): derivation
+  /// depth, recomputed/carried Delta(e) counts, threads used.
+  core::PrecomputeStats precompute;
   double queue_seconds = 0.0;       // Submit -> worker pickup
   double precompute_seconds = 0.0;  // cache lookup incl. compute on miss
   double context_seconds = 0.0;     // PlanningContext::BuildWithPrecompute
@@ -124,6 +144,10 @@ class PlanningService {
   struct ServiceStats {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
+    /// Cache misses answered from scratch vs. derived from an ancestor
+    /// version's precompute (Execute and Commit both count).
+    std::uint64_t precomputes_from_scratch = 0;
+    std::uint64_t precomputes_derived = 0;
   };
   ServiceStats service_stats() const;
 
@@ -144,6 +168,15 @@ class PlanningService {
   ServiceResult Execute(const PlanRequest& request, int worker_id);
   std::shared_ptr<SnapshotStore> Store(const std::string& dataset) const;
 
+  /// Cache lookup with warm start: on a miss, tries to derive from the
+  /// nearest resident ancestor version before computing from scratch.
+  PrecomputeCache::PrecomputePtr ResolvePrecompute(
+      SnapshotStore& store, const std::string& dataset,
+      const NetworkSnapshot& snapshot, const core::CtBusOptions& options,
+      bool* cache_hit, bool* derived);
+
+  const bool warm_start_precompute_;
+  const int max_warm_start_depth_;
   PrecomputeCache cache_;
   const std::size_t queue_capacity_;
 

@@ -1,5 +1,6 @@
 #include "service/precompute_cache.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace ctbus::service {
@@ -113,6 +114,26 @@ void PrecomputeCache::EvictReadyLocked() {
     ++stats_.evictions;
     --resident;
   }
+}
+
+std::vector<std::pair<std::uint64_t, PrecomputeCache::PrecomputePtr>>
+PrecomputeCache::ReadySiblings(const PrecomputeKey& key) const {
+  std::vector<std::pair<std::uint64_t, PrecomputePtr>> siblings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [resident_key, entry] : entries_) {
+      if (!entry.ready) continue;
+      if (resident_key.snapshot_version == key.snapshot_version) continue;
+      PrecomputeKey probe = resident_key;
+      probe.snapshot_version = key.snapshot_version;
+      if (!(probe == key)) continue;
+      siblings.emplace_back(resident_key.snapshot_version,
+                            entry.future.get());
+    }
+  }
+  std::sort(siblings.begin(), siblings.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return siblings;
 }
 
 bool PrecomputeCache::Contains(const PrecomputeKey& key) const {

@@ -11,6 +11,12 @@
 // first caller computes, later callers block on the same shared_future
 // instead of recomputing. Capacity 0 disables caching entirely (every call
 // computes, nothing is stored).
+//
+// Ownership: values are handed out as shared_ptr<const core::Precompute>.
+// Eviction only drops the cache's reference — callers (and the planning
+// contexts built over them) keep the object alive for as long as they
+// hold the pointer, and the const-ness makes cross-thread sharing safe
+// without further locking.
 #ifndef CTBUS_SERVICE_PRECOMPUTE_CACHE_H_
 #define CTBUS_SERVICE_PRECOMPUTE_CACHE_H_
 
@@ -71,6 +77,15 @@ class PrecomputeCache {
   PrecomputePtr GetOrCompute(const PrecomputeKey& key,
                              const ComputeFn& compute,
                              bool* was_hit = nullptr);
+
+  /// Warm-start donor lookup: every *ready* resident entry whose key
+  /// matches `key` on all fields except snapshot_version, returned as
+  /// (snapshot_version, value) pairs sorted by descending version (the
+  /// nearest ancestor first, in the common latest-chain case). In-flight
+  /// entries and `key`'s own version are excluded. Does not touch LRU
+  /// order — deriving from a donor is not a use of the donor's entry.
+  std::vector<std::pair<std::uint64_t, PrecomputePtr>> ReadySiblings(
+      const PrecomputeKey& key) const;
 
   /// True if `key` is resident (does not touch LRU order).
   bool Contains(const PrecomputeKey& key) const;

@@ -5,6 +5,11 @@
 // CommitRoute cannot split the sweep across city states; and because the
 // precompute key is independent of k / w / planner, the whole sweep costs
 // one precompute (the first cell misses, every other cell hits the cache).
+//
+// Thread-safety: a ScenarioRunner is a thin stateless fan-out over the
+// (thread-safe) PlanningService it borrows; distinct runners may share one
+// service, and Run may be called concurrently. The service must outlive
+// the runner.
 #ifndef CTBUS_SERVICE_SCENARIO_RUNNER_H_
 #define CTBUS_SERVICE_SCENARIO_RUNNER_H_
 

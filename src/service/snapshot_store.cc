@@ -1,13 +1,23 @@
 #include "service/snapshot_store.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace ctbus::service {
 
+namespace {
+
+void SortUnique(std::vector<int>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
+}  // namespace
+
 SnapshotStore::SnapshotStore(graph::RoadNetwork road,
                              graph::TransitNetwork transit) {
-  Publish(std::move(road), std::move(transit));
+  Publish(std::move(road), std::move(transit), /*parent_version=*/0, {});
 }
 
 SnapshotPtr SnapshotStore::Latest() const {
@@ -43,6 +53,25 @@ std::uint64_t SnapshotStore::CommitRoute(const core::PlanResult& result,
   if (base == nullptr) {
     throw std::invalid_argument("CommitRoute: unknown base version");
   }
+  // Record the edge-diff against the base before mutating: pairs that were
+  // not yet active-connected become transit edges, and every covered road
+  // edge has its demand zeroed. This lineage is what lets the precompute
+  // engine warm-start the new version (see DeltaBetween).
+  core::SnapshotDelta delta;
+  for (int e : result.path.edges()) {
+    const core::PlannableEdge& edge = universe.edge(e);
+    if (!base->transit->ActiveEdgeBetween(edge.u, edge.v).has_value()) {
+      delta.added_stop_pairs.emplace_back(edge.u, edge.v);
+      delta.touched_stops.push_back(edge.u);
+      delta.touched_stops.push_back(edge.v);
+    }
+    delta.changed_road_edges.insert(delta.changed_road_edges.end(),
+                                    edge.road_edges.begin(),
+                                    edge.road_edges.end());
+  }
+  SortUnique(&delta.touched_stops);
+  SortUnique(&delta.changed_road_edges);
+
   // Copy-on-write: mutate private copies, then publish atomically.
   graph::RoadNetwork road = *base->road;
   graph::TransitNetwork transit = *base->transit;
@@ -54,7 +83,41 @@ std::uint64_t SnapshotStore::CommitRoute(const core::PlanResult& result,
   for (int e : result.path.edges()) {
     road.ZeroTripCounts(universe.edge(e).road_edges);
   }
-  return Publish(std::move(road), std::move(transit));
+  return Publish(std::move(road), std::move(transit), base->version,
+                 std::move(delta));
+}
+
+std::uint64_t SnapshotStore::ParentVersion(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = lineage_.find(version);
+  return it == lineage_.end() ? 0 : it->second.parent_version;
+}
+
+std::optional<core::SnapshotDelta> SnapshotStore::DeltaBetween(
+    std::uint64_t from_version, std::uint64_t to_version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  core::SnapshotDelta composed;
+  std::uint64_t cursor = to_version;
+  while (cursor != from_version) {
+    const auto it = lineage_.find(cursor);
+    if (it == lineage_.end()) return std::nullopt;  // hit the root / unknown
+    const core::SnapshotDelta& step = it->second.delta;
+    composed.added_stop_pairs.insert(composed.added_stop_pairs.end(),
+                                     step.added_stop_pairs.begin(),
+                                     step.added_stop_pairs.end());
+    composed.touched_stops.insert(composed.touched_stops.end(),
+                                  step.touched_stops.begin(),
+                                  step.touched_stops.end());
+    composed.changed_road_edges.insert(composed.changed_road_edges.end(),
+                                       step.changed_road_edges.begin(),
+                                       step.changed_road_edges.end());
+    cursor = it->second.parent_version;
+  }
+  // A pair activated by one commit stays active, so pairs cannot repeat
+  // across the composed path; the id lists can, and are deduplicated.
+  SortUnique(&composed.touched_stops);
+  SortUnique(&composed.changed_road_edges);
+  return composed;
 }
 
 void SnapshotStore::Prune(std::size_t keep_latest) {
@@ -65,16 +128,22 @@ void SnapshotStore::Prune(std::size_t keep_latest) {
 }
 
 std::uint64_t SnapshotStore::Publish(graph::RoadNetwork road,
-                                     graph::TransitNetwork transit) {
+                                     graph::TransitNetwork transit,
+                                     std::uint64_t parent_version,
+                                     core::SnapshotDelta delta) {
   auto snapshot = std::make_shared<NetworkSnapshot>();
   snapshot->road =
       std::make_shared<const graph::RoadNetwork>(std::move(road));
   snapshot->transit =
       std::make_shared<const graph::TransitNetwork>(std::move(transit));
+  snapshot->parent_version = parent_version;
   std::lock_guard<std::mutex> lock(mu_);
   snapshot->version = next_version_++;
   latest_ = SnapshotPtr(std::move(snapshot));
   versions_[latest_->version] = latest_;
+  if (parent_version != 0) {
+    lineage_[latest_->version] = Lineage{parent_version, std::move(delta)};
+  }
   return latest_->version;
 }
 

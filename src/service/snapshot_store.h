@@ -6,6 +6,13 @@
 // never blocked, never invalidated, and keep their networks alive until
 // the last in-flight query drops its reference. This is the serving-layer
 // counterpart of CtBusPlanner's invalidate-and-rebuild semantics.
+//
+// Thread-safety: every public method may be called from any thread.
+// Reads take a short index lock; CommitRoute additionally serializes
+// against other commits (so stacked commits compose) but never holds the
+// index lock while copying networks. The store also records each commit's
+// lineage (parent version + edge-diff), which DeltaBetween composes into
+// the warm-start input of PlanningContext::DerivePrecompute.
 #ifndef CTBUS_SERVICE_SNAPSHOT_STORE_H_
 #define CTBUS_SERVICE_SNAPSHOT_STORE_H_
 
@@ -13,17 +20,22 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 
 #include "core/edge_universe.h"
 #include "core/eta.h"
+#include "core/planning_context.h"
 #include "graph/road_network.h"
 #include "graph/transit_network.h"
 
 namespace ctbus::service {
 
-/// One immutable version of a city's networks.
+/// One immutable version of a city's networks. `parent_version` is the
+/// version CommitRoute built this one from (0 for the seed version), which
+/// makes versions a tree; DeltaBetween walks it.
 struct NetworkSnapshot {
   std::uint64_t version = 0;
+  std::uint64_t parent_version = 0;
   std::shared_ptr<const graph::RoadNetwork> road;
   std::shared_ptr<const graph::TransitNetwork> transit;
 };
@@ -60,18 +72,48 @@ class SnapshotStore {
                             const core::EdgeUniverse& universe,
                             std::uint64_t base_version = 0);
 
+  /// The version `version` was committed on top of, or 0 for the seed
+  /// version (and for versions this store never published).
+  std::uint64_t ParentVersion(std::uint64_t version) const;
+
+  /// The composed edge-diff from `from_version` to `to_version`: the stop
+  /// pairs whose transit edges were activated, the stops they touch, and
+  /// the road edges whose demand was zeroed, accumulated over every commit
+  /// on the parent path from `to_version` back to `from_version`. Returns
+  /// nullopt when `from_version` is not an ancestor of `to_version` (the
+  /// versions sit on different branches of the commit tree), in which case
+  /// a warm start is impossible and callers fall back to a from-scratch
+  /// precompute. `from_version == to_version` yields an empty delta.
+  ///
+  /// Lineage records are tiny and deliberately survive Prune: a cached
+  /// precompute of a pruned version can still seed a warm start, because
+  /// DerivePrecompute needs only the *new* snapshot's networks plus the
+  /// delta, never the donor's networks.
+  std::optional<core::SnapshotDelta> DeltaBetween(
+      std::uint64_t from_version, std::uint64_t to_version) const;
+
   /// Drops all but the `keep_latest` newest versions from the index.
-  /// In-flight queries holding dropped snapshots keep them alive.
+  /// In-flight queries holding dropped snapshots keep them alive. Lineage
+  /// records (parent links + deltas) are kept — see DeltaBetween.
   void Prune(std::size_t keep_latest);
 
  private:
-  std::uint64_t Publish(graph::RoadNetwork road,
-                        graph::TransitNetwork transit);
+  /// One commit's worth of lineage: the parent version and the edge-diff
+  /// the commit applied to it.
+  struct Lineage {
+    std::uint64_t parent_version = 0;
+    core::SnapshotDelta delta;
+  };
+
+  std::uint64_t Publish(graph::RoadNetwork road, graph::TransitNetwork transit,
+                        std::uint64_t parent_version,
+                        core::SnapshotDelta delta);
 
   mutable std::mutex mu_;
   std::mutex commit_mu_;  // serializes CommitRoute end-to-end
   std::uint64_t next_version_ = 1;
   std::map<std::uint64_t, SnapshotPtr> versions_;
+  std::map<std::uint64_t, Lineage> lineage_;  // keyed by child version
   SnapshotPtr latest_;
 };
 

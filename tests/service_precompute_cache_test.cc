@@ -137,6 +137,56 @@ TEST(PrecomputeCacheTest, ConcurrentSameKeyComputesOnce) {
   for (double v : seen) EXPECT_EQ(v, 9.0);
 }
 
+TEST(PrecomputeCacheTest, ReadySiblingsFindsOtherVersionsOfSameParams) {
+  PrecomputeCache cache(8);
+  cache.GetOrCompute(Key("a", 1), [] { return FakePrecompute(1.0); });
+  cache.GetOrCompute(Key("a", 3), [] { return FakePrecompute(3.0); });
+  cache.GetOrCompute(Key("a", 2), [] { return FakePrecompute(2.0); });
+  cache.GetOrCompute(Key("a", 2, /*tau=*/750.0),
+                     [] { return FakePrecompute(9.0); });  // different params
+  cache.GetOrCompute(Key("b", 1), [] { return FakePrecompute(9.0); });
+
+  // Siblings of ("a", version 4): versions 3, 2, 1 — descending, own
+  // version excluded, other tau / dataset excluded.
+  const auto siblings = cache.ReadySiblings(Key("a", 4));
+  ASSERT_EQ(siblings.size(), 3u);
+  EXPECT_EQ(siblings[0].first, 3u);
+  EXPECT_EQ(siblings[1].first, 2u);
+  EXPECT_EQ(siblings[2].first, 1u);
+  EXPECT_EQ(siblings[0].second->increments[0], 3.0);
+
+  // The probed version itself is never its own donor.
+  const auto for_v2 = cache.ReadySiblings(Key("a", 2));
+  ASSERT_EQ(for_v2.size(), 2u);
+  EXPECT_EQ(for_v2[0].first, 3u);
+  EXPECT_EQ(for_v2[1].first, 1u);
+}
+
+TEST(PrecomputeCacheTest, ReadySiblingsExcludesInFlightEntries) {
+  PrecomputeCache cache(8);
+  cache.GetOrCompute(Key("a", 1), [] { return FakePrecompute(1.0); });
+  std::atomic<bool> release{false};
+  std::thread slow([&] {
+    cache.GetOrCompute(Key("a", 2), [&] {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return FakePrecompute(2.0);
+    });
+  });
+  while (!cache.Contains(Key("a", 2))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Version 2 is resident but still computing: not a usable donor.
+  const auto siblings = cache.ReadySiblings(Key("a", 3));
+  ASSERT_EQ(siblings.size(), 1u);
+  EXPECT_EQ(siblings[0].first, 1u);
+  release.store(true);
+  slow.join();
+  const auto after = cache.ReadySiblings(Key("a", 3));
+  EXPECT_EQ(after.size(), 2u);
+}
+
 TEST(PrecomputeCacheTest, ClearEmptiesTheCache) {
   PrecomputeCache cache(4);
   cache.GetOrCompute(Key("a", 1), [] { return FakePrecompute(1.0); });

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Doc-presence guard for public headers (stdlib only).
+
+Every header passed on the command line (the CI job passes
+src/service/*.h and src/core/planning_context.h, so newly added service
+headers are covered automatically by the glob) must open with a
+file-level comment: its first non-blank line must start with '//' or
+'/*', before any include guard or code. This keeps the serving layer's
+public surface documented.
+
+Usage: check_header_docs.py src/service/*.h [more headers...]
+Exits non-zero listing every undocumented header.
+"""
+
+import sys
+
+
+def has_file_comment(path):
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            return stripped.startswith("//") or stripped.startswith("/*")
+    return False
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_header_docs.py HEADER.h [HEADER.h ...]")
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            ok = has_file_comment(path)
+        except OSError as error:
+            print(f"{path}: {error}")
+            failures += 1
+            continue
+        if not ok:
+            print(f"{path}: missing file-level comment (the first non-blank "
+                  f"line must start a '//' or '/*' comment)")
+            failures += 1
+    if failures:
+        print(f"{failures} undocumented header(s)")
+        return 1
+    print(f"all {len(argv) - 1} header(s) documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the docs lint job (stdlib only).
+
+Verifies that every relative link target in the given markdown files
+exists on disk (anchors are stripped; pure-anchor and external http(s) /
+mailto links are skipped — CI must not depend on network reachability).
+
+Usage: check_markdown_links.py README.md docs/*.md
+Exits non-zero listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — target up to the first unescaped ')'; skips images'
+# leading '!' implicitly (the pattern matches the [..](..) core either way).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path):
+    broken = []
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    base = os.path.dirname(path)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(SKIP_PREFIXES):
+            continue
+        target_path = target.split("#", 1)[0]
+        if not target_path:
+            continue
+        resolved = os.path.normpath(os.path.join(base, target_path))
+        if not os.path.exists(resolved):
+            line = text.count("\n", 0, match.start()) + 1
+            broken.append((line, target, resolved))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_markdown_links.py FILE.md [FILE.md ...]")
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        if not os.path.exists(path):
+            print(f"{path}: file not found")
+            failures += 1
+            continue
+        for line, target, resolved in check_file(path):
+            print(f"{path}:{line}: broken link '{target}' "
+                  f"(resolved to '{resolved}')")
+            failures += 1
+    if failures:
+        print(f"{failures} broken link(s)")
+        return 1
+    print(f"all links OK in {len(argv) - 1} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
