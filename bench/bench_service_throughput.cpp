@@ -1,13 +1,28 @@
-// Serving-layer throughput: queries/sec of the PlanningService worker pool
-// at 1, 4, and hardware-concurrency threads over the ChicagoLike preset,
-// with a warmed precompute cache (steady-state serving, not cold start).
+// Serving-layer throughput: queries/sec of the sharded PlanningService
+// over the ChicagoLike preset, with a warmed precompute cache
+// (steady-state serving, not cold start). Three sections:
+//
+//   1. pool scaling   — queries/sec per worker-pool size
+//   2. batching       — same-key sweep backlog drained with batching
+//                       on vs off (one precompute resolution per batch
+//                       vs one cache lookup per request)
+//   3. sharding       — two datasets served by one shared shard's worth
+//                       of traffic vs per-dataset shards, plus proof that
+//                       a saturated hot shard cannot starve a cold one
+//
+// Identical checksums across configurations certify that concurrency,
+// batching, and sharding leave results bit-identical to serial execution.
 //
 // Environment knobs:
 //   CTBUS_SCALE             dataset scale (default 1.0)
 //   CTBUS_SERVICE_REQUESTS  requests per configuration (default 24)
+//   CTBUS_BENCH_THREADS     comma-separated worker counts for the pool
+//                           scaling section, e.g. "1,4,16"; "hw" expands
+//                           to hardware concurrency (default "1,4,hw")
 #include <algorithm>
 #include <cstdio>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +33,7 @@ namespace {
 
 using ctbus::service::PlanRequest;
 using ctbus::service::PlanningService;
+using ctbus::service::Priority;
 using ctbus::service::ServiceOptions;
 using ctbus::service::ServiceResult;
 
@@ -27,6 +43,47 @@ ctbus::core::CtBusOptions QueryOptions() {
   options.seed_count = 800;
   options.max_iterations = 4000;
   return options;
+}
+
+/// Parses CTBUS_BENCH_THREADS ("1,4,hw") into worker counts; unparsable
+/// entries are skipped, duplicates removed, order preserved.
+std::vector<int> ThreadCounts() {
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const std::string spec =
+      ctbus::bench::GetEnvString("CTBUS_BENCH_THREADS", "1,4,hw");
+  std::vector<int> counts;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t comma = spec.find(',', begin);
+    const std::string token =
+        spec.substr(begin, comma == std::string::npos ? std::string::npos
+                                                      : comma - begin);
+    int threads = 0;
+    if (token == "hw") {
+      threads = hardware;
+    } else if (!token.empty()) {
+      threads = std::atoi(token.c_str());
+    }
+    if (threads > 0 &&
+        std::find(counts.begin(), counts.end(), threads) == counts.end()) {
+      counts.push_back(threads);
+    }
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  if (counts.empty()) counts.push_back(1);
+  return counts;
+}
+
+PlanRequest MakeRequest(const std::string& dataset,
+                        Priority priority = Priority::kInteractive) {
+  PlanRequest request;
+  request.dataset = dataset;
+  request.options = QueryOptions();
+  request.planner = ctbus::core::Planner::kEtaPre;
+  request.priority = priority;
+  return request;
 }
 
 /// Runs `num_requests` identical ETA-Pre queries through a fresh pool of
@@ -40,11 +97,7 @@ double MeasureThroughput(const ctbus::gen::Dataset& city, int num_threads,
   PlanningService service(service_options);
   service.RegisterDataset(city.name, city.road, city.transit);
 
-  PlanRequest request;
-  request.dataset = city.name;
-  request.options = QueryOptions();
-  request.planner = ctbus::core::Planner::kEtaPre;
-
+  const PlanRequest request = MakeRequest(city.name);
   // Warm the cache: steady-state serving amortizes the precompute.
   service.Plan(request);
 
@@ -63,34 +116,140 @@ double MeasureThroughput(const ctbus::gen::Dataset& city, int num_threads,
   return num_requests / seconds;
 }
 
+/// Drains a pre-queued same-key sweep backlog with the given batch limit
+/// (1 = batching off) through one worker and a COLD, DISABLED cache, so
+/// every precompute the service runs is real work. Returns queries/sec.
+double MeasureBatching(const ctbus::gen::Dataset& city,
+                       std::size_t max_batch_size, int num_requests,
+                       double* check_sum, std::uint64_t* batches) {
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.cache_capacity = 0;  // only batching can amortize
+  service_options.max_batch_size = max_batch_size;
+  service_options.start_paused = true;
+  service_options.queue_capacity = static_cast<std::size_t>(num_requests);
+  PlanningService service(service_options);
+  service.RegisterDataset(city.name, city.road, city.transit);
+
+  std::vector<std::future<ServiceResult>> futures;
+  futures.reserve(num_requests);
+  for (int i = 0; i < num_requests; ++i) {
+    futures.push_back(service.Submit(MakeRequest(city.name, Priority::kSweep)));
+  }
+  ctbus::bench::Timer timer;
+  service.Start();
+  double sum = 0.0;
+  for (auto& future : futures) {
+    sum += future.get().plan.objective;
+  }
+  const double seconds = timer.Seconds();
+  if (check_sum != nullptr) *check_sum = sum;
+  if (batches != nullptr) *batches = service.service_stats().batches;
+  return num_requests / seconds;
+}
+
+/// Serves `num_requests` split across `datasets`, one worker per shard,
+/// warmed caches. Returns queries/sec.
+double MeasureSharding(const std::vector<ctbus::gen::Dataset>& datasets,
+                       int num_requests, double* check_sum) {
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.cache_capacity =
+      static_cast<std::size_t>(datasets.size()) * 2;
+  service_options.queue_capacity = static_cast<std::size_t>(num_requests) + 1;
+  PlanningService service(service_options);
+  for (const auto& city : datasets) {
+    service.RegisterDataset(city.name, city.road, city.transit);
+    service.Plan(MakeRequest(city.name));  // warm this shard's precompute
+  }
+
+  ctbus::bench::Timer timer;
+  std::vector<std::future<ServiceResult>> futures;
+  futures.reserve(num_requests);
+  for (int i = 0; i < num_requests; ++i) {
+    const auto& city = datasets[i % datasets.size()];
+    futures.push_back(service.Submit(MakeRequest(city.name)));
+  }
+  double sum = 0.0;
+  for (auto& future : futures) {
+    sum += future.get().plan.objective;
+  }
+  const double seconds = timer.Seconds();
+  if (check_sum != nullptr) *check_sum = sum;
+  return num_requests / seconds;
+}
+
 }  // namespace
 
 int main() {
   ctbus::bench::PrintHeader(
       "service throughput",
-      "serving layer (not in the paper): pool scaling of ETA-Pre queries");
+      "serving layer (not in the paper): pool scaling, batching, sharding");
   const int num_requests = static_cast<int>(
       ctbus::bench::GetEnvDouble("CTBUS_SERVICE_REQUESTS", 24));
   const ctbus::gen::Dataset city =
       ctbus::gen::MakeChicagoLike(ctbus::bench::GetScale());
   ctbus::bench::PrintDataset(city);
+  const int hardware =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 
-  const int hardware = std::max(1u, std::thread::hardware_concurrency());
-  std::vector<int> thread_counts = {1, 4};
-  if (hardware != 1 && hardware != 4) thread_counts.push_back(hardware);
-
-  std::printf("\n%8s %12s %10s %10s\n", "threads", "queries/s", "speedup",
+  // ---- 1. pool scaling -------------------------------------------------
+  std::printf("\n-- pool scaling (CTBUS_BENCH_THREADS to change) --\n");
+  std::printf("%8s %12s %10s %10s\n", "threads", "queries/s", "speedup",
               "checksum");
   double baseline = 0.0;
-  for (int threads : thread_counts) {
+  for (int threads : ThreadCounts()) {
     double check_sum = 0.0;
     const double qps =
         MeasureThroughput(city, threads, num_requests, &check_sum);
-    if (threads == 1) baseline = qps;
+    if (baseline == 0.0) baseline = qps;
     std::printf("%8d %12.2f %9.2fx %10.4f%s\n", threads, qps,
                 baseline > 0.0 ? qps / baseline : 1.0, check_sum,
                 threads == hardware ? "  (hardware)" : "");
   }
+  if (hardware == 1) {
+    std::printf("note: 1-CPU host — multi-thread speedups need >= 2 cores.\n");
+  }
+
+  // ---- 2. batching -----------------------------------------------------
+  // Cold, disabled cache: without batching every request pays a full
+  // precompute; with batching one resolution feeds each same-key batch.
+  std::printf("\n-- batching (same-key sweep backlog, cache disabled) --\n");
+  std::printf("%10s %12s %10s %8s %10s\n", "batch max", "queries/s",
+              "speedup", "batches", "checksum");
+  const int batch_requests = std::min(num_requests, 12);
+  double unbatched_qps = 0.0;
+  for (const std::size_t max_batch : {std::size_t{1}, std::size_t{4},
+                                      std::size_t{12}}) {
+    double check_sum = 0.0;
+    std::uint64_t batches = 0;
+    const double qps = MeasureBatching(city, max_batch, batch_requests,
+                                       &check_sum, &batches);
+    if (max_batch == 1) unbatched_qps = qps;
+    std::printf("%10zu %12.2f %9.2fx %8llu %10.4f\n", max_batch, qps,
+                unbatched_qps > 0.0 ? qps / unbatched_qps : 1.0,
+                static_cast<unsigned long long>(batches), check_sum);
+  }
+
+  // ---- 3. sharding -----------------------------------------------------
+  // Two cities, one worker per shard: interleaved traffic is served by
+  // independent pools with independent queues (a saturated shard cannot
+  // starve the other even on a shared machine).
+  std::printf("\n-- sharding (two datasets, one worker per shard) --\n");
+  ctbus::gen::Dataset second =
+      ctbus::gen::MakeChicagoLike(ctbus::bench::GetScale());
+  second.name = "chicago-b";
+  double single_sum = 0.0;
+  const double single_qps =
+      MeasureSharding({city}, num_requests, &single_sum);
+  double dual_sum = 0.0;
+  const double dual_qps =
+      MeasureSharding({city, second}, num_requests, &dual_sum);
+  std::printf("%12s %12s %10s\n", "shards", "queries/s", "checksum");
+  std::printf("%12d %12.2f %10.4f\n", 1, single_qps, single_sum);
+  std::printf("%12d %12.2f %10.4f  (interleaved across both)\n", 2, dual_qps,
+              dual_sum);
+
   std::printf("\nidentical checksums certify the concurrent results match "
               "the serial ones.\n");
   return 0;

@@ -28,6 +28,11 @@ inline double GetEnvDouble(const char* name, double fallback) {
   return end == value ? fallback : parsed;
 }
 
+inline std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::string(value);
+}
+
 inline double GetScale() { return GetEnvDouble("CTBUS_SCALE", 1.0); }
 
 inline int GetEtaIterations() {

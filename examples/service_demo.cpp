@@ -33,13 +33,15 @@ int main() {
 
   // 2. Register a city from the preset registry (any gen::DatasetNames()).
   service.RegisterPreset("midtown");
-  std::printf("registered 'midtown' at snapshot v%llu, %d workers\n\n",
-              static_cast<unsigned long long>(service.LatestVersion("midtown")),
-              service.num_threads());
+  std::printf(
+      "registered 'midtown' at snapshot v%llu, %d workers on its shard\n\n",
+      static_cast<unsigned long long>(service.LatestVersion("midtown")),
+      service.num_threads());
 
   // 3. A what-if sweep: 2 route lengths x 3 demand/connectivity weights,
-  //    all answered concurrently against one pinned snapshot, all sharing
-  //    one precompute.
+  //    all submitted at sweep priority against one pinned snapshot. Cells
+  //    sharing the precompute key execute as batches, and the whole sweep
+  //    costs one precompute.
   ctbus::service::SweepSpec spec;
   spec.dataset = "midtown";
   spec.base.k = 8;
@@ -75,10 +77,11 @@ int main() {
     return 0;
   }
 
-  // 4. Commit the winning scenario: publishes snapshot v2. Queries pinned
-  //    to v1 still replay bit-identically; latest-version queries see the
-  //    new route's demand already served.
-  const std::uint64_t v2 = service.Commit(best->result);
+  // 4. Commit the winning scenario off-thread: the async pipeline applies
+  //    it FIFO while readers keep serving v1; the future delivers the new
+  //    version id. Queries pinned to v1 still replay bit-identically;
+  //    latest-version queries see the new route's demand already served.
+  const std::uint64_t v2 = service.CommitAsync(best->result).get();
   std::printf("\ncommitted best route (k=%d, w=%.2f) -> snapshot v%llu\n",
               best->k, best->w, static_cast<unsigned long long>(v2));
 

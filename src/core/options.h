@@ -15,7 +15,11 @@ struct CtBusOptions {
   double w = 0.5;
 
   /// Straight-line distance threshold tau between neighbor stops for
-  /// candidate new edges, meters (the paper fixes 0.5 km).
+  /// candidate new edges, meters (the paper fixes 0.5 km). Together with
+  /// precompute_estimator and use_perturbation_precompute, tau determines
+  /// the precompute output — the serving layer keys its cache AND its
+  /// request batches on exactly these fields (service/precompute_cache.h),
+  /// while k / w / max_turns / seed_count / planner stay sweepable for free.
   double tau = 500.0;
 
   /// Turn threshold Tn: candidates with tn(mu) >= Tn stop expanding.

@@ -12,21 +12,34 @@ namespace ctbus::service {
 
 using core::SecondsSince;
 
+namespace {
+
+/// The batch identity of a request: everything its precompute resolution
+/// depends on, with snapshot_version taken *as submitted* (0 = "latest"
+/// stays 0, so only requests that will resolve "latest" together group
+/// together; pinned versions only group with the same pin).
+PrecomputeKey BatchKeyOf(const PlanRequest& request) {
+  return MakePrecomputeKey(request.dataset, request.snapshot_version,
+                           request.options);
+}
+
+}  // namespace
+
 PlanningService::PlanningService(const ServiceOptions& options)
     : warm_start_precompute_(options.warm_start_precompute),
       max_warm_start_depth_(std::max(1, options.max_warm_start_depth)),
       cache_(options.cache_capacity),
-      queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)) {
+      queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)),
+      max_batch_size_(std::max<std::size_t>(1, options.max_batch_size)),
+      overflow_policy_(options.overflow_policy),
+      paused_(options.start_paused) {
   int threads = options.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
     if (threads <= 0) threads = 1;
   }
-  workers_.reserve(threads);
-  live_workers_ = threads;
-  for (int i = 0; i < threads; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
-  }
+  threads_per_shard_ = threads;
+  commit_worker_ = std::thread([this] { CommitLoop(); });
 }
 
 PlanningService::~PlanningService() { Shutdown(); }
@@ -34,12 +47,24 @@ PlanningService::~PlanningService() { Shutdown(); }
 void PlanningService::RegisterDataset(const std::string& name,
                                       graph::RoadNetwork road,
                                       graph::TransitNetwork transit) {
-  auto store = std::make_shared<SnapshotStore>(std::move(road),
-                                               std::move(transit));
+  auto shard = std::make_shared<Shard>(std::make_shared<SnapshotStore>(
+      std::move(road), std::move(transit)));
   std::lock_guard<std::mutex> lock(datasets_mu_);
-  if (!datasets_.emplace(name, std::move(store)).second) {
+  if (shutting_down_.load()) {
+    throw std::runtime_error("RegisterDataset after Shutdown");
+  }
+  if (shards_.count(name) > 0) {
     throw std::invalid_argument("RegisterDataset: duplicate name " + name);
   }
+  shard->live_workers = threads_per_shard_;
+  shard->workers.reserve(threads_per_shard_);
+  Shard* raw = shard.get();
+  for (int i = 0; i < threads_per_shard_; ++i) {
+    const int worker_id = next_worker_id_.fetch_add(1);
+    shard->workers.emplace_back(
+        [this, raw, worker_id] { WorkerLoop(raw, worker_id); });
+  }
+  shards_.emplace(name, std::move(shard));
 }
 
 void PlanningService::RegisterPreset(const std::string& name, double scale) {
@@ -49,25 +74,30 @@ void PlanningService::RegisterPreset(const std::string& name, double scale) {
 
 bool PlanningService::HasDataset(const std::string& name) const {
   std::lock_guard<std::mutex> lock(datasets_mu_);
-  return datasets_.count(name) > 0;
+  return shards_.count(name) > 0;
 }
 
 std::vector<std::string> PlanningService::DatasetNames() const {
   std::lock_guard<std::mutex> lock(datasets_mu_);
   std::vector<std::string> names;
-  names.reserve(datasets_.size());
-  for (const auto& [name, store] : datasets_) names.push_back(name);
+  names.reserve(shards_.size());
+  for (const auto& [name, shard] : shards_) names.push_back(name);
   return names;
+}
+
+std::shared_ptr<PlanningService::Shard> PlanningService::FindShard(
+    const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(datasets_mu_);
+  const auto it = shards_.find(dataset);
+  if (it == shards_.end()) {
+    throw std::invalid_argument("unknown dataset: " + dataset);
+  }
+  return it->second;
 }
 
 std::shared_ptr<SnapshotStore> PlanningService::Store(
     const std::string& dataset) const {
-  std::lock_guard<std::mutex> lock(datasets_mu_);
-  const auto it = datasets_.find(dataset);
-  if (it == datasets_.end()) {
-    throw std::invalid_argument("unknown dataset: " + dataset);
-  }
-  return it->second;
+  return FindShard(dataset)->store;
 }
 
 std::uint64_t PlanningService::LatestVersion(
@@ -81,11 +111,30 @@ SnapshotPtr PlanningService::Snapshot(const std::string& dataset,
   return version == 0 ? store->Latest() : store->Get(version);
 }
 
+void PlanningService::Start() {
+  if (!paused_.exchange(false)) return;
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(datasets_mu_);
+    for (const auto& [name, shard] : shards_) shards.push_back(shard);
+  }
+  for (const auto& shard : shards) {
+    // Empty critical section: a worker that read paused_ == true inside
+    // its wait predicate either holds mu (we wait for it) or is about to
+    // re-check after our notify. Never signal a cv without this handshake.
+    { std::lock_guard<std::mutex> lock(shard->mu); }
+    shard->not_empty.notify_all();
+  }
+}
+
 std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
-  Store(request.dataset);  // validate the dataset name up front
+  const auto shard = FindShard(request.dataset);
   Task task;
   task.request = std::move(request);
   task.submit_time = std::chrono::steady_clock::now();
+  if (task.request.priority == Priority::kSweep) {
+    task.batch_key = BatchKeyOf(task.request);  // outside the shard lock
+  }
   std::future<ServiceResult> future = task.promise.get_future();
   // Count the submission before the task becomes visible to workers, so
   // completed can never be observed ahead of submitted.
@@ -94,19 +143,32 @@ std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
     ++service_stats_.submitted;
   }
   {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    queue_not_full_.wait(lock, [this] {
-      return shutting_down_ || queue_.size() < queue_capacity_;
+    std::unique_lock<std::mutex> lock(shard->mu);
+    if (overflow_policy_ == OverflowPolicy::kReject &&
+        shard->queued() >= queue_capacity_ && !shutting_down_.load()) {
+      lock.unlock();
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      --service_stats_.submitted;
+      ++service_stats_.rejected;
+      throw std::runtime_error("PlanningService: shard queue full for " +
+                               task.request.dataset);
+    }
+    shard->not_full.wait(lock, [this, &shard] {
+      return shutting_down_.load() || shard->queued() < queue_capacity_;
     });
-    if (shutting_down_) {
+    if (shutting_down_.load()) {
       lock.unlock();
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       --service_stats_.submitted;
       throw std::runtime_error("PlanningService: Submit after Shutdown");
     }
-    queue_.push_back(std::move(task));
+    if (task.request.priority == Priority::kInteractive) {
+      shard->interactive.push_back(std::move(task));
+    } else {
+      shard->sweep.push_back(std::move(task));
+    }
   }
-  queue_not_empty_.notify_one();
+  shard->not_empty.notify_one();
   return future;
 }
 
@@ -115,6 +177,25 @@ ServiceResult PlanningService::Plan(PlanRequest request) {
 }
 
 std::uint64_t PlanningService::Commit(const ServiceResult& result) {
+  return CommitNow(result);
+}
+
+std::future<std::uint64_t> PlanningService::CommitAsync(ServiceResult result) {
+  CommitTask task;
+  task.result = std::move(result);
+  std::future<std::uint64_t> future = task.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    if (commit_shutdown_) {
+      throw std::runtime_error("PlanningService: CommitAsync after Shutdown");
+    }
+    commit_queue_.push_back(std::move(task));
+  }
+  commit_cv_.notify_one();
+  return future;
+}
+
+std::uint64_t PlanningService::CommitNow(const ServiceResult& result) {
   const PlanRequest& request = result.request;
   const auto store = Store(request.dataset);
   const std::uint64_t version = result.stats.snapshot_version;
@@ -133,6 +214,31 @@ std::uint64_t PlanningService::Commit(const ServiceResult& result) {
   // planned-against version — that is what maps the result's edge ids.
   return store->CommitRoute(result.plan, precompute->universe,
                             /*base_version=*/0);
+}
+
+void PlanningService::CommitLoop() {
+  for (;;) {
+    CommitTask task;
+    {
+      std::unique_lock<std::mutex> lock(commit_mu_);
+      commit_cv_.wait(lock, [this] {
+        return commit_shutdown_ || !commit_queue_.empty();
+      });
+      if (commit_queue_.empty()) return;  // shutting down and drained
+      task = std::move(commit_queue_.front());
+      commit_queue_.pop_front();
+    }
+    try {
+      const std::uint64_t version = CommitNow(task.result);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++service_stats_.async_commits;
+      }
+      task.promise.set_value(version);
+    } catch (...) {
+      task.promise.set_exception(std::current_exception());
+    }
+  }
 }
 
 PrecomputeCache::PrecomputePtr PlanningService::ResolvePrecompute(
@@ -194,50 +300,200 @@ PlanningService::ServiceStats PlanningService::service_stats() const {
   return service_stats_;
 }
 
+int PlanningService::num_workers() const { return next_worker_id_.load(); }
+
 void PlanningService::Shutdown() {
-  // Claim the worker threads under the lock so concurrent Shutdown calls
-  // (e.g. an explicit call racing the destructor) each join a disjoint —
-  // possibly empty — set instead of double-joining the same threads.
-  std::vector<std::thread> claimed;
+  // Wake every shard. The store-then-lock-then-notify handshake guarantees
+  // a waiter either sees shutting_down_ or has not yet evaluated its
+  // predicate (it holds mu while doing so).
+  shutting_down_.store(true);
+  std::vector<std::shared_ptr<Shard>> shards;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    shutting_down_ = true;
-    claimed.swap(workers_);
+    std::lock_guard<std::mutex> lock(datasets_mu_);
+    for (const auto& [name, shard] : shards_) shards.push_back(shard);
   }
-  queue_not_empty_.notify_all();
-  queue_not_full_.notify_all();
-  for (std::thread& worker : claimed) {
-    if (worker.joinable()) worker.join();
+  for (const auto& shard : shards) {
+    // Claim the worker threads under the lock so concurrent Shutdown calls
+    // (e.g. an explicit call racing the destructor) each join a disjoint —
+    // possibly empty — set instead of double-joining the same threads.
+    std::vector<std::thread> claimed;
+    {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      claimed.swap(shard->workers);
+    }
+    shard->not_empty.notify_all();
+    shard->not_full.notify_all();
+    for (std::thread& worker : claimed) {
+      if (worker.joinable()) worker.join();
+    }
+    // A caller that claimed no threads (another Shutdown got there first)
+    // must still not return until every worker has left WorkerLoop —
+    // otherwise the destructor could tear members down under a live worker.
+    std::unique_lock<std::mutex> lock(shard->mu);
+    shard->workers_done.wait(lock,
+                             [&shard] { return shard->live_workers == 0; });
   }
-  // A caller that claimed no threads (another Shutdown got there first)
-  // must still not return until every worker has left WorkerLoop —
-  // otherwise the destructor could tear members down under a live worker.
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  workers_done_.wait(lock, [this] { return live_workers_ == 0; });
+  // Drain the commit pipeline after the plan queues: workers are gone, so
+  // no new CommitAsync producer is racing the drain from inside the
+  // service (external callers now get a throw).
+  std::thread commit_claimed;
+  {
+    std::lock_guard<std::mutex> lock(commit_mu_);
+    commit_shutdown_ = true;
+    commit_claimed.swap(commit_worker_);
+  }
+  commit_cv_.notify_all();
+  if (commit_claimed.joinable()) commit_claimed.join();
 }
 
-void PlanningService::WorkerLoop(int worker_id) {
+void PlanningService::WorkerLoop(Shard* shard, int worker_id) {
   for (;;) {
-    Task task;
+    std::vector<Task> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_not_empty_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {  // shutting down and drained
-        --live_workers_;
-        if (live_workers_ == 0) workers_done_.notify_all();
+      std::unique_lock<std::mutex> lock(shard->mu);
+      shard->not_empty.wait(lock, [this, shard] {
+        return shutting_down_.load() ||
+               (!paused_.load() && shard->queued() > 0);
+      });
+      if (shard->queued() == 0) {  // shutting down and drained
+        --shard->live_workers;
+        if (shard->live_workers == 0) shard->workers_done.notify_all();
         return;
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      batch = NextBatchLocked(shard);
     }
-    queue_not_full_.notify_one();
-    const double queue_seconds = SecondsSince(task.submit_time);
+    // A batch may have freed several queue slots at once.
+    if (batch.size() > 1) {
+      shard->not_full.notify_all();
+    } else {
+      shard->not_full.notify_one();
+    }
+    ExecuteBatch(shard, std::move(batch), worker_id);
+  }
+}
+
+std::vector<PlanningService::Task> PlanningService::NextBatchLocked(
+    Shard* shard) {
+  std::vector<Task> batch;
+  // Strict two-level priority: any queued interactive request preempts the
+  // whole sweep backlog. Interactive requests execute one per dequeue.
+  if (!shard->interactive.empty()) {
+    batch.push_back(std::move(shard->interactive.front()));
+    shard->interactive.pop_front();
+    return batch;
+  }
+  batch.push_back(std::move(shard->sweep.front()));
+  shard->sweep.pop_front();
+  if (max_batch_size_ <= 1) return batch;
+  // Gather every queued sweep request with the same batch key (computed
+  // once at Submit), preserving submission order among the gathered
+  // members (order within a batch does not affect results — each member
+  // plans in a private context — but keeps completion order intuitive).
+  // One copy, not a reference: push_back below may reallocate `batch`.
+  const PrecomputeKey key = batch.front().batch_key;
+  for (auto it = shard->sweep.begin();
+       it != shard->sweep.end() && batch.size() < max_batch_size_;) {
+    if (it->batch_key == key) {
+      batch.push_back(std::move(*it));
+      it = shard->sweep.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
+                                   int worker_id) {
+  const auto pickup_time = std::chrono::steady_clock::now();
+  if (batch.size() > 1) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++service_stats_.batches;
+    service_stats_.batched_requests += batch.size() - 1;
+  }
+
+  // Every member shares the same as-submitted version (it is part of the
+  // batch key), so one resolution pins the snapshot for the whole batch.
+  // In particular all "latest" members see the same latest, even if a
+  // commit lands while the batch is executing.
+  const std::uint64_t requested_version = batch.front().request.snapshot_version;
+  SnapshotPtr snapshot;
+  PrecomputeCache::PrecomputePtr precompute;
+  bool leader_hit = false;
+  bool leader_derived = false;
+  double precompute_seconds = 0.0;
+  std::exception_ptr failure;
+  try {
+    snapshot = requested_version == 0 ? shard->store->Latest()
+                                      : shard->store->Get(requested_version);
+    if (snapshot == nullptr) {
+      throw std::invalid_argument("unknown snapshot version for dataset " +
+                                  batch.front().request.dataset);
+    }
+    const auto timer = std::chrono::steady_clock::now();
+    precompute = ResolvePrecompute(*shard->store,
+                                   batch.front().request.dataset, *snapshot,
+                                   batch.front().request.options, &leader_hit,
+                                   &leader_derived);
+    precompute_seconds = SecondsSince(timer);
+  } catch (...) {
+    failure = std::current_exception();
+  }
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Task& task = batch[i];
     // Count completion before fulfilling the promise, so a caller woken by
     // the future observes the counter already advanced.
+    if (failure != nullptr) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++service_stats_.completed;
+      }
+      task.promise.set_exception(failure);
+      continue;
+    }
     try {
-      ServiceResult result = Execute(task.request, worker_id);
-      result.stats.queue_seconds = queue_seconds;
+      ServiceResult result;
+      result.request = task.request;
+      result.request.snapshot_version = snapshot->version;  // resolved
+      result.stats.snapshot_version = snapshot->version;
+      result.stats.worker_id = worker_id;
+      result.stats.batch_size = batch.size();
+      result.stats.execute_sequence = execute_sequence_.fetch_add(1);
+      result.stats.queue_seconds =
+          std::chrono::duration<double>(pickup_time - task.submit_time)
+              .count();
+      // The leader (first member) carries the true resolution provenance;
+      // members were fed by it without touching the cache, which is
+      // indistinguishable from a hit for accounting purposes.
+      result.stats.precompute_cache_hit = i == 0 ? leader_hit : true;
+      result.stats.precompute_derived = i == 0 ? leader_derived : false;
+      result.stats.precompute_seconds = i == 0 ? precompute_seconds : 0.0;
+      result.stats.precompute = precompute->stats;
+
+      // Private context per request: queries share the immutable snapshot
+      // and the const precompute (by shared_ptr, no copy), never the
+      // mutable search scratch.
+      auto timer = std::chrono::steady_clock::now();
+      core::PlanningContext context =
+          core::PlanningContext::BuildWithPrecompute(
+              *snapshot->road, *snapshot->transit, task.request.options,
+              precompute);
+      result.stats.context_seconds = SecondsSince(timer);
+
+      timer = std::chrono::steady_clock::now();
+      switch (task.request.planner) {
+        case core::Planner::kEta:
+          result.plan = core::RunEta(&context, core::SearchMode::kOnline);
+          break;
+        case core::Planner::kEtaPre:
+          result.plan = core::RunEta(&context, core::SearchMode::kPrecomputed);
+          break;
+        case core::Planner::kVkTsp:
+          result.plan = core::RunVkTsp(&context);
+          break;
+      }
+      result.stats.plan_seconds = SecondsSince(timer);
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++service_stats_.completed;
@@ -251,54 +507,6 @@ void PlanningService::WorkerLoop(int worker_id) {
       task.promise.set_exception(std::current_exception());
     }
   }
-}
-
-ServiceResult PlanningService::Execute(const PlanRequest& request,
-                                       int worker_id) {
-  const auto store = Store(request.dataset);
-  const SnapshotPtr snapshot = request.snapshot_version == 0
-                                   ? store->Latest()
-                                   : store->Get(request.snapshot_version);
-  if (snapshot == nullptr) {
-    throw std::invalid_argument("unknown snapshot version for dataset " +
-                                request.dataset);
-  }
-
-  ServiceResult result;
-  result.request = request;
-  result.request.snapshot_version = snapshot->version;  // resolved
-  result.stats.worker_id = worker_id;
-  result.stats.snapshot_version = snapshot->version;
-
-  auto timer = std::chrono::steady_clock::now();
-  const auto precompute = ResolvePrecompute(
-      *store, request.dataset, *snapshot, request.options,
-      &result.stats.precompute_cache_hit, &result.stats.precompute_derived);
-  result.stats.precompute_seconds = SecondsSince(timer);
-  result.stats.precompute = precompute->stats;
-
-  // Private context per request: queries share the immutable snapshot and
-  // the const precompute (by shared_ptr, no copy), never the mutable
-  // search scratch.
-  timer = std::chrono::steady_clock::now();
-  core::PlanningContext context = core::PlanningContext::BuildWithPrecompute(
-      *snapshot->road, *snapshot->transit, request.options, precompute);
-  result.stats.context_seconds = SecondsSince(timer);
-
-  timer = std::chrono::steady_clock::now();
-  switch (request.planner) {
-    case core::Planner::kEta:
-      result.plan = core::RunEta(&context, core::SearchMode::kOnline);
-      break;
-    case core::Planner::kEtaPre:
-      result.plan = core::RunEta(&context, core::SearchMode::kPrecomputed);
-      break;
-    case core::Planner::kVkTsp:
-      result.plan = core::RunVkTsp(&context);
-      break;
-  }
-  result.stats.plan_seconds = SecondsSince(timer);
-  return result;
 }
 
 }  // namespace ctbus::service

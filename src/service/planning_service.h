@@ -1,22 +1,52 @@
-// Concurrent planning service: a fixed worker pool answering CT-Bus
-// planning queries against versioned network snapshots, with a shared
-// precompute cache.
+// Sharded, batched, priority-aware planning service: per-dataset worker
+// pools answering CT-Bus planning queries against versioned network
+// snapshots, with a shared precompute cache and an async commit pipeline.
 //
 // Request lifecycle:
-//   Submit(PlanRequest) -> bounded queue -> worker picks it up ->
-//   resolve snapshot (SnapshotStore) -> fetch/compute precompute
-//   (PrecomputeCache) -> build a private PlanningContext -> run the
-//   requested planner -> fulfill the future with PlanResult + stats.
+//   Submit(PlanRequest) -> the request's *dataset shard* (its own bounded
+//   two-level priority queue + worker pool) -> a worker dequeues the
+//   highest-priority request and, for sweep traffic, gathers every queued
+//   request with the same batch key into one batch -> resolve snapshot
+//   (SnapshotStore) once per batch -> fetch/compute precompute
+//   (PrecomputeCache) once per batch -> build a private PlanningContext
+//   per request -> run the requested planner -> fulfill each future with
+//   PlanResult + stats.
+//
+// Sharding: every dataset registered with RegisterDataset gets its own
+// worker pool and queue, so a flood of traffic against one hot city can
+// never starve queries against another. The shards share one
+// OverflowPolicy: Submit either blocks (default) or throws when a shard's
+// queue is full.
+//
+// Priorities: requests are either interactive (default) or sweep
+// (ScenarioRunner submits at sweep priority). Workers always drain the
+// interactive queue first, and only sweep requests are batched, so an
+// interactive request is never stuck behind more than the sweep batches
+// already in flight (at most one per worker of its shard).
+//
+// Batching: queued sweep requests whose precompute resolves identically —
+// same (dataset, snapshot version as submitted, tau, precompute-estimator
+// params) — execute as one batch on one worker: the snapshot and the
+// precompute are resolved once and feed every member, amortizing cache
+// misses even when the cache is disabled. Members still build private
+// PlanningContexts, so batched results are bit-identical to serial runs.
+//
+// Commits: Commit applies a result synchronously; CommitAsync enqueues it
+// on a dedicated commit thread and returns a future of the new version.
+// Either way readers keep serving the prior snapshot — SnapshotStore
+// publishes copy-on-write — and async commits apply in submission order,
+// so they stack exactly like sequential Commit calls.
 //
 // Every worker builds its own PlanningContext, so queries never share
 // mutable state: results are bit-identical to running the same requests
 // serially (the estimators are deterministic by construction). Snapshots
-// are held via shared_ptr for the duration of a query, so CommitRoute can
+// are held via shared_ptr for the duration of a query, so commits can
 // advance the city underneath without blocking or corrupting in-flight
 // work.
 #ifndef CTBUS_SERVICE_PLANNING_SERVICE_H_
 #define CTBUS_SERVICE_PLANNING_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -37,13 +67,45 @@
 
 namespace ctbus::service {
 
+/// Two-level request priority. Workers drain every interactive request
+/// before touching sweep traffic, so exploratory parameter sweeps cannot
+/// starve interactive what-if queries.
+enum class Priority {
+  kInteractive = 0,
+  kSweep = 1,
+};
+
+/// What Submit does when the target dataset shard's queue is full. The
+/// policy is shared by every shard.
+enum class OverflowPolicy {
+  /// Block the submitting thread until the shard has room (backpressure).
+  kBlock,
+  /// Throw std::runtime_error immediately (load shedding).
+  kReject,
+};
+
 struct ServiceOptions {
-  /// Worker pool size. 0 means std::thread::hardware_concurrency().
+  /// Worker pool size *per dataset shard*. Every RegisterDataset call
+  /// spawns this many dedicated workers for that dataset. 0 means
+  /// std::thread::hardware_concurrency().
   int num_threads = 1;
-  /// Bounded request queue; Submit blocks while the queue is full.
+  /// Bounded request queue per shard (interactive + sweep combined);
+  /// overflow_policy decides what Submit does at capacity.
   std::size_t queue_capacity = 256;
   /// Precompute cache entries (0 disables caching).
   std::size_t cache_capacity = 16;
+  /// Shared across shards; see OverflowPolicy.
+  OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
+  /// Upper bound on how many same-key sweep requests one worker executes
+  /// per dequeue (1 disables batching). Interactive requests are never
+  /// batched: they are latency-critical, and concurrent same-key misses
+  /// are already deduplicated inside PrecomputeCache.
+  std::size_t max_batch_size = 8;
+  /// Construct the service with every shard's workers parked: queued
+  /// requests only start executing after Start(). Lets tests (and bulk
+  /// loaders) enqueue a deterministic backlog, then observe strict
+  /// priority/batch drain order.
+  bool start_paused = false;
   /// On a precompute-cache miss, derive the precompute from a resident
   /// ancestor version (PlanningContext::DerivePrecompute) instead of
   /// recomputing from scratch, when the snapshot store can produce the
@@ -65,6 +127,8 @@ struct PlanRequest {
   core::Planner planner = core::Planner::kEtaPre;
   /// Snapshot to plan against; 0 = latest at execution time.
   std::uint64_t snapshot_version = 0;
+  /// Queue class inside the dataset shard; see Priority.
+  Priority priority = Priority::kInteractive;
 };
 
 /// Per-request observability.
@@ -85,6 +149,14 @@ struct RequestStats {
   double context_seconds = 0.0;     // PlanningContext::BuildWithPrecompute
   double plan_seconds = 0.0;        // planner search
   int worker_id = -1;
+  /// Number of requests in the batch this one executed in (1 = unbatched).
+  /// Non-leader members report precompute_cache_hit = true: the leader's
+  /// resolution fed them without touching the cache.
+  std::size_t batch_size = 1;
+  /// Service-wide execution pickup order (0-based): assigned when a worker
+  /// starts the request, so tests can assert drain order (interactive
+  /// before sweep) without racing on wall-clock time.
+  std::uint64_t execute_sequence = 0;
 };
 
 struct ServiceResult {
@@ -104,8 +176,9 @@ class PlanningService {
   PlanningService(const PlanningService&) = delete;
   PlanningService& operator=(const PlanningService&) = delete;
 
-  /// Registers a city under `name`, seeding its SnapshotStore at version 1.
-  /// Registering an existing name throws.
+  /// Registers a city under `name`, seeding its SnapshotStore at version 1
+  /// and spawning the dataset's worker-pool shard. Registering an existing
+  /// name (or registering after Shutdown) throws.
   void RegisterDataset(const std::string& name, graph::RoadNetwork road,
                        graph::TransitNetwork transit);
 
@@ -119,13 +192,19 @@ class PlanningService {
   SnapshotPtr Snapshot(const std::string& dataset,
                        std::uint64_t version = 0) const;
 
-  /// Enqueues a request; blocks while the queue is full. Throws
-  /// std::invalid_argument for an unknown dataset and std::runtime_error
-  /// after Shutdown. Errors during execution (e.g. unknown snapshot
-  /// version) surface through the future.
+  /// Releases workers parked by ServiceOptions::start_paused (no-op when
+  /// the service started running, or after Shutdown).
+  void Start();
+
+  /// Enqueues a request on its dataset's shard; at capacity, blocks or
+  /// throws per OverflowPolicy. Throws std::invalid_argument for an
+  /// unknown dataset and std::runtime_error after Shutdown. Errors during
+  /// execution (e.g. unknown snapshot version) surface through the future.
   std::future<ServiceResult> Submit(PlanRequest request);
 
   /// Submit + wait. Convenience for callers without their own pipeline.
+  /// Do not call while the service is paused (it would deadlock by
+  /// design: nothing drains the queue before Start()).
   ServiceResult Plan(PlanRequest request);
 
   /// Commits a result's route to its dataset, advancing the snapshot
@@ -139,22 +218,43 @@ class PlanningService {
   /// requests see the new city.
   std::uint64_t Commit(const ServiceResult& result);
 
+  /// Commit, but applied off the caller thread by the service's dedicated
+  /// commit worker. Async commits apply strictly in CommitAsync-call
+  /// order (FIFO), so a sequence of CommitAsync calls stacks exactly like
+  /// the same sequence of Commit calls; readers keep serving the prior
+  /// snapshot until each new version is published. Errors surface through
+  /// the returned future. Throws std::runtime_error after Shutdown.
+  std::future<std::uint64_t> CommitAsync(ServiceResult result);
+
   PrecomputeCache::Stats cache_stats() const { return cache_.stats(); }
 
   struct ServiceStats {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
+    /// Submissions refused by OverflowPolicy::kReject (not counted in
+    /// `submitted`).
+    std::uint64_t rejected = 0;
     /// Cache misses answered from scratch vs. derived from an ancestor
     /// version's precompute (Execute and Commit both count).
     std::uint64_t precomputes_from_scratch = 0;
     std::uint64_t precomputes_derived = 0;
+    /// Multi-request batches executed, and how many requests rode along in
+    /// them beyond their leaders (each saved one precompute resolution).
+    std::uint64_t batches = 0;
+    std::uint64_t batched_requests = 0;
+    /// Commits applied by the async pipeline (CommitAsync only).
+    std::uint64_t async_commits = 0;
   };
   ServiceStats service_stats() const;
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// Worker threads per dataset shard (the resolved ServiceOptions value).
+  int num_threads() const { return threads_per_shard_; }
+  /// Total workers across all registered dataset shards.
+  int num_workers() const;
 
-  /// Drains the queue, waits for in-flight work, joins the pool. Further
-  /// Submits throw. Idempotent; called by the destructor.
+  /// Drains every shard's queue and the commit pipeline, waits for
+  /// in-flight work, joins all pools. Further Submits throw. Idempotent;
+  /// called by the destructor.
   void Shutdown();
 
  private:
@@ -162,11 +262,50 @@ class PlanningService {
     PlanRequest request;
     std::promise<ServiceResult> promise;
     std::chrono::steady_clock::time_point submit_time;
+    /// Batch identity, precomputed at Submit for sweep requests only
+    /// (interactive requests never batch), so the worker's queue scan
+    /// under the shard mutex is a plain field comparison instead of
+    /// constructing keys per scanned task.
+    PrecomputeKey batch_key;
   };
 
-  void WorkerLoop(int worker_id);
-  ServiceResult Execute(const PlanRequest& request, int worker_id);
+  /// One dataset's serving state: its snapshot store plus a private
+  /// two-level queue and worker pool. Shards never share queue locks, so
+  /// backpressure on one dataset cannot block submitters to another.
+  struct Shard {
+    explicit Shard(std::shared_ptr<SnapshotStore> snapshot_store)
+        : store(std::move(snapshot_store)) {}
+
+    std::shared_ptr<SnapshotStore> store;
+    std::mutex mu;
+    std::condition_variable not_empty;
+    std::condition_variable not_full;
+    std::condition_variable workers_done;
+    std::deque<Task> interactive;  // drained before sweep
+    std::deque<Task> sweep;        // batched by precompute key
+    int live_workers = 0;  // guarded by mu
+    std::vector<std::thread> workers;
+
+    std::size_t queued() const { return interactive.size() + sweep.size(); }
+  };
+
+  struct CommitTask {
+    ServiceResult result;
+    std::promise<std::uint64_t> promise;
+  };
+
+  void WorkerLoop(Shard* shard, int worker_id);
+  void CommitLoop();
+  /// Dequeues the next batch from `shard` (caller holds shard->mu):
+  /// the front interactive task alone, or the front sweep task plus every
+  /// queued sweep task sharing its batch key (up to max_batch_size_).
+  std::vector<Task> NextBatchLocked(Shard* shard);
+  /// Resolves snapshot + precompute once, then plans every task of the
+  /// batch with a private context, fulfilling each task's promise.
+  void ExecuteBatch(Shard* shard, std::vector<Task> batch, int worker_id);
+  std::uint64_t CommitNow(const ServiceResult& result);
   std::shared_ptr<SnapshotStore> Store(const std::string& dataset) const;
+  std::shared_ptr<Shard> FindShard(const std::string& dataset) const;
 
   /// Cache lookup with warm start: on a miss, tries to derive from the
   /// nearest resident ancestor version before computing from scratch.
@@ -179,22 +318,34 @@ class PlanningService {
   const int max_warm_start_depth_;
   PrecomputeCache cache_;
   const std::size_t queue_capacity_;
+  const std::size_t max_batch_size_;
+  const OverflowPolicy overflow_policy_;
+  int threads_per_shard_ = 1;
+
+  /// True until Start(); workers park instead of dequeuing. Read inside
+  /// shard-mu-guarded wait predicates. Start() flips it, then takes and
+  /// releases every shard's mu before notifying — that empty critical
+  /// section is what guarantees no parked worker misses the wakeup (a
+  /// worker that read paused_ == true is either still holding mu, or will
+  /// re-check the predicate on the notify). Do not drop it.
+  std::atomic<bool> paused_{false};
+  /// Set by Shutdown (under every shard's mu) to drain-and-join.
+  std::atomic<bool> shutting_down_{false};
 
   mutable std::mutex datasets_mu_;
-  std::unordered_map<std::string, std::shared_ptr<SnapshotStore>> datasets_;
+  std::unordered_map<std::string, std::shared_ptr<Shard>> shards_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_not_empty_;
-  std::condition_variable queue_not_full_;
-  std::condition_variable workers_done_;
-  std::deque<Task> queue_;
-  bool shutting_down_ = false;
-  int live_workers_ = 0;  // guarded by queue_mu_
+  std::atomic<std::uint64_t> execute_sequence_{0};
+  std::atomic<int> next_worker_id_{0};
+
+  std::mutex commit_mu_;
+  std::condition_variable commit_cv_;
+  std::deque<CommitTask> commit_queue_;
+  bool commit_shutdown_ = false;  // guarded by commit_mu_
+  std::thread commit_worker_;
 
   mutable std::mutex stats_mu_;
   ServiceStats service_stats_;
-
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace ctbus::service

@@ -28,8 +28,7 @@ PrecomputeKey MakePrecomputeKey(const std::string& dataset,
   return key;
 }
 
-std::size_t PrecomputeCache::KeyHash::operator()(
-    const PrecomputeKey& key) const {
+std::size_t PrecomputeKeyHash::operator()(const PrecomputeKey& key) const {
   auto mix = [](std::size_t h, std::size_t v) {
     return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
   };

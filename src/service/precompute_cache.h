@@ -35,7 +35,10 @@
 
 namespace ctbus::service {
 
-/// Everything RunPrecompute's output depends on.
+/// Everything RunPrecompute's output depends on. Doubles as the serving
+/// layer's *batch identity*: PlanningService groups queued sweep requests
+/// whose keys are equal (with snapshot_version taken as submitted) so one
+/// snapshot + precompute resolution feeds the whole batch.
 struct PrecomputeKey {
   std::string dataset;
   std::uint64_t snapshot_version = 0;
@@ -53,6 +56,12 @@ struct PrecomputeKey {
 PrecomputeKey MakePrecomputeKey(const std::string& dataset,
                                 std::uint64_t snapshot_version,
                                 const core::CtBusOptions& options);
+
+/// Hash functor for PrecomputeKey, public so callers can build their own
+/// unordered containers over keys (batch accounting, bench bucketing).
+struct PrecomputeKeyHash {
+  std::size_t operator()(const PrecomputeKey& key) const;
+};
 
 class PrecomputeCache {
  public:
@@ -115,14 +124,10 @@ class PrecomputeCache {
   /// only in-flight entries remain). Caller holds mu_.
   void EvictReadyLocked();
 
-  struct KeyHash {
-    std::size_t operator()(const PrecomputeKey& key) const;
-  };
-
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::list<PrecomputeKey> lru_;  // front = most recently used
-  std::unordered_map<PrecomputeKey, Entry, KeyHash> entries_;
+  std::unordered_map<PrecomputeKey, Entry, PrecomputeKeyHash> entries_;
   std::uint64_t next_generation_ = 0;
   Stats stats_;
 };

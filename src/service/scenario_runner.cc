@@ -32,6 +32,7 @@ std::vector<SweepCell> ScenarioRunner::Run(const SweepSpec& spec) {
         request.options.w = w;
         request.planner = planner;
         request.snapshot_version = version;
+        request.priority = spec.priority;
         SweepCell cell;
         cell.k = k;
         cell.w = w;

@@ -6,6 +6,11 @@
 // precompute key is independent of k / w / planner, the whole sweep costs
 // one precompute (the first cell misses, every other cell hits the cache).
 //
+// Cells are submitted at sweep priority by default (SweepSpec::priority):
+// the service batches them per precompute key and always serves
+// interactive requests first, so a long exploratory sweep cannot starve
+// interactive traffic sharing the dataset's shard.
+//
 // Thread-safety: a ScenarioRunner is a thin stateless fan-out over the
 // (thread-safe) PlanningService it borrows; distinct runners may share one
 // service, and Run may be called concurrently. The service must outlive
@@ -32,6 +37,10 @@ struct SweepSpec {
   std::vector<core::Planner> planners;
   /// Snapshot to sweep against; 0 = latest, resolved once at launch.
   std::uint64_t snapshot_version = 0;
+  /// Queue class for every cell. Sweeps default to the background class so
+  /// they yield to interactive requests; pass Priority::kInteractive for a
+  /// sweep the user is actively waiting on.
+  Priority priority = Priority::kSweep;
 };
 
 struct SweepCell {

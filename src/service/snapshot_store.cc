@@ -41,6 +41,14 @@ std::size_t SnapshotStore::num_versions() const {
   return versions_.size();
 }
 
+std::vector<std::uint64_t> SnapshotStore::Versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::uint64_t> versions;
+  versions.reserve(versions_.size());
+  for (const auto& [version, snapshot] : versions_) versions.push_back(version);
+  return versions;  // std::map iterates ascending
+}
+
 std::uint64_t SnapshotStore::CommitRoute(const core::PlanResult& result,
                                          const core::EdgeUniverse& universe,
                                          std::uint64_t base_version) {

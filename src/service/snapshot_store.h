@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/edge_universe.h"
 #include "core/eta.h"
@@ -58,6 +59,11 @@ class SnapshotStore {
 
   std::uint64_t latest_version() const;
   std::size_t num_versions() const;
+
+  /// Resident (not pruned) version ids, ascending. For stress-test
+  /// replays and operational introspection; pruned versions held alive by
+  /// in-flight queries do not appear.
+  std::vector<std::uint64_t> Versions() const;
 
   /// Applies a planned route on top of `base_version` (0 = latest) with
   /// CtBusPlanner::CommitRoute semantics: realize the route's edges in the

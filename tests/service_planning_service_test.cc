@@ -219,56 +219,174 @@ TEST(PlanningServiceTest, SubmitAfterShutdownThrows) {
   EXPECT_THROW(service.Submit(MidtownRequest()), std::runtime_error);
 }
 
-TEST(ScenarioRunnerTest, SweepMatchesSerialAndSharesOnePrecompute) {
+TEST(PlanningServiceTest, PausedServiceBatchesSameKeySweeps) {
   const gen::Dataset d = gen::MakeMidtown();
+  const core::PlanResult expected =
+      SerialPlan(d, FastOptions(), core::Planner::kEtaPre);
 
   ServiceOptions service_options;
-  service_options.num_threads = 4;
+  service_options.num_threads = 1;
+  service_options.start_paused = true;
+  service_options.cache_capacity = 0;  // batching must amortize on its own
+  service_options.max_batch_size = 8;
   PlanningService service(service_options);
   service.RegisterPreset("midtown");
 
-  SweepSpec spec;
-  spec.dataset = "midtown";
-  spec.base = FastOptions();
-  spec.ks = {4, 6};
-  spec.ws = {0.3, 0.7};
-  ScenarioRunner runner(&service);
-  const std::vector<SweepCell> cells = runner.Run(spec);
-  ASSERT_EQ(cells.size(), 4u);
-
-  for (const SweepCell& cell : cells) {
-    core::CtBusOptions options = FastOptions();
-    options.k = cell.k;
-    options.w = cell.w;
-    ExpectBitIdentical(cell.result.plan,
-                       SerialPlan(d, options, cell.planner));
-    EXPECT_EQ(cell.result.stats.snapshot_version, 1u);
+  // Enqueue 5 same-key sweep requests while the worker is parked, then
+  // release it: they must drain as ONE batch, sharing one precompute
+  // resolution even with the cache disabled.
+  constexpr int kRequests = 5;
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    PlanRequest request = MidtownRequest();
+    request.priority = Priority::kSweep;
+    futures.push_back(service.Submit(std::move(request)));
   }
-  // k / w do not enter the precompute key: the whole sweep costs one miss,
-  // and in-flight misses were deduplicated across workers.
+  service.Start();
+  for (auto& future : futures) {
+    const ServiceResult result = future.get();
+    ExpectBitIdentical(result.plan, expected);
+    EXPECT_EQ(result.stats.batch_size, static_cast<std::size_t>(kRequests));
+  }
+  // One compute total: the cache (disabled) saw only the leader's miss.
   EXPECT_EQ(service.cache_stats().misses, 1u);
-  EXPECT_EQ(service.cache_stats().hits, 3u);
+  const auto stats = service.service_stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_requests, static_cast<std::uint64_t>(kRequests - 1));
 }
 
-TEST(ScenarioRunnerTest, SweepPinsTheLaunchSnapshot) {
+TEST(PlanningServiceTest, BatchSizeOneDisablesBatching) {
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.start_paused = true;
+  service_options.max_batch_size = 1;
+  PlanningService service(service_options);
+  service.RegisterPreset("midtown");
+
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 3; ++i) {
+    PlanRequest request = MidtownRequest();
+    request.priority = Priority::kSweep;
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  service.Start();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().stats.batch_size, 1u);
+  }
+  EXPECT_EQ(service.service_stats().batches, 0u);
+  // Unbatched same-key traffic still amortizes through the cache instead.
+  EXPECT_EQ(service.cache_stats().misses, 1u);
+  EXPECT_EQ(service.cache_stats().hits, 2u);
+}
+
+TEST(PlanningServiceTest, RejectPolicyShedsLoadBeyondCapacity) {
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.start_paused = true;  // nothing drains: queue must fill
+  service_options.queue_capacity = 2;
+  service_options.overflow_policy = OverflowPolicy::kReject;
+  PlanningService service(service_options);
+  service.RegisterPreset("midtown");
+
+  std::vector<std::future<ServiceResult>> accepted;
+  accepted.push_back(service.Submit(MidtownRequest()));
+  accepted.push_back(service.Submit(MidtownRequest()));
+  EXPECT_THROW(service.Submit(MidtownRequest()), std::runtime_error);
+  const auto stats = service.service_stats();
+  EXPECT_EQ(stats.submitted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+
+  service.Start();  // accepted requests still complete normally
+  for (auto& future : accepted) {
+    EXPECT_TRUE(future.get().plan.found);
+  }
+}
+
+TEST(PlanningServiceTest, PerDatasetShardsIsolateBacklogs) {
+  // Two datasets, one worker each. Dataset "hot" is flooded to its queue
+  // capacity while paused; a submit to "cold" must not block (distinct
+  // shard, distinct queue) even though "hot" is saturated.
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.start_paused = true;
+  service_options.queue_capacity = 4;
+  service_options.overflow_policy = OverflowPolicy::kReject;
+  PlanningService service(service_options);
+  const gen::Dataset d = gen::MakeMidtown();
+  service.RegisterDataset("hot", d.road, d.transit);
+  service.RegisterDataset("cold", d.road, d.transit);
+  EXPECT_EQ(service.num_workers(), 2);
+
+  std::vector<std::future<ServiceResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    PlanRequest request = MidtownRequest();
+    request.dataset = "hot";
+    futures.push_back(service.Submit(std::move(request)));
+  }
+  PlanRequest hot_overflow = MidtownRequest();
+  hot_overflow.dataset = "hot";
+  EXPECT_THROW(service.Submit(std::move(hot_overflow)), std::runtime_error);
+
+  // The cold shard accepts instantly despite the hot shard being full.
+  PlanRequest cold_request = MidtownRequest();
+  cold_request.dataset = "cold";
+  futures.push_back(service.Submit(std::move(cold_request)));
+
+  service.Start();
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().plan.found);
+  }
+}
+
+TEST(PlanningServiceTest, AsyncCommitsApplyInOrderAndStack) {
   ServiceOptions service_options;
   service_options.num_threads = 2;
   PlanningService service(service_options);
   service.RegisterPreset("midtown");
 
-  // Advance the city once so latest != 1.
-  const PlanRequest request = MidtownRequest();
-  const ServiceResult first = service.Plan(request);
-  service.Commit(first);
+  const ServiceResult eta = service.Plan(MidtownRequest(core::Planner::kEtaPre));
+  const ServiceResult tsp = service.Plan(MidtownRequest(core::Planner::kVkTsp));
+  ASSERT_TRUE(eta.plan.found);
+  ASSERT_TRUE(tsp.plan.found);
 
-  SweepSpec spec;
-  spec.dataset = "midtown";
-  spec.base = FastOptions();
-  spec.ws = {0.2, 0.5, 0.8};
-  const std::vector<SweepCell> cells = ScenarioRunner(&service).Run(spec);
-  for (const SweepCell& cell : cells) {
-    EXPECT_EQ(cell.result.stats.snapshot_version, 2u);
+  // Both plans were computed against v1; the async pipeline must stack
+  // them FIFO: eta -> v2, tsp -> v3.
+  std::future<std::uint64_t> first = service.CommitAsync(eta);
+  std::future<std::uint64_t> second = service.CommitAsync(tsp);
+  EXPECT_EQ(first.get(), 2u);
+  EXPECT_EQ(second.get(), 3u);
+  EXPECT_EQ(service.LatestVersion("midtown"), 3u);
+  EXPECT_EQ(service.service_stats().async_commits, 2u);
+
+  const SnapshotPtr v1 = service.Snapshot("midtown", 1);
+  const SnapshotPtr v3 = service.Snapshot("midtown", 3);
+  ASSERT_NE(v1, nullptr);
+  ASSERT_NE(v3, nullptr);
+  EXPECT_EQ(v3->transit->num_active_routes(),
+            v1->transit->num_active_routes() + 2);
+
+  // A failed async commit surfaces through its future, not the service.
+  ServiceResult bogus = eta;
+  bogus.stats.snapshot_version = 99;
+  bogus.request.snapshot_version = 99;
+  auto failed = service.CommitAsync(bogus);
+  EXPECT_THROW(failed.get(), std::invalid_argument);
+}
+
+TEST(PlanningServiceTest, ShutdownDrainsPendingAsyncCommits) {
+  std::future<std::uint64_t> pending;
+  {
+    ServiceOptions service_options;
+    PlanningService service(service_options);
+    service.RegisterPreset("midtown");
+    const ServiceResult result = service.Plan(MidtownRequest());
+    ASSERT_TRUE(result.plan.found);
+    pending = service.CommitAsync(result);
+    service.Shutdown();
+    EXPECT_THROW(service.CommitAsync(result), std::runtime_error);
   }
+  // The commit enqueued before Shutdown was applied, not dropped.
+  EXPECT_EQ(pending.get(), 2u);
 }
 
 }  // namespace

@@ -154,6 +154,7 @@ TEST(SnapshotDeltaTest, CommitRecordsLineageAndEdgeDiff) {
   EXPECT_EQ(v2.snapshot->version, 2u);
   EXPECT_EQ(v2.snapshot->parent_version, 1u);
   EXPECT_EQ(store.ParentVersion(2), 1u);
+  EXPECT_EQ(store.Versions(), (std::vector<std::uint64_t>{1, 2}));
 
   const core::SnapshotDelta& delta = v2.delta_from_parent;
   ASSERT_FALSE(delta.added_stop_pairs.empty());
