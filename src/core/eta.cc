@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <memory>
 #include <queue>
+#include <utility>
 
 #include "core/domination_table.h"
+#include "core/parallel_for.h"
 #include "demand/demand_bound.h"
 
 namespace ctbus::core {
@@ -35,7 +38,19 @@ class EtaSearch {
         // integrated objective via L_e (Section 6.2).
         bound_(mode == SearchMode::kOnline ? &ctx->demand_list()
                                            : &ctx->objective_list(),
-               options_.k) {}
+               options_.k) {
+    // Frontier evaluation forks only in kOnline mode, where each candidate
+    // costs one Lanczos estimate; ETA-Pre's ranked-list lookups would be
+    // swamped by any synchronization. eta_threads <= 1 keeps today's
+    // serial loop with no pool and no evaluation units at all.
+    if (mode_ == SearchMode::kOnline) {
+      const int threads = ResolveThreadCount(options_.eta_threads);
+      if (threads > 1) {
+        ctx_->ReserveOnlineEvalSlots(threads);
+        pool_ = std::make_unique<WorkerPool>(threads);
+      }
+    }
+  }
 
   PlanResult Run() {
     const auto start = std::chrono::steady_clock::now();
@@ -172,42 +187,110 @@ class EtaSearch {
   }
 
   // ETA-AN: enqueue every feasible single-edge extension at both ends.
+  //
+  // Note the loop runs both ends for single-edge paths too. It used to
+  // `break` after the end side on the claim that "both ends are
+  // equivalent", which is unsound: edges are stored with a fixed
+  // orientation (candidates have u < v), so a seed (m, v) only ever
+  // end-extends at v — a 2-edge path whose edges share their *begin*
+  // stop m (e.g. x–m–v with m the lower endpoint of both candidates) was
+  // never generated from ANY seed, and since longer paths only grow from
+  // these, such optima were unreachable outright. Expanding both ends
+  // restores completeness at a cost: a 2-edge path reachable from both of
+  // its seeds (end-extension of one, begin-extension of the other) is now
+  // generated twice, with the duplicate pruned only after its evaluation.
+  // Convergent rediscovery like this is pre-existing (seeds sharing their
+  // upper endpoint already collided) and is exactly what the domination
+  // table is for; the alternative — keeping only begin-extensions that no
+  // end-extension can produce — would lose paths whose other edge is not
+  // itself seeded.
+  // See EtaAllNeighborsTest.ExpandsBeginSideOfSingleEdgeSeeds.
   void ExpandAllNeighbors(const QueueEntry& entry) {
     for (const int at_stop :
          {entry.path.end_stop(), entry.path.begin_stop()}) {
-      for (int e : FeasibleExtensions(entry.path, at_stop)) {
-        QueueEntry child = entry;
-        child.path.Extend(ctx_->universe(), ctx_->transit(), e, at_stop);
-        child.bound_state = bound_.Append(child.bound_state, e);
-        child.objective = Evaluate(child.path);
+      const std::vector<int> extensions =
+          FeasibleExtensions(entry.path, at_stop);
+      std::vector<CandidatePath> children;
+      std::vector<double> objectives;
+      EvaluateExtensions(entry.path, at_stop, extensions, &children,
+                         &objectives);
+      // The pruning pass stays serial and in candidate order: objectives
+      // never depend on the incumbent, so evaluating them up front (and,
+      // with a pool, concurrently) leaves best_objective_'s evolution —
+      // and therefore every bound/domination decision — exactly as the
+      // classic one-candidate-at-a-time loop had it.
+      for (std::size_t i = 0; i < extensions.size(); ++i) {
+        QueueEntry child;
+        child.path = std::move(children[i]);
+        child.bound_state = bound_.Append(entry.bound_state, extensions[i]);
+        child.objective = objectives[i];
         MaybeUpdateBest(child.path, child.objective);
         FurtherExpansion(std::move(child));
       }
-      if (entry.path.num_edges() == 1) break;  // both ends are equivalent
     }
   }
 
   // Returns the feasible extension edge with the highest resulting
-  // objective, or -1.
+  // objective, or -1. Ties go to the earliest feasible candidate, matching
+  // the serial scan order at any eta_threads setting.
   int BestExtension(const CandidatePath& path, int at_stop) {
-    int best_edge = -1;
-    double best_value = 0.0;
-    for (int e : FeasibleExtensions(path, at_stop)) {
-      double value = 0.0;
-      if (mode_ == SearchMode::kPrecomputed) {
-        // Section 6.2: rank neighbors directly by L_e.
-        value = ctx_->objective_list().ValueOf(e);
-      } else {
-        CandidatePath extended = path;
-        extended.Extend(ctx_->universe(), ctx_->transit(), e, at_stop);
-        value = Evaluate(extended);  // Line 10 (Lanczos per neighbor)
+    const std::vector<int> extensions = FeasibleExtensions(path, at_stop);
+    if (extensions.empty()) return -1;
+    if (mode_ == SearchMode::kPrecomputed) {
+      // Section 6.2: rank neighbors directly by L_e.
+      int best = 0;
+      for (std::size_t i = 1; i < extensions.size(); ++i) {
+        if (ctx_->objective_list().ValueOf(extensions[i]) >
+            ctx_->objective_list().ValueOf(extensions[best])) {
+          best = static_cast<int>(i);
+        }
       }
-      if (best_edge < 0 || value > best_value) {
-        best_edge = e;
-        best_value = value;
-      }
+      return extensions[best];
     }
-    return best_edge;
+    // Line 10: one Lanczos estimate per neighbor, fanned over the pool.
+    std::vector<double> values;
+    EvaluateExtensions(path, at_stop, extensions, /*children=*/nullptr,
+                       &values);
+    int best = 0;
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      if (values[i] > values[best]) best = static_cast<int>(i);
+    }
+    return extensions[best];
+  }
+
+  // Objectives of `path` extended by each edge of `extensions` at
+  // `at_stop`, written into `objectives` (and the extended paths into
+  // `children`, when requested). With a pool (kOnline, eta_threads > 1)
+  // the evaluations fan out over stable worker-slot ids; each slot's
+  // evaluation unit is bit-identical to the shared serial path (see
+  // PlanningContext::OnlineConnectivityIncrementOnSlot), and every result
+  // lands in its own index, so the output does not depend on eta_threads.
+  void EvaluateExtensions(const CandidatePath& path, int at_stop,
+                          const std::vector<int>& extensions,
+                          std::vector<CandidatePath>* children,
+                          std::vector<double>* objectives) {
+    const int n = static_cast<int>(extensions.size());
+    objectives->resize(n);
+    if (children != nullptr) children->resize(n);
+    const auto evaluate_one = [&](int slot, int i) {
+      CandidatePath extended = path;
+      extended.Extend(ctx_->universe(), ctx_->transit(), extensions[i],
+                      at_stop);
+      (*objectives)[i] =
+          slot >= 0
+              ? ctx_->Objective(extended.demand(),
+                                ctx_->OnlineConnectivityIncrementOnSlot(
+                                    slot, extended.edges()))
+              : Evaluate(extended);  // Line 10/13 on the shared scratch
+      if (children != nullptr) (*children)[i] = std::move(extended);
+    };
+    if (pool_ != nullptr && n > 1) {
+      pool_->Run(n, [&](int shard, int begin, int end) {
+        for (int i = begin; i < end; ++i) evaluate_one(shard, i);
+      });
+    } else {
+      for (int i = 0; i < n; ++i) evaluate_one(/*slot=*/-1, i);
+    }
   }
 
   // Lines 28-34: feasibility gate, bound refresh, domination check, enqueue.
@@ -240,6 +323,9 @@ class EtaSearch {
   const PlanningContext* ctx_;
   SearchMode mode_;
   const CtBusOptions& options_;
+  /// Persistent frontier-evaluation pool; null in kPrecomputed mode and
+  /// whenever eta_threads resolves to 1 (the serial fast path).
+  std::unique_ptr<WorkerPool> pool_;
   demand::IncrementalDemandBound bound_;
   DominationTable domination_;
   std::priority_queue<QueueEntry> queue_;

@@ -10,6 +10,10 @@
 // Two evaluation modes:
 //  * kOnline (ETA): the connectivity increment of every evaluated extension
 //    is estimated on the spot with the shared Lanczos+Hutchinson estimator.
+//    With CtBusOptions::eta_threads > 1 the per-frontier estimates fan out
+//    over a persistent WorkerPool — one evaluation unit (estimator clone +
+//    private scratch adjacency) per worker slot, reduced in serial order —
+//    so results are bit-identical at any thread count.
 //  * kPrecomputed (ETA-Pre): the objective is linear in the edges via the
 //    integrated ranking L_e (Equation 11); no estimator calls during the
 //    search. The winner's true connectivity is re-estimated once at the end.
@@ -49,9 +53,11 @@ struct PlanResult {
 };
 
 /// Runs the search over a prepared context. The context is mutated only
-/// through its scratch adjacency (restored after every estimate), so a
-/// const context suffices — but one context must not serve two concurrent
-/// searches.
+/// through its scratch state — the shared scratch adjacency (restored
+/// after every estimate) and, in kOnline mode with eta_threads > 1, the
+/// lazily-built per-worker evaluation units — so a const context suffices,
+/// but one context must not serve two concurrent searches (the search owns
+/// the context's worker slots for its duration).
 PlanResult RunEta(const PlanningContext* context, SearchMode mode);
 
 }  // namespace ctbus::core

@@ -48,6 +48,20 @@ struct CtBusOptions {
   /// is deliberately NOT part of the precompute cache key.
   int precompute_threads = 1;
 
+  /// Worker threads for ETA's online frontier evaluation — the
+  /// per-neighbor Lanczos estimates on lines 7-16 of Algorithm 1, the
+  /// dominant per-query cost of SearchMode::kOnline (ETA-Pre ranks
+  /// neighbors by L_e and never forks). 1 = serial, exactly the classic
+  /// loop; 0 or negative = hardware concurrency. Results are bit-identical
+  /// at any setting: each worker slot lazily clones the online estimator
+  /// (same pinned probe seed => same probes) with a private scratch
+  /// adjacency (see PlanningContext::OnlineConnectivityIncrementOnSlot),
+  /// and candidates are reduced in serial order (argmax, lowest index wins
+  /// ties). Like precompute_threads, this knob is therefore deliberately
+  /// NOT part of the serving layer's precompute cache key or batch key
+  /// (service/precompute_cache.h).
+  int eta_threads = 1;
+
   /// Use the first-order perturbation model for Delta(e) pre-computation
   /// instead of per-edge stochastic trace estimation: one top-eigenpair
   /// Lanczos run, then O(m) per candidate edge. Implements the paper's

@@ -1,16 +1,24 @@
-// Deterministic fork-join parallelism for the precompute hot loops.
+// Deterministic fork-join parallelism for the planner hot loops.
 //
-// ParallelFor statically partitions [0, n) into `num_threads` contiguous
-// shards and runs one worker per shard. The partition depends only on
-// (n, num_threads) — never on scheduling — so a caller that gives every
-// shard its own scratch state (estimator, adjacency copy) and writes each
-// result into its own slot gets output that is bit-identical to a serial
-// run, at any thread count. This is the engine behind
-// PlanningContext::RunPrecompute's Delta(e) loop (see docs/PRECOMPUTE.md
-// for the determinism contract).
+// WorkerPool statically partitions [0, n) into min(num_threads, n)
+// contiguous shards and runs one worker per shard over *persistent*
+// threads. The partition depends only on (n, num_threads) — never on
+// scheduling — so a caller that gives every shard its own scratch state
+// (estimator, adjacency copy) and writes each result into its own slot
+// gets output that is bit-identical to a serial run, at any thread count.
+// Persistence matters for loops that fork thousands of times with small n:
+// ETA's per-frontier candidate evaluation forks once per popped queue
+// entry, so paying a thread spawn per fork would drown the win.
+//
+// ParallelFor is the one-shot convenience wrapper (spawn, run, join) used
+// by PlanningContext::RunPrecompute's Delta(e) loop; it is implemented AS
+// a throwaway WorkerPool, so the two partitions (and the determinism
+// contract, see docs/PRECOMPUTE.md) can never drift apart.
 #ifndef CTBUS_CORE_PARALLEL_FOR_H_
 #define CTBUS_CORE_PARALLEL_FOR_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -28,51 +36,152 @@ inline int ResolveThreadCount(int requested) {
   return hw >= 1 ? hw : 1;
 }
 
-/// Runs `body(shard, begin, end)` over a static partition of [0, n) into
-/// min(num_threads, n) contiguous shards. Shard `s` covers
-/// [s*n/T, (s+1)*n/T) — every index exactly once, shards within 1 of equal
-/// size. Blocks until all shards finish (fork-join). The calling thread
-/// executes shard 0, so `num_threads <= 1` (or n <= 1) degenerates to a
-/// plain inline loop with no thread spawn.
+/// Persistent fork-join pool. Construction spawns `num_threads - 1` parked
+/// threads; each Run costs two condvar round-trips instead of a thread
+/// spawn per shard.
 ///
-/// Exceptions thrown by any shard are captured; the first one (by shard
-/// id) is rethrown on the calling thread after all workers joined.
+/// Run(n, body) partitions [0, n) into S = min(num_threads, n) contiguous
+/// shards: shard s covers [s*n/S, (s+1)*n/S) — every index exactly once,
+/// shards within 1 of equal size. The calling thread executes shard 0 and
+/// pool thread s-1 executes shard s, so shard ids are stable across Runs
+/// and a caller may key long-lived per-shard scratch state (estimator
+/// clones, scratch matrices) off them. Exceptions thrown by shards are
+/// captured; after every shard finished, the lowest shard id's exception
+/// is rethrown on the calling thread.
+///
+/// Run is fork-join for ONE caller at a time: it must not be invoked
+/// concurrently from two threads, nor reentrantly from inside a body.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int num_threads)
+      : num_threads_(num_threads < 1 ? 1 : num_threads) {
+    threads_.reserve(num_threads_ - 1);
+    for (int s = 1; s < num_threads_; ++s) {
+      threads_.emplace_back([this, s] { WorkerLoop(s); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// See the class comment. `num_threads <= 1` or `n <= 1` degenerates to
+  /// a plain inline loop with no synchronization at all.
+  void Run(int n,
+           const std::function<void(int shard, int begin, int end)>& body) {
+    if (n <= 0) return;
+    const int shards = std::min(num_threads_, n);
+    if (shards == 1) {
+      body(0, 0, n);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      body_ = &body;
+      n_ = n;
+      shards_ = shards;
+      pending_ = shards - 1;
+      error_shard_ = shards;
+      error_ = nullptr;
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    RunShard(/*shard=*/0, n, shards, body);
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      body_ = nullptr;
+      error = error_;
+      error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  static int ShardBegin(int s, int n, int shards) {
+    return static_cast<int>(static_cast<long long>(s) * n / shards);
+  }
+
+  /// Executes shard `shard` of the current job, recording the first (by
+  /// shard id) exception. Does not touch pending_ — callers account for
+  /// completion themselves.
+  void RunShard(int shard, int n, int shards,
+                const std::function<void(int, int, int)>& body) {
+    try {
+      body(shard, ShardBegin(shard, n, shards),
+           ShardBegin(shard + 1, n, shards));
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shard < error_shard_) {
+        error_shard_ = shard;
+        error_ = std::current_exception();
+      }
+    }
+  }
+
+  void WorkerLoop(int slot) {
+    std::uint64_t seen_epoch = 0;
+    while (true) {
+      int n = 0;
+      int shards = 0;
+      const std::function<void(int, int, int)>* body = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        if (stop_) return;
+        seen_epoch = epoch_;
+        n = n_;
+        shards = shards_;
+        body = body_;
+      }
+      // Thread `slot` owns shard `slot`; with fewer shards than threads it
+      // sits this Run out (and did not count toward pending_).
+      if (slot >= shards) continue;
+      RunShard(slot, n, shards, *body);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  const int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;                 // guarded by mu_
+  std::uint64_t epoch_ = 0;           // guarded by mu_; bumps per Run
+  int n_ = 0;                         // guarded by mu_
+  int shards_ = 0;                    // guarded by mu_
+  int pending_ = 0;                   // guarded by mu_
+  int error_shard_ = 0;               // guarded by mu_
+  std::exception_ptr error_;          // guarded by mu_
+  const std::function<void(int, int, int)>* body_ = nullptr;  // guarded by mu_
+};
+
+/// One-shot fork-join over a throwaway WorkerPool: identical partition,
+/// shard-0-on-caller, and exception semantics (see WorkerPool). Spawns
+/// min(num_threads, n) - 1 threads for the single Run, so `num_threads <=
+/// 1` (or n <= 1) degenerates to a plain inline loop with no thread spawn.
 inline void ParallelFor(int n, int num_threads,
                         const std::function<void(int shard, int begin,
                                                  int end)>& body) {
   if (n <= 0) return;
-  const int shards = std::max(1, std::min(num_threads, n));
-  const auto shard_begin = [n, shards](int s) {
-    return static_cast<int>(static_cast<long long>(s) * n / shards);
-  };
-  if (shards == 1) {
-    body(0, 0, n);
-    return;
-  }
-
-  std::mutex error_mu;
-  int error_shard = shards;  // lowest shard id that threw
-  std::exception_ptr error;
-  const auto run_shard = [&](int s) {
-    try {
-      body(s, shard_begin(s), shard_begin(s + 1));
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mu);
-      if (s < error_shard) {
-        error_shard = s;
-        error = std::current_exception();
-      }
-    }
-  };
-
-  std::vector<std::thread> workers;
-  workers.reserve(shards - 1);
-  for (int s = 1; s < shards; ++s) {
-    workers.emplace_back(run_shard, s);
-  }
-  run_shard(0);
-  for (std::thread& worker : workers) worker.join();
-  if (error) std::rethrow_exception(error);
+  WorkerPool pool(std::min(num_threads, n));
+  pool.Run(n, body);
 }
 
 }  // namespace ctbus::core

@@ -79,6 +79,32 @@ void ComputePerturbationIncrements(const graph::TransitNetwork& transit,
               });
 }
 
+/// The add-estimate-restore cycle behind every online increment: stage the
+/// path's new edges into `scratch`, estimate, and remove them again. The
+/// staged entries always sit at the tails of their rows, so Remove's
+/// swap-with-last only ever shuffles staged entries among themselves and
+/// the pre-call row layout is restored exactly — which is what keeps
+/// evaluations bit-identical across the shared scratch and every
+/// per-worker clone (same layout -> same summation order).
+double EstimateIncrementWith(
+    const EdgeUniverse& universe,
+    const connectivity::ConnectivityEstimator& estimator,
+    linalg::SymmetricSparseMatrix* scratch, double base_lambda,
+    const std::vector<int>& path_edges) {
+  std::vector<std::pair<int, int>> added;
+  for (int e : path_edges) {
+    const PlannableEdge& edge = universe.edge(e);
+    if (!edge.is_new) continue;
+    if (scratch->Contains(edge.u, edge.v)) continue;
+    scratch->Set(edge.u, edge.v, 1.0);
+    added.emplace_back(edge.u, edge.v);
+  }
+  if (added.empty()) return 0.0;
+  const double lambda_after = estimator.Estimate(*scratch);
+  for (const auto& [u, v] : added) scratch->Remove(u, v);
+  return lambda_after - base_lambda;
+}
+
 /// Universe ids of every candidate (is_new) edge, in id order.
 std::vector<int> NewEdgeIds(const EdgeUniverse& universe) {
   std::vector<int> ids;
@@ -267,19 +293,40 @@ double PlanningContext::Objective(double demand,
 
 double PlanningContext::OnlineConnectivityIncrement(
     const std::vector<int>& path_edges) const {
-  // Add the path's new edges, estimate, restore.
-  std::vector<std::pair<int, int>> added;
-  for (int e : path_edges) {
-    const PlannableEdge& edge = precompute_->universe.edge(e);
-    if (!edge.is_new) continue;
-    if (scratch_adjacency_.Contains(edge.u, edge.v)) continue;
-    scratch_adjacency_.Set(edge.u, edge.v, 1.0);
-    added.emplace_back(edge.u, edge.v);
+  return EstimateIncrementWith(precompute_->universe, *estimator_,
+                               &scratch_adjacency_, base_lambda_, path_edges);
+}
+
+double PlanningContext::OnlineConnectivityIncrementOnSlot(
+    int slot, const std::vector<int>& path_edges) const {
+  assert(slot >= 0 &&
+         slot < static_cast<int>(online_eval_units_.size()));
+  std::unique_ptr<OnlineEvalUnit>& unit = online_eval_units_[slot];
+  if (unit == nullptr) {
+    // First use of this slot: clone the estimator (same options => same
+    // pinned probes as the shared one) and copy the base adjacency (same
+    // deterministic construction => same row layout). No re-estimate of
+    // base_lambda_ is needed — the clone would reproduce it bit-for-bit.
+    unit = std::make_unique<OnlineEvalUnit>();
+    unit->estimator = std::make_unique<connectivity::ConnectivityEstimator>(
+        transit_->num_stops(), options_.online_estimator);
+    unit->scratch_adjacency = transit_->AdjacencyMatrix();
   }
-  if (added.empty()) return 0.0;
-  const double lambda_after = estimator_->Estimate(scratch_adjacency_);
-  for (const auto& [u, v] : added) scratch_adjacency_.Remove(u, v);
-  return lambda_after - base_lambda_;
+  return EstimateIncrementWith(precompute_->universe, *unit->estimator,
+                               &unit->scratch_adjacency, base_lambda_,
+                               path_edges);
+}
+
+void PlanningContext::ReserveOnlineEvalSlots(int n) const {
+  if (n > static_cast<int>(online_eval_units_.size())) {
+    online_eval_units_.resize(n);
+  }
+}
+
+int PlanningContext::num_online_eval_units_built() const {
+  int built = 0;
+  for (const auto& unit : online_eval_units_) built += unit != nullptr;
+  return built;
 }
 
 double PlanningContext::LinearConnectivityIncrement(

@@ -189,6 +189,34 @@ class PlanningContext {
   /// planners must each own a context (see service/planning_service.h).
   double OnlineConnectivityIncrement(const std::vector<int>& path_edges) const;
 
+  /// OnlineConnectivityIncrement evaluated on worker slot `slot`'s private
+  /// evaluation unit — an estimator clone pinned to the same probe seed
+  /// plus a private scratch adjacency — constructed lazily on the slot's
+  /// first use. Bit-identical to OnlineConnectivityIncrement: the clone
+  /// draws the same probes, and Set/Remove cycles restore the adjacency's
+  /// row layout exactly, so every evaluation sees the base layout plus its
+  /// own path edges regardless of which unit runs it. Distinct slots may
+  /// run concurrently (ETA's frontier workers key slots off stable
+  /// WorkerPool shard ids); a single slot must never be shared by two
+  /// threads at once. Requires ReserveOnlineEvalSlots(slot + 1) first.
+  double OnlineConnectivityIncrementOnSlot(
+      int slot, const std::vector<int>& path_edges) const;
+
+  /// Ensures evaluation slots [0, n) exist (units stay empty until first
+  /// use, so unused slots cost one null pointer). NOT thread-safe — call
+  /// from the search thread before forking workers. The units are
+  /// per-context scratch state like scratch_adjacency_: they never enter
+  /// the shared Precompute, which is why CtBusOptions::eta_threads stays
+  /// out of the precompute cache key (service/precompute_cache.h).
+  void ReserveOnlineEvalSlots(int n) const;
+
+  /// Slots currently reserved, and how many were actually materialized by
+  /// a first use. For tests and introspection.
+  int num_online_eval_slots() const {
+    return static_cast<int>(online_eval_units_.size());
+  }
+  int num_online_eval_units_built() const;
+
   /// Linearized connectivity increment: sum of Delta(e) over the path's
   /// edges (ETA-Pre's surrogate).
   double LinearConnectivityIncrement(const std::vector<int>& path_edges) const;
@@ -200,6 +228,13 @@ class PlanningContext {
  private:
   PlanningContext() = default;
 
+  /// One worker slot's private online-evaluation state; see
+  /// OnlineConnectivityIncrementOnSlot.
+  struct OnlineEvalUnit {
+    std::unique_ptr<connectivity::ConnectivityEstimator> estimator;
+    linalg::SymmetricSparseMatrix scratch_adjacency;
+  };
+
   const graph::RoadNetwork* road_ = nullptr;
   const graph::TransitNetwork* transit_ = nullptr;
   CtBusOptions options_;
@@ -209,6 +244,11 @@ class PlanningContext {
   demand::RankedList objective_list_;
   std::unique_ptr<connectivity::ConnectivityEstimator> estimator_;
   mutable linalg::SymmetricSparseMatrix scratch_adjacency_;
+  /// Lazily-built per-worker evaluation units (indexed by worker slot).
+  /// The vector itself is only resized by ReserveOnlineEvalSlots; each
+  /// element is owned by exactly one worker slot, so concurrent slots
+  /// never race.
+  mutable std::vector<std::unique_ptr<OnlineEvalUnit>> online_eval_units_;
   double base_lambda_ = 0.0;
   std::vector<double> top_eigenvalues_;
   double d_max_ = 1.0;

@@ -123,6 +123,12 @@ struct ServiceOptions {
 struct PlanRequest {
   /// Name of a dataset previously registered with RegisterDataset.
   std::string dataset;
+  /// Planner knobs, carried verbatim to the worker: the precompute fields
+  /// (tau, precompute estimator, perturbation toggle) feed the cache/batch
+  /// key, the sweepables (k, w, Tn, sn, planner variant toggles) stay free,
+  /// and the thread counts (precompute_threads, eta_threads — each request
+  /// may size its own frontier fan-out) are excluded from both keys because
+  /// results are bit-identical at any setting (core/options.h).
   core::CtBusOptions options;
   core::Planner planner = core::Planner::kEtaPre;
   /// Snapshot to plan against; 0 = latest at execution time.

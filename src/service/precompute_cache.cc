@@ -1,6 +1,8 @@
 #include "service/precompute_cache.h"
 
 #include <algorithm>
+#include <cmath>
+#include <stdexcept>
 #include <utility>
 
 namespace ctbus::service {
@@ -19,7 +21,17 @@ PrecomputeKey MakePrecomputeKey(const std::string& dataset,
   PrecomputeKey key;
   key.dataset = dataset;
   key.snapshot_version = snapshot_version;
-  key.tau = options.tau;
+  // operator== on doubles treats -0.0 and 0.0 as equal, but std::hash
+  // <double> may not, which would break the unordered_map invariant
+  // (equal keys hashing to different buckets). Normalize signed zero so
+  // both spellings produce one key. NaN breaks the invariant the other
+  // way around (a NaN key would not even equal itself, so every lookup
+  // would miss and insert a fresh entry); reject it at runtime — an
+  // assert would vanish in NDEBUG builds and let the cache silently leak.
+  if (std::isnan(options.tau)) {
+    throw std::invalid_argument("MakePrecomputeKey: tau must not be NaN");
+  }
+  key.tau = options.tau == 0.0 ? 0.0 : options.tau;
   key.probes = options.precompute_estimator.probes;
   key.lanczos_steps = options.precompute_estimator.lanczos_steps;
   key.seed = options.precompute_estimator.seed;

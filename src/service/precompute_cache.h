@@ -39,6 +39,13 @@ namespace ctbus::service {
 /// layer's *batch identity*: PlanningService groups queued sweep requests
 /// whose keys are equal (with snapshot_version taken as submitted) so one
 /// snapshot + precompute resolution feeds the whole batch.
+///
+/// Thread-count knobs (CtBusOptions::precompute_threads, eta_threads) are
+/// deliberately NOT key fields: both are bit-identical at any setting, so
+/// including them would only fragment the cache — and the batch grouping —
+/// across requests that provably produce the same precompute and plans.
+/// tau is stored with signed zero normalized away (MakePrecomputeKey), so
+/// equal keys always hash equally.
 struct PrecomputeKey {
   std::string dataset;
   std::uint64_t snapshot_version = 0;

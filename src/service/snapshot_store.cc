@@ -130,6 +130,10 @@ std::optional<core::SnapshotDelta> SnapshotStore::DeltaBetween(
 
 void SnapshotStore::Prune(std::size_t keep_latest) {
   std::lock_guard<std::mutex> lock(mu_);
+  // keep_latest == 0 would erase every version including the latest,
+  // leaving Get(latest_version()) == nullptr while Latest() still hands
+  // out the snapshot. The latest version is always retained.
+  if (keep_latest == 0) keep_latest = 1;
   while (versions_.size() > keep_latest) {
     versions_.erase(versions_.begin());
   }

@@ -99,8 +99,10 @@ class SnapshotStore {
       std::uint64_t from_version, std::uint64_t to_version) const;
 
   /// Drops all but the `keep_latest` newest versions from the index.
-  /// In-flight queries holding dropped snapshots keep them alive. Lineage
-  /// records (parent links + deltas) are kept — see DeltaBetween.
+  /// `keep_latest` is clamped to >= 1: the latest version is never pruned,
+  /// so Get(latest_version()) and Latest() always agree. In-flight queries
+  /// holding dropped snapshots keep them alive. Lineage records (parent
+  /// links + deltas) are kept — see DeltaBetween.
   void Prune(std::size_t keep_latest);
 
  private:

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include "gen/datasets.h"
+#include "graph/graph.h"
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
 
 namespace ctbus::core {
 namespace {
@@ -227,6 +230,61 @@ TEST_F(EtaTest, WeightOneIgnoresConnectivityInObjective) {
   const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
   ASSERT_TRUE(result.found);
   EXPECT_NEAR(result.objective, result.demand / ctx.d_max(), 1e-9);
+}
+
+// Regression for the unsound "both ends are equivalent" shortcut that
+// ExpandAllNeighbors used to take on 1-edge paths. Candidate edges are
+// stored with u < v, so a seed (m, v) only ever END-extends at v — and a
+// 2-edge path whose two edges share their *lower* endpoint m could never
+// be generated from any seed: it requires a begin-side extension at m.
+// This network makes exactly that path the optimum:
+//
+//       x(2) ---- m(0) ---- v(1)        far-away existing route 3——4
+//
+// Both candidates are (0,1) and (0,2): each seed's end stop is 1 or 2,
+// where no other edge is incident, so the winning route 1–0–2 is only
+// reachable by extending a seed at its begin stop 0.
+TEST(EtaAllNeighborsTest, ExpandsBeginSideOfSingleEdgeSeeds) {
+  graph::Graph g;
+  g.AddVertex({0.0, 0.0});      // m
+  g.AddVertex({60.0, 0.0});     // v
+  g.AddVertex({-60.0, 0.0});    // x
+  g.AddVertex({10000.0, 0.0});  // existing-route stops, far from the rest
+  g.AddVertex({10100.0, 0.0});
+  const int road_mv = g.AddEdge(0, 1, 60.0);
+  const int road_mx = g.AddEdge(0, 2, 60.0);
+  const int road_far = g.AddEdge(3, 4, 100.0);
+
+  graph::RoadNetwork road(std::move(g));
+  road.AddTripCount(road_mv, 5);  // demand 5 * 60 = 300
+  road.AddTripCount(road_mx, 3);  // demand 3 * 60 = 180
+
+  graph::TransitNetwork transit;
+  for (int s = 0; s < 5; ++s) {
+    transit.AddStop(s, road.graph().position(s));
+  }
+  // One existing route keeps the base adjacency non-empty; it is too far
+  // away to interact with the candidates.
+  transit.AddEdge(3, 4, 100.0, {road_far});
+  transit.AddRoute({3, 4});
+
+  CtBusOptions options = FastOptions();
+  options.k = 2;
+  options.w = 1.0;  // pure demand: the objective is easy to reason about
+  options.tau = 100.0;  // m–v and m–x qualify (60 m); v–x (120 m) does not
+  options.best_neighbor_only = false;  // ETA-AN
+
+  const auto ctx = PlanningContext::Build(road, transit, options);
+  ASSERT_EQ(ctx.universe().num_new_edges(), 2);
+
+  const PlanResult result = RunEta(&ctx, SearchMode::kPrecomputed);
+  ASSERT_TRUE(result.found);
+  ExpectFeasible(ctx, result);
+  // The optimum is the 2-edge path v–m–x (demand 480); without begin-side
+  // expansion of 1-edge paths the search tops out at one edge (demand 300).
+  EXPECT_EQ(result.path.num_edges(), 2);
+  EXPECT_NEAR(result.demand, 480.0, 1e-9);
+  EXPECT_EQ(result.path.stops()[1], 0);  // the shared lower endpoint m
 }
 
 TEST_F(EtaTest, WeightZeroMaximizesConnectivityOnly) {

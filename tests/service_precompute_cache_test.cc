@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <cmath>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -193,6 +195,112 @@ TEST(PrecomputeCacheTest, ClearEmptiesTheCache) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Contains(Key("a", 1)));
+}
+
+TEST(PrecomputeCacheTest, NegativeZeroTauIsTheSameKey) {
+  // operator== on doubles treats -0.0 == 0.0, so the hash must agree too
+  // (the unordered_map invariant); MakePrecomputeKey normalizes the sign
+  // away. Regression: a -0.0 tau could silently duplicate cache entries.
+  const PrecomputeKey plus = Key("a", 1, /*tau=*/0.0);
+  const PrecomputeKey minus = Key("a", 1, /*tau=*/-0.0);
+  EXPECT_TRUE(plus == minus);
+  EXPECT_EQ(PrecomputeKeyHash()(plus), PrecomputeKeyHash()(minus));
+  EXPECT_FALSE(std::signbit(minus.tau));  // stored normalized
+
+  PrecomputeCache cache(4);
+  int computes = 0;
+  cache.GetOrCompute(plus, [&] {
+    ++computes;
+    return FakePrecompute(1.0);
+  });
+  bool hit = false;
+  const auto value = cache.GetOrCompute(
+      minus,
+      [&] {
+        ++computes;
+        return FakePrecompute(2.0);
+      },
+      &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes, 1);
+  EXPECT_EQ(value->increments[0], 1.0);
+}
+
+TEST(PrecomputeCacheTest, NanTauIsRejectedAtKeyConstruction) {
+  // A NaN key would never equal itself, so every lookup would miss and
+  // insert a fresh never-matching entry; the check must hold in NDEBUG
+  // builds too (it is a throw, not an assert).
+  core::CtBusOptions options;
+  options.tau = std::nan("");
+  EXPECT_THROW(MakePrecomputeKey("a", 1, options), std::invalid_argument);
+}
+
+TEST(PrecomputeCacheTest, ThreadCountKnobsStayOutOfTheKey) {
+  // precompute_threads and eta_threads are bit-identical at any setting,
+  // so requests differing only in them must share one cache entry (and
+  // one serving-layer batch).
+  core::CtBusOptions serial;
+  core::CtBusOptions threaded;
+  threaded.precompute_threads = 8;
+  threaded.eta_threads = 16;
+  const PrecomputeKey a = MakePrecomputeKey("a", 1, serial);
+  const PrecomputeKey b = MakePrecomputeKey("a", 1, threaded);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(PrecomputeKeyHash()(a), PrecomputeKeyHash()(b));
+}
+
+TEST(PrecomputeCacheTest, WaiterSeesMissComputeExceptionAndEntryIsErased) {
+  PrecomputeCache cache(4);
+  const PrecomputeKey key = Key("a", 1);
+  int failing_computes = 0;
+
+  std::thread owner([&] {
+    EXPECT_THROW(
+        cache.GetOrCompute(key,
+                           [&]() -> core::Precompute {
+                             ++failing_computes;
+                             // Hold the miss open until the concurrent
+                             // caller has latched onto the in-flight entry
+                             // (its hit is recorded before it blocks on
+                             // the shared future).
+                             while (cache.stats().hits == 0) {
+                               std::this_thread::sleep_for(
+                                   std::chrono::milliseconds(1));
+                             }
+                             throw std::runtime_error("precompute exploded");
+                           }),
+        std::runtime_error);
+  });
+
+  // Become the blocked waiter: wait for the in-flight entry, then join it.
+  while (!cache.Contains(key)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  bool hit = false;
+  int never_run = 0;
+  EXPECT_THROW(cache.GetOrCompute(key,
+                                  [&] {
+                                    ++never_run;
+                                    return FakePrecompute(0.0);
+                                  },
+                                  &hit),
+               std::runtime_error);
+  owner.join();
+  EXPECT_TRUE(hit);  // the waiter joined the in-flight compute...
+  EXPECT_EQ(never_run, 0);
+  EXPECT_EQ(failing_computes, 1);
+
+  // ...but the poisoned entry was erased, so the next call recomputes
+  // cleanly instead of replaying the stored exception forever.
+  EXPECT_FALSE(cache.Contains(key));
+  EXPECT_EQ(cache.size(), 0u);
+  bool recompute_hit = true;
+  const auto value = cache.GetOrCompute(
+      key, [] { return FakePrecompute(9.0); }, &recompute_hit);
+  EXPECT_FALSE(recompute_hit);
+  ASSERT_EQ(value->increments.size(), 1u);
+  EXPECT_EQ(value->increments[0], 9.0);
+  EXPECT_TRUE(cache.Contains(key));
 }
 
 }  // namespace

@@ -1,0 +1,94 @@
+// SnapshotStore invariants around pruning. The load-bearing one:
+// Prune(keep_latest) clamps to keeping at least one version, so
+// Get(latest_version()) and Latest() always agree — Prune(0) used to erase
+// every version including the latest, after which Get(latest_version())
+// returned nullptr while Latest() still handed out the snapshot.
+#include "service/snapshot_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/eta.h"
+#include "core/planning_context.h"
+#include "gen/datasets.h"
+
+namespace ctbus::service {
+namespace {
+
+core::CtBusOptions FastOptions() {
+  core::CtBusOptions options;
+  options.k = 6;
+  options.seed_count = 150;
+  options.max_iterations = 150;
+  options.online_estimator = {/*probes=*/16, /*lanczos_steps=*/8, /*seed=*/5};
+  options.precompute_estimator = {/*probes=*/6, /*lanczos_steps=*/6,
+                                  /*seed=*/6};
+  return options;
+}
+
+/// Plans one route against the latest snapshot and commits it on top.
+std::uint64_t CommitOne(SnapshotStore* store,
+                        const core::CtBusOptions& options) {
+  const SnapshotPtr snap = store->Latest();
+  const auto ctx =
+      core::PlanningContext::Build(*snap->road, *snap->transit, options);
+  const core::PlanResult plan =
+      core::RunEta(&ctx, core::SearchMode::kPrecomputed);
+  EXPECT_TRUE(plan.found);
+  return store->CommitRoute(plan, ctx.universe(), snap->version);
+}
+
+class SnapshotStorePruneTest : public ::testing::Test {
+ protected:
+  SnapshotStorePruneTest() {
+    gen::Dataset d = gen::MakeMidtown();
+    store_ = std::make_unique<SnapshotStore>(std::move(d.road),
+                                             std::move(d.transit));
+    const core::CtBusOptions options = FastOptions();
+    CommitOne(store_.get(), options);
+    latest_ = CommitOne(store_.get(), options);
+  }
+
+  std::unique_ptr<SnapshotStore> store_;
+  std::uint64_t latest_ = 0;
+};
+
+TEST_F(SnapshotStorePruneTest, PruneZeroStillKeepsTheLatestVersion) {
+  ASSERT_EQ(store_->num_versions(), 3u);
+  ASSERT_EQ(store_->latest_version(), latest_);
+
+  store_->Prune(0);  // clamped to 1
+  EXPECT_EQ(store_->num_versions(), 1u);
+  EXPECT_EQ(store_->latest_version(), latest_);
+  const SnapshotPtr by_version = store_->Get(latest_);
+  ASSERT_NE(by_version, nullptr);  // the regression: this was nullptr
+  EXPECT_EQ(by_version, store_->Latest());
+  EXPECT_EQ(store_->Get(1), nullptr);  // older versions do drop
+}
+
+TEST_F(SnapshotStorePruneTest, PruneOneKeepsExactlyTheLatest) {
+  store_->Prune(1);
+  EXPECT_EQ(store_->num_versions(), 1u);
+  ASSERT_NE(store_->Get(latest_), nullptr);
+  EXPECT_EQ(store_->Get(latest_), store_->Latest());
+  EXPECT_EQ(store_->Versions(), std::vector<std::uint64_t>{latest_});
+  EXPECT_EQ(store_->Get(1), nullptr);
+  EXPECT_EQ(store_->Get(2), nullptr);
+}
+
+TEST_F(SnapshotStorePruneTest, LineageSurvivesPruning) {
+  store_->Prune(0);
+  // Warm starts only need the delta, never the donor's networks, so the
+  // lineage chain back to the seed version must survive pruning.
+  EXPECT_EQ(store_->ParentVersion(latest_), 2u);
+  const auto delta = store_->DeltaBetween(1, latest_);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_FALSE(delta->added_stop_pairs.empty());
+}
+
+}  // namespace
+}  // namespace ctbus::service
