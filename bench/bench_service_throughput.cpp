@@ -9,9 +9,13 @@
 //   3. sharding       — two datasets served by one shared shard's worth
 //                       of traffic vs per-dataset shards, plus proof that
 //                       a saturated hot shard cannot starve a cold one
+//   4. memory         — steady-state ApproxBytes totals and eviction /
+//                       prune counts under a sweep flood with a tight
+//                       cache byte budget and keep-latest-2 retention
 //
 // Identical checksums across configurations certify that concurrency,
-// batching, and sharding leave results bit-identical to serial execution.
+// batching, sharding, and memory budgets leave results bit-identical to
+// serial execution.
 //
 // Environment knobs:
 //   CTBUS_SCALE             dataset scale (default 1.0)
@@ -179,6 +183,66 @@ double MeasureSharding(const std::vector<ctbus::gen::Dataset>& datasets,
   return num_requests / seconds;
 }
 
+/// Rounds of (sweep flood -> commit) against a tightly budgeted service:
+/// the cache byte budget fits ~1.5 precomputes and retention keeps the
+/// newest two snapshots, so steady-state memory stays flat while every
+/// round pays one eviction + one prune instead of unbounded growth.
+void MeasureMemoryGovernance(const ctbus::gen::Dataset& city, int rounds,
+                             int requests_per_round) {
+  // Probe: one warm plan tells us what a single precompute weighs.
+  std::size_t precompute_bytes = 0;
+  {
+    ServiceOptions probe_options;
+    probe_options.num_threads = 1;
+    PlanningService probe(probe_options);
+    probe.RegisterDataset(city.name, city.road, city.transit);
+    probe.Plan(MakeRequest(city.name));
+    precompute_bytes = probe.cache_stats().resident_bytes;
+  }
+
+  ServiceOptions service_options;
+  service_options.num_threads = 1;
+  service_options.cache_capacity = 8;
+  service_options.cache_max_bytes = precompute_bytes * 3 / 2;
+  service_options.retention.keep_latest = 2;
+  service_options.queue_capacity =
+      static_cast<std::size_t>(requests_per_round) + 1;
+  PlanningService service(service_options);
+  service.RegisterDataset(city.name, city.road, city.transit);
+
+  std::printf("%8s %9s %10s %9s %10s %10s %8s %8s\n", "round", "version",
+              "snap KiB", "versions", "cache KiB", "evictions", "pruned",
+              "checksum");
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<std::future<ServiceResult>> futures;
+    futures.reserve(requests_per_round);
+    for (int i = 0; i < requests_per_round; ++i) {
+      futures.push_back(
+          service.Submit(MakeRequest(city.name, Priority::kSweep)));
+    }
+    double sum = 0.0;
+    ServiceResult last;
+    for (auto& future : futures) {
+      last = future.get();
+      sum += last.plan.objective;
+    }
+    const std::uint64_t version = service.Commit(last);
+    const auto memory = service.dataset_memory_stats(city.name);
+    const auto cache = service.cache_stats();
+    std::printf("%8d %9llu %10zu %9zu %10zu %10llu %8llu %8.4f\n", round,
+                static_cast<unsigned long long>(version),
+                memory.snapshot_bytes / 1024, memory.resident_versions,
+                cache.resident_bytes / 1024,
+                static_cast<unsigned long long>(cache.evictions),
+                static_cast<unsigned long long>(memory.snapshots_pruned),
+                sum);
+  }
+  std::printf("cache byte budget: %zu KiB (~1.5 precomputes of %zu KiB); "
+              "snapshot retention: keep latest 2.\n",
+              service_options.cache_max_bytes / 1024,
+              precompute_bytes / 1024);
+}
+
 }  // namespace
 
 int main() {
@@ -249,6 +313,14 @@ int main() {
   std::printf("%12d %12.2f %10.4f\n", 1, single_qps, single_sum);
   std::printf("%12d %12.2f %10.4f  (interleaved across both)\n", 2, dual_qps,
               dual_sum);
+
+  // ---- 4. memory governance --------------------------------------------
+  // Steady-state footprint under a sweep flood + commit loop with tight
+  // budgets: bytes stay flat, evictions/prunes pay for it, results don't
+  // change (budgets are not part of any cache or batch key).
+  std::printf("\n-- memory governance (tight budgets, sweep flood) --\n");
+  MeasureMemoryGovernance(city, /*rounds=*/4,
+                          /*requests_per_round=*/std::min(num_requests, 8));
 
   std::printf("\nidentical checksums certify the concurrent results match "
               "the serial ones.\n");

@@ -9,6 +9,7 @@
 #ifndef CTBUS_CONNECTIVITY_NATURAL_CONNECTIVITY_H_
 #define CTBUS_CONNECTIVITY_NATURAL_CONNECTIVITY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -57,6 +58,14 @@ class ConnectivityEstimator {
   int dim() const { return dim_; }
   int probes() const { return static_cast<int>(probes_.size()); }
   int lanczos_steps() const { return lanczos_steps_; }
+
+  /// Approximate resident footprint in bytes — dominated by the pinned
+  /// probe vectors (probes() x dim() doubles). Deterministic, O(1).
+  std::size_t ApproxBytes() const {
+    return sizeof(ConnectivityEstimator) +
+           probes_.size() * (sizeof(std::vector<double>) +
+                             static_cast<std::size_t>(dim_) * sizeof(double));
+  }
 
  private:
   int dim_;

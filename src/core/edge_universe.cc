@@ -126,6 +126,17 @@ EdgeUniverse EdgeUniverse::DeriveFrom(const EdgeUniverse& prev,
   return universe;
 }
 
+std::size_t EdgeUniverse::ApproxBytes() const {
+  std::size_t bytes = sizeof(EdgeUniverse) +
+                      edges_.size() * sizeof(PlannableEdge) +
+                      incident_.size() * sizeof(std::vector<int>) +
+                      2 * edges_.size() * sizeof(int);  // incidence entries
+  for (const PlannableEdge& edge : edges_) {
+    bytes += edge.road_edges.size() * sizeof(int);
+  }
+  return bytes;
+}
+
 std::vector<double> EdgeUniverse::DemandScores() const {
   std::vector<double> scores(edges_.size());
   for (std::size_t e = 0; e < edges_.size(); ++e) {

@@ -6,6 +6,7 @@
 #ifndef CTBUS_CORE_EDGE_UNIVERSE_H_
 #define CTBUS_CORE_EDGE_UNIVERSE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "graph/road_network.h"
@@ -84,6 +85,11 @@ class EdgeUniverse {
   /// Demand score of every edge (indexed by universe edge id) — the input
   /// to the L_d ranking.
   std::vector<double> DemandScores() const;
+
+  /// Approximate resident footprint in bytes: edges (with their realized
+  /// road-edge lists, the dominant term at city scale) plus the incidence
+  /// index. Deterministic; O(num_edges).
+  std::size_t ApproxBytes() const;
 
  private:
   std::vector<PlannableEdge> edges_;

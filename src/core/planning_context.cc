@@ -329,6 +329,24 @@ int PlanningContext::num_online_eval_units_built() const {
   return built;
 }
 
+std::size_t PlanningContext::ApproxBytes() const {
+  std::size_t bytes = sizeof(PlanningContext) + precompute_->ApproxBytes() +
+                      demand_list_.ApproxBytes() +
+                      increment_list_.ApproxBytes() +
+                      objective_list_.ApproxBytes() +
+                      estimator_->ApproxBytes() +
+                      scratch_adjacency_.ApproxBytes() +
+                      top_eigenvalues_.size() * sizeof(double) +
+                      online_eval_units_.size() *
+                          sizeof(std::unique_ptr<OnlineEvalUnit>);
+  for (const auto& unit : online_eval_units_) {
+    if (unit == nullptr) continue;
+    bytes += sizeof(OnlineEvalUnit) + unit->estimator->ApproxBytes() +
+             unit->scratch_adjacency.ApproxBytes();
+  }
+  return bytes;
+}
+
 double PlanningContext::LinearConnectivityIncrement(
     const std::vector<int>& path_edges) const {
   double total = 0.0;

@@ -71,6 +71,14 @@ struct Precompute {
   EdgeUniverse universe;
   std::vector<double> increments;
   PrecomputeStats stats;
+
+  /// Approximate resident footprint in bytes (universe + Delta(e) table).
+  /// This is the unit the serving layer's byte-budgeted PrecomputeCache
+  /// charges per entry. Deterministic; O(universe edges).
+  std::size_t ApproxBytes() const {
+    return sizeof(Precompute) - sizeof(EdgeUniverse) +
+           universe.ApproxBytes() + increments.size() * sizeof(double);
+  }
 };
 
 class PlanningContext {
@@ -167,6 +175,13 @@ class PlanningContext {
   const PrecomputeStats& precompute_stats() const {
     return precompute_->stats;
   }
+
+  /// Approximate resident footprint in bytes of this context's own state
+  /// plus the (possibly shared) precompute it holds alive: ranked lists,
+  /// estimator probes, scratch adjacency, eigenvalues, and the precompute
+  /// tables. Contexts sharing one precompute each report its bytes — the
+  /// serving layer accounts the shared copy once, via the cache.
+  std::size_t ApproxBytes() const;
 
   /// Copies out this context's pre-computation for reuse in sibling
   /// contexts (different k / w / Tn / sn over the same networks). Prefer

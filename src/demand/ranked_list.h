@@ -6,6 +6,7 @@
 #ifndef CTBUS_DEMAND_RANKED_LIST_H_
 #define CTBUS_DEMAND_RANKED_LIST_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace ctbus::demand {
@@ -37,6 +38,14 @@ class RankedList {
   /// Sum of the top `count` scores: the paper's sum_{i=1..k} L(i).
   /// Counts beyond size() saturate.
   double TopSum(int count) const;
+
+  /// Approximate resident footprint in bytes (scores, order, ranks and
+  /// prefix sums). Deterministic, O(1).
+  std::size_t ApproxBytes() const {
+    return sizeof(RankedList) +
+           scores_.size() * (2 * sizeof(double) + 2 * sizeof(int)) +
+           sizeof(double);  // prefix_ holds size() + 1 entries
+  }
 
  private:
   std::vector<double> scores_;

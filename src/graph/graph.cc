@@ -78,4 +78,12 @@ double Graph::TotalEdgeLength() const {
   return total;
 }
 
+std::size_t Graph::ApproxBytes() const {
+  // Each undirected edge appears in two adjacency lists.
+  return sizeof(Graph) + positions_.size() * sizeof(Point) +
+         edges_.size() * sizeof(Edge) +
+         adjacency_.size() * sizeof(std::vector<AdjEntry>) +
+         2 * edges_.size() * sizeof(AdjEntry);
+}
+
 }  // namespace ctbus::graph

@@ -4,6 +4,7 @@
 #ifndef CTBUS_GRAPH_GRAPH_H_
 #define CTBUS_GRAPH_GRAPH_H_
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -59,6 +60,12 @@ class Graph {
 
   /// Sum of all edge lengths.
   double TotalEdgeLength() const;
+
+  /// Approximate resident heap footprint in bytes: logical element counts
+  /// times element sizes (positions, edges, adjacency entries), ignoring
+  /// allocator slack and vector over-allocation so the value is
+  /// deterministic for a given topology. O(1).
+  std::size_t ApproxBytes() const;
 
  private:
   std::vector<Point> positions_;

@@ -22,4 +22,8 @@ std::int64_t RoadNetwork::TotalTripCount() const {
   return total;
 }
 
+std::size_t RoadNetwork::ApproxBytes() const {
+  return graph_.ApproxBytes() + trip_counts_.size() * sizeof(std::int64_t);
+}
+
 }  // namespace ctbus::graph

@@ -4,6 +4,7 @@
 #ifndef CTBUS_GRAPH_ROAD_NETWORK_H_
 #define CTBUS_GRAPH_ROAD_NETWORK_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -47,6 +48,10 @@ class RoadNetwork {
 
   /// Sum of f_e over all edges (number of (trajectory, edge) incidences).
   std::int64_t TotalTripCount() const;
+
+  /// Approximate resident footprint in bytes (graph + trip counts); same
+  /// contract as Graph::ApproxBytes — deterministic, O(1).
+  std::size_t ApproxBytes() const;
 
  private:
   Graph graph_;

@@ -118,6 +118,23 @@ linalg::SymmetricSparseMatrix TransitNetwork::AdjacencyMatrix() const {
   return a;
 }
 
+std::size_t TransitNetwork::ApproxBytes() const {
+  std::size_t bytes = sizeof(TransitNetwork) +
+                      stops_.size() * sizeof(Stop) +
+                      edges_.size() * sizeof(Edge) +
+                      routes_.size() * sizeof(Route) +
+                      adjacency_.size() * sizeof(std::vector<AdjEntry>) +
+                      2 * edges_.size() * sizeof(AdjEntry);
+  for (const Edge& edge : edges_) {
+    bytes += edge.road_edges.size() * sizeof(int) +
+             edge.routes.size() * sizeof(int);
+  }
+  for (const Route& route : routes_) {
+    bytes += route.stops.size() * sizeof(int);
+  }
+  return bytes;
+}
+
 double TransitNetwork::AverageRouteLength() const {
   if (num_active_routes_ == 0) return 0.0;
   double total = 0.0;

@@ -5,6 +5,7 @@
 #ifndef CTBUS_GRAPH_TRANSIT_NETWORK_H_
 #define CTBUS_GRAPH_TRANSIT_NETWORK_H_
 
+#include <cstddef>
 #include <optional>
 #include <vector>
 
@@ -94,6 +95,11 @@ class TransitNetwork {
 
   /// Average number of stops per active route (len(R) in Table 5).
   double AverageRouteLength() const;
+
+  /// Approximate resident footprint in bytes: stops, edges (including
+  /// their realized road-edge lists and route back-references), routes,
+  /// and adjacency. Deterministic; O(edges + routes).
+  std::size_t ApproxBytes() const;
 
  private:
   std::vector<Stop> stops_;

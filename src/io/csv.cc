@@ -1,7 +1,8 @@
 #include "io/csv.h"
 
 #include <fstream>
-#include <sstream>
+
+#include "io/parse.h"
 
 namespace ctbus::io {
 
@@ -59,18 +60,42 @@ std::string FormatCsvLine(const std::vector<std::string>& fields) {
   return line;
 }
 
-std::optional<std::vector<std::vector<std::string>>> ReadCsvFile(
-    const std::string& path) {
+bool ForEachCsvRow(const std::string& path, const CsvRowCallback& row,
+                   std::string* error) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::vector<std::vector<std::string>> rows;
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
   std::string line;
+  std::size_t line_number = 0;
   while (std::getline(in, line)) {
+    ++line_number;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     auto fields = ParseCsvLine(line);
-    if (!fields.has_value()) return std::nullopt;
-    rows.push_back(std::move(*fields));
+    if (!fields.has_value()) {
+      if (error != nullptr) {
+        *error = LineError(path, line_number,
+                           "malformed CSV (unterminated quote)");
+      }
+      return false;
+    }
+    if (!row(std::move(*fields), line_number)) return true;  // early stop
+  }
+  return true;
+}
+
+std::optional<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::vector<std::vector<std::string>> rows;
+  if (!ForEachCsvRow(path,
+                     [&rows](std::vector<std::string>&& fields,
+                             std::size_t /*line_number*/) {
+                       rows.push_back(std::move(fields));
+                       return true;
+                     })) {
+    return std::nullopt;
   }
   return rows;
 }

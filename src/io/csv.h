@@ -4,6 +4,8 @@
 #ifndef CTBUS_IO_CSV_H_
 #define CTBUS_IO_CSV_H_
 
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,8 +20,24 @@ std::optional<std::vector<std::string>> ParseCsvLine(const std::string& line);
 /// or leading/trailing spaces.
 std::string FormatCsvLine(const std::vector<std::string>& fields);
 
+/// Row callback for ForEachCsvRow: the parsed fields (movable) and the
+/// 1-based line number. Return false to stop reading early.
+using CsvRowCallback =
+    std::function<bool(std::vector<std::string>&& fields,
+                       std::size_t line_number)>;
+
+/// Streams a CSV file row by row without materializing it: `row` is
+/// invoked once per non-empty line, so paper-scale trip files cost one
+/// row of memory instead of the whole table. Returns false — setting
+/// *error (when non-null) to a line-numbered message — if the file cannot
+/// be opened or a line is malformed; a callback-requested early stop
+/// still returns true.
+bool ForEachCsvRow(const std::string& path, const CsvRowCallback& row,
+                   std::string* error = nullptr);
+
 /// Reads a whole CSV file; returns nullopt if the file cannot be opened or
-/// any line is malformed. Empty lines are skipped.
+/// any line is malformed. Empty lines are skipped. Prefer ForEachCsvRow on
+/// ingestion paths where the file may be large.
 std::optional<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path);
 

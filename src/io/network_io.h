@@ -22,14 +22,19 @@ namespace ctbus::io {
 
 bool SaveRoadNetwork(const graph::RoadNetwork& road, const std::string& path);
 
-/// Returns nullopt on missing file or malformed content.
-std::optional<graph::RoadNetwork> LoadRoadNetwork(const std::string& path);
+/// Returns nullopt on missing file or malformed content. When `error` is
+/// non-null, a failed load sets it to a "path:line: reason" diagnostic
+/// (DatasetCatalog surfaces it through registration failures); a
+/// successful load leaves it untouched.
+std::optional<graph::RoadNetwork> LoadRoadNetwork(
+    const std::string& path, std::string* error = nullptr);
 
 bool SaveTransitNetwork(const graph::TransitNetwork& transit,
                         const std::string& path);
 
+/// Same diagnostics contract as LoadRoadNetwork.
 std::optional<graph::TransitNetwork> LoadTransitNetwork(
-    const std::string& path);
+    const std::string& path, std::string* error = nullptr);
 
 }  // namespace ctbus::io
 

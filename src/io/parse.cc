@@ -1,0 +1,58 @@
+#include "io/parse.h"
+
+namespace ctbus::io {
+
+bool ParseInt(const std::string& s, int* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stoi(s, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == s.size();
+}
+
+bool ParseInt64(const std::string& s, long long* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stoll(s, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == s.size();
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  std::size_t consumed = 0;
+  try {
+    *out = std::stod(s, &consumed);
+  } catch (...) {
+    return false;
+  }
+  return consumed == s.size();
+}
+
+bool ParseIntList(const std::string& s, std::vector<int>* out) {
+  out->clear();
+  std::size_t begin = 0;
+  while (begin < s.size()) {
+    if (s[begin] == ' ') {
+      ++begin;
+      continue;
+    }
+    std::size_t end = s.find(' ', begin);
+    if (end == std::string::npos) end = s.size();
+    int value = 0;
+    if (!ParseInt(s.substr(begin, end - begin), &value)) return false;
+    out->push_back(value);
+    begin = end;
+  }
+  return true;
+}
+
+std::string LineError(const std::string& path, std::size_t line_number,
+                      const std::string& reason) {
+  return path + ":" + std::to_string(line_number) + ": " + reason;
+}
+
+}  // namespace ctbus::io

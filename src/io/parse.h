@@ -1,0 +1,34 @@
+// Strict, no-throw field parsing shared by the io loaders and the
+// dataset catalog's trip ingestion. The std::sto* family throws on
+// garbage and silently accepts trailing junk, and istream-based list
+// parsing silently truncates at the first bad token — so every ingestion
+// path funnels through these helpers (the whole field must be consumed,
+// lists reject any non-numeric token) and reports failures as
+// "path:line: reason" diagnostics built by LineError.
+#ifndef CTBUS_IO_PARSE_H_
+#define CTBUS_IO_PARSE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ctbus::io {
+
+/// Parse the whole of `s` as the target type; false on garbage,
+/// overflow, or trailing junk. `*out` is unspecified on failure.
+bool ParseInt(const std::string& s, int* out);
+bool ParseInt64(const std::string& s, long long* out);
+bool ParseDouble(const std::string& s, double* out);
+
+/// Parses a space-separated int list into `*out` (cleared first); false
+/// if any token fails ParseInt — no silent truncation. An empty or
+/// all-space string yields an empty list.
+bool ParseIntList(const std::string& s, std::vector<int>* out);
+
+/// "path:line_number: reason" diagnostic string.
+std::string LineError(const std::string& path, std::size_t line_number,
+                      const std::string& reason);
+
+}  // namespace ctbus::io
+
+#endif  // CTBUS_IO_PARSE_H_

@@ -7,6 +7,7 @@
 #ifndef CTBUS_LINALG_SPARSE_MATRIX_H_
 #define CTBUS_LINALG_SPARSE_MATRIX_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -61,6 +62,14 @@ class SymmetricSparseMatrix : public MatVec {
   /// absolute values (the infinity norm, which dominates ||A||_2 for
   /// symmetric A).
   double SpectralNormUpperBound() const;
+
+  /// Approximate resident footprint in bytes (rows + stored entries),
+  /// deterministic and O(1) — each symmetric entry is stored twice.
+  std::size_t ApproxBytes() const {
+    return sizeof(SymmetricSparseMatrix) +
+           rows_.size() * sizeof(std::vector<Entry>) +
+           2 * static_cast<std::size_t>(num_entries_) * sizeof(Entry);
+  }
 
  private:
   // Returns the index of `col` in rows_[row], or -1.

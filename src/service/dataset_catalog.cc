@@ -1,0 +1,184 @@
+#include "service/dataset_catalog.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "io/csv.h"
+#include "io/network_io.h"
+#include "io/parse.h"
+
+namespace ctbus::service {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Streams the trip CSV into the road network's trip counts. Each row is
+/// one trip: a sequence of >= 2 road-vertex ids whose consecutive pairs
+/// must be road-adjacent. Returns false + message on any malformed row.
+bool IngestTrips(const std::string& path, graph::RoadNetwork* road,
+                 std::int64_t* trips, std::string* error) {
+  std::string row_error;
+  const bool ok = io::ForEachCsvRow(
+      path,
+      [&](std::vector<std::string>&& fields, std::size_t line_number) {
+        const auto fail = [&](const std::string& reason) {
+          row_error = io::LineError(path, line_number, reason);
+          return false;
+        };
+        if (fields.size() < 2) {
+          return fail("a trip needs at least two road vertices");
+        }
+        int prev = -1;
+        std::vector<int> edges;
+        edges.reserve(fields.size() - 1);
+        for (std::size_t i = 0; i < fields.size(); ++i) {
+          int vertex = 0;
+          if (!io::ParseInt(fields[i], &vertex)) {
+            return fail("'" + fields[i] + "' is not a road-vertex id");
+          }
+          if (vertex < 0 || vertex >= road->graph().num_vertices()) {
+            return fail("road vertex " + std::to_string(vertex) +
+                        " out of range");
+          }
+          if (i > 0) {
+            const auto edge = road->graph().EdgeBetween(prev, vertex);
+            if (!edge.has_value()) {
+              return fail("vertices " + std::to_string(prev) + " and " +
+                          std::to_string(vertex) +
+                          " are not adjacent in the road network");
+            }
+            edges.push_back(*edge);
+          }
+          prev = vertex;
+        }
+        for (int e : edges) road->AddTripCount(e);
+        ++*trips;
+        return true;
+      },
+      error);
+  if (!ok) return false;
+  if (!row_error.empty()) return Fail(error, row_error);
+  return true;
+}
+
+/// Cross-checks the loaded transit network against the road network, so
+/// planning never indexes out of range: stop affiliations must name road
+/// vertices and realized transit edges must name road edges.
+bool ValidateCrossReferences(const graph::RoadNetwork& road,
+                             const graph::TransitNetwork& transit,
+                             const std::string& transit_path,
+                             std::string* error) {
+  for (int s = 0; s < transit.num_stops(); ++s) {
+    const int rv = transit.stop(s).road_vertex;
+    if (rv < 0 || rv >= road.graph().num_vertices()) {
+      return Fail(error, transit_path + ": stop " + std::to_string(s) +
+                             " is affiliated with road vertex " +
+                             std::to_string(rv) + ", which does not exist");
+    }
+  }
+  for (int e = 0; e < transit.num_edges(); ++e) {
+    for (int re : transit.edge(e).road_edges) {
+      if (re < 0 || re >= road.graph().num_edges()) {
+        return Fail(error, transit_path + ": transit edge " +
+                               std::to_string(e) + " crosses road edge " +
+                               std::to_string(re) + ", which does not exist");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<DatasetManifest> DatasetCatalog::Register(
+    const DatasetDescriptor& descriptor, std::string* error) {
+  const std::string prefix = "dataset '" + descriptor.name + "': ";
+  if (descriptor.name.empty()) {
+    Fail(error, "dataset name must not be empty");
+    return std::nullopt;
+  }
+  if (service_->HasDataset(descriptor.name)) {
+    Fail(error, prefix + "already registered");
+    return std::nullopt;
+  }
+  const bool from_preset = !descriptor.preset.empty();
+  const bool from_files =
+      !descriptor.road_path.empty() || !descriptor.transit_path.empty();
+  if (from_preset == from_files) {
+    Fail(error, prefix +
+                    "exactly one source required: either `preset` or the "
+                    "road_path + transit_path file pair");
+    return std::nullopt;
+  }
+
+  graph::RoadNetwork road;
+  graph::TransitNetwork transit;
+  std::int64_t trips = 0;
+  if (from_preset) {
+    if (!gen::HasDataset(descriptor.preset)) {
+      Fail(error, prefix + "unknown preset '" + descriptor.preset +
+                      "' (see gen::DatasetNames())");
+      return std::nullopt;
+    }
+    gen::Dataset dataset =
+        gen::MakeDatasetByName(descriptor.preset, descriptor.preset_scale);
+    road = std::move(dataset.road);
+    transit = std::move(dataset.transit);
+  } else {
+    if (descriptor.road_path.empty() || descriptor.transit_path.empty()) {
+      Fail(error, prefix + "file datasets need both road_path and "
+                           "transit_path");
+      return std::nullopt;
+    }
+    std::string load_error;
+    auto loaded_road = io::LoadRoadNetwork(descriptor.road_path, &load_error);
+    if (!loaded_road.has_value()) {
+      Fail(error, prefix + "road network: " + load_error);
+      return std::nullopt;
+    }
+    auto loaded_transit =
+        io::LoadTransitNetwork(descriptor.transit_path, &load_error);
+    if (!loaded_transit.has_value()) {
+      Fail(error, prefix + "transit network: " + load_error);
+      return std::nullopt;
+    }
+    road = std::move(*loaded_road);
+    transit = std::move(*loaded_transit);
+    if (!ValidateCrossReferences(road, transit, descriptor.transit_path,
+                                 &load_error)) {
+      Fail(error, prefix + load_error);
+      return std::nullopt;
+    }
+    if (!descriptor.trips_path.empty() &&
+        !IngestTrips(descriptor.trips_path, &road, &trips, &load_error)) {
+      Fail(error, prefix + "trips: " + load_error);
+      return std::nullopt;
+    }
+  }
+
+  DatasetManifest manifest;
+  manifest.name = descriptor.name;
+  manifest.road_vertices = road.graph().num_vertices();
+  manifest.road_edges = road.graph().num_edges();
+  manifest.stops = transit.num_stops();
+  manifest.routes = transit.num_active_routes();
+  manifest.trips_ingested = trips;
+  manifest.snapshot_bytes = road.ApproxBytes() + transit.ApproxBytes();
+  try {
+    service_->RegisterDataset(descriptor.name, std::move(road),
+                              std::move(transit), descriptor.retention);
+  } catch (const std::exception& e) {
+    Fail(error, prefix + e.what());
+    return std::nullopt;
+  }
+  return manifest;
+}
+
+}  // namespace ctbus::service

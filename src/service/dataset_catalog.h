@@ -1,0 +1,91 @@
+// Unified dataset registration for the planning service: one descriptor
+// covers both synthetic gen:: presets and on-disk files (network records
+// via io::LoadRoadNetwork / io::LoadTransitNetwork plus an optional trip
+// CSV), making PlanningService::RegisterDataset reachable from real
+// paper-scale data for the first time. The catalog builds the networks,
+// validates every cross-reference (stop -> road vertex, transit edge ->
+// road edges, trip -> road path), aggregates trip demand onto the road
+// network, and registers the dataset — with its per-dataset snapshot
+// retention budget — into the service. Failures are reported as
+// human-readable messages (file:line diagnostics from the io layer are
+// passed through) instead of bare nullopts, and a failed registration
+// leaves the service untouched.
+//
+// Trip CSV format (Equation 4 aggregation): one commuting trip per row,
+// written as a sequence of >= 2 road-vertex ids; consecutive vertices
+// must be adjacent in the road network, and every road edge the trip
+// crosses has its trip count f_e incremented by one. Rows are streamed
+// (io::ForEachCsvRow), so a paper-scale trip file costs one row of peak
+// memory, not the whole table.
+//
+// Thread-safety: a catalog is a thin stateless helper over the
+// (thread-safe) PlanningService it borrows; distinct catalogs may share
+// one service. The service must outlive the catalog.
+#ifndef CTBUS_SERVICE_DATASET_CATALOG_H_
+#define CTBUS_SERVICE_DATASET_CATALOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/planning_service.h"
+#include "service/snapshot_store.h"
+
+namespace ctbus::service {
+
+/// One dataset's source + budgets. Exactly one source must be set:
+/// either `preset` (a gen:: registry name) or the road/transit file pair.
+struct DatasetDescriptor {
+  /// Service-visible dataset name (PlanRequest::dataset).
+  std::string name;
+
+  /// Synthetic source: a gen:: preset registry name (gen::DatasetNames()).
+  std::string preset;
+  /// Scale factor for the preset ("midtown" ignores it).
+  double preset_scale = 1.0;
+
+  /// File source: io/network_io.h record files.
+  std::string road_path;
+  std::string transit_path;
+  /// Optional trip CSV aggregated onto the road demand on top of the
+  /// road file's embedded trip counts (empty = no extra trips).
+  std::string trips_path;
+
+  /// Snapshot retention for this dataset (defaults keep everything).
+  SnapshotRetentionPolicy retention;
+};
+
+/// What a successful registration built (for logs, benches and tests).
+struct DatasetManifest {
+  std::string name;
+  int road_vertices = 0;
+  int road_edges = 0;
+  int stops = 0;
+  int routes = 0;
+  /// Trips aggregated from DatasetDescriptor::trips_path (0 for presets
+  /// and for file datasets without a trip CSV).
+  std::int64_t trips_ingested = 0;
+  /// ApproxBytes of the seed snapshot (road + transit).
+  std::size_t snapshot_bytes = 0;
+};
+
+class DatasetCatalog {
+ public:
+  /// The service must outlive the catalog.
+  explicit DatasetCatalog(PlanningService* service) : service_(service) {}
+
+  /// Builds, validates and registers `descriptor` into the service.
+  /// Returns the manifest on success; on failure returns nullopt, sets
+  /// *error (when non-null) to a diagnostic message, and leaves the
+  /// service unchanged.
+  std::optional<DatasetManifest> Register(const DatasetDescriptor& descriptor,
+                                          std::string* error = nullptr);
+
+ private:
+  PlanningService* service_;
+};
+
+}  // namespace ctbus::service
+
+#endif  // CTBUS_SERVICE_DATASET_CATALOG_H_

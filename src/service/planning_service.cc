@@ -28,7 +28,8 @@ PrecomputeKey BatchKeyOf(const PlanRequest& request) {
 PlanningService::PlanningService(const ServiceOptions& options)
     : warm_start_precompute_(options.warm_start_precompute),
       max_warm_start_depth_(std::max(1, options.max_warm_start_depth)),
-      cache_(options.cache_capacity),
+      default_retention_(options.retention),
+      cache_(options.cache_capacity, options.cache_max_bytes),
       queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)),
       max_batch_size_(std::max<std::size_t>(1, options.max_batch_size)),
       overflow_policy_(options.overflow_policy),
@@ -47,8 +48,17 @@ PlanningService::~PlanningService() { Shutdown(); }
 void PlanningService::RegisterDataset(const std::string& name,
                                       graph::RoadNetwork road,
                                       graph::TransitNetwork transit) {
+  RegisterDataset(name, std::move(road), std::move(transit),
+                  default_retention_);
+}
+
+void PlanningService::RegisterDataset(
+    const std::string& name, graph::RoadNetwork road,
+    graph::TransitNetwork transit,
+    const SnapshotRetentionPolicy& retention) {
   auto shard = std::make_shared<Shard>(std::make_shared<SnapshotStore>(
       std::move(road), std::move(transit)));
+  shard->retention = retention;
   std::lock_guard<std::mutex> lock(datasets_mu_);
   if (shutting_down_.load()) {
     throw std::runtime_error("RegisterDataset after Shutdown");
@@ -162,6 +172,13 @@ std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
       --service_stats_.submitted;
       throw std::runtime_error("PlanningService: Submit after Shutdown");
     }
+    // Pin an explicitly requested version against retention while the
+    // task waits in the queue ("latest" needs no pin — the latest version
+    // is never pruned). Released by ExecuteBatch.
+    if (task.request.snapshot_version != 0) {
+      task.pinned_version = task.request.snapshot_version;
+      ++shard->version_pins[task.pinned_version];
+    }
     if (task.request.priority == Priority::kInteractive) {
       shard->interactive.push_back(std::move(task));
     } else {
@@ -183,10 +200,20 @@ std::uint64_t PlanningService::Commit(const ServiceResult& result) {
 std::future<std::uint64_t> PlanningService::CommitAsync(ServiceResult result) {
   CommitTask task;
   task.result = std::move(result);
+  // Pin the planned-against version while the commit waits in the
+  // pipeline: retention passes triggered by earlier commits must not
+  // prune the snapshot this result's edge ids map through.
+  task.shard = FindShard(task.result.request.dataset);
+  task.pinned_version = task.result.stats.snapshot_version;
+  if (task.pinned_version != 0) {
+    std::lock_guard<std::mutex> lock(task.shard->mu);
+    ++task.shard->version_pins[task.pinned_version];
+  }
   std::future<std::uint64_t> future = task.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(commit_mu_);
     if (commit_shutdown_) {
+      UnpinVersion(task.shard.get(), task.pinned_version);
       throw std::runtime_error("PlanningService: CommitAsync after Shutdown");
     }
     commit_queue_.push_back(std::move(task));
@@ -197,23 +224,37 @@ std::future<std::uint64_t> PlanningService::CommitAsync(ServiceResult result) {
 
 std::uint64_t PlanningService::CommitNow(const ServiceResult& result) {
   const PlanRequest& request = result.request;
-  const auto store = Store(request.dataset);
+  const auto shard = FindShard(request.dataset);
+  const auto store = shard->store;
   const std::uint64_t version = result.stats.snapshot_version;
   const SnapshotPtr snapshot = store->Get(version);
-  if (snapshot == nullptr) {
-    throw std::invalid_argument("Commit: unknown snapshot version");
-  }
   // The universe that maps the result's edge ids back to stop pairs lives
   // in the precompute for (dataset, version, tau); typically still hot.
-  const auto precompute =
-      ResolvePrecompute(*store, request.dataset, *snapshot, request.options,
-                        /*cache_hit=*/nullptr, /*derived=*/nullptr);
+  PrecomputeCache::PrecomputePtr precompute;
+  if (snapshot != nullptr) {
+    precompute = ResolvePrecompute(*store, request.dataset, *snapshot,
+                                   request.options,
+                                   /*cache_hit=*/nullptr,
+                                   /*derived=*/nullptr);
+  } else {
+    // The planned-against version was pruned by retention. Committing
+    // needs only the universe the plan was computed in (CommitRoute
+    // applies on top of latest), so a still-cached precompute suffices.
+    precompute = cache_.Peek(
+        MakePrecomputeKey(request.dataset, version, request.options));
+    if (precompute == nullptr) {
+      throw std::invalid_argument("Commit: unknown snapshot version");
+    }
+  }
   // Commit on top of *latest* (base 0), not the version the plan was
   // computed against: sequential commits of plans from one snapshot must
   // stack, not clobber each other. The universe still comes from the
   // planned-against version — that is what maps the result's edge ids.
-  return store->CommitRoute(result.plan, precompute->universe,
-                            /*base_version=*/0);
+  const std::uint64_t new_version =
+      store->CommitRoute(result.plan, precompute->universe,
+                         /*base_version=*/0);
+  ApplyRetention(request.dataset, shard.get());
+  return new_version;
 }
 
 void PlanningService::CommitLoop() {
@@ -230,15 +271,70 @@ void PlanningService::CommitLoop() {
     }
     try {
       const std::uint64_t version = CommitNow(task.result);
+      UnpinVersion(task.shard.get(), task.pinned_version);
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++service_stats_.async_commits;
       }
       task.promise.set_value(version);
     } catch (...) {
+      UnpinVersion(task.shard.get(), task.pinned_version);
       task.promise.set_exception(std::current_exception());
     }
   }
+}
+
+void PlanningService::UnpinVersionLocked(Shard* shard,
+                                         std::uint64_t version) {
+  if (version == 0) return;
+  const auto it = shard->version_pins.find(version);
+  if (it == shard->version_pins.end()) return;
+  if (--it->second <= 0) shard->version_pins.erase(it);
+}
+
+void PlanningService::UnpinVersion(Shard* shard, std::uint64_t version) {
+  if (shard == nullptr || version == 0) return;
+  std::lock_guard<std::mutex> lock(shard->mu);
+  UnpinVersionLocked(shard, version);
+}
+
+void PlanningService::ApplyRetention(const std::string& dataset,
+                                     Shard* shard) {
+  const SnapshotRetentionPolicy& policy = shard->retention;
+  if (policy.keep_latest == 0 && policy.max_bytes == 0) return;
+  // Protected set: versions pinned by queued requests / pending commits,
+  // plus every version with a resident cache entry for this dataset (a
+  // ready entry is a live warm-start donor whose lineage must survive;
+  // an in-flight entry is a derive in progress whose target version's
+  // lineage walk is happening right now). The cache keys are read first
+  // (cache lock), then shard->mu is held ACROSS the store call: pins are
+  // taken under shard->mu, so a concurrent Submit/CommitAsync pin either
+  // lands before the pass (and is protected) or after it (and sees the
+  // post-prune store, where a pruned version fails like any unknown
+  // version). Holding shard->mu while taking the store's index lock is
+  // safe: no path acquires them in the other order.
+  std::vector<std::uint64_t> protected_versions;
+  for (const PrecomputeKey& key : cache_.KeysByRecency()) {
+    if (key.dataset == dataset) {
+      protected_versions.push_back(key.snapshot_version);
+    }
+  }
+  SnapshotStore::RetentionResult result;
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    protected_versions.reserve(protected_versions.size() +
+                               shard->version_pins.size());
+    for (const auto& [version, pins] : shard->version_pins) {
+      protected_versions.push_back(version);
+    }
+    result = shard->store->ApplyRetention(policy, protected_versions);
+    shard->snapshots_pruned += result.versions_pruned;
+    shard->lineage_trimmed += result.lineage_trimmed;
+  }
+  if (result.versions_pruned == 0 && result.lineage_trimmed == 0) return;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  service_stats_.snapshots_pruned += result.versions_pruned;
+  service_stats_.lineage_trimmed += result.lineage_trimmed;
 }
 
 PrecomputeCache::PrecomputePtr PlanningService::ResolvePrecompute(
@@ -298,6 +394,20 @@ PrecomputeCache::PrecomputePtr PlanningService::ResolvePrecompute(
 PlanningService::ServiceStats PlanningService::service_stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return service_stats_;
+}
+
+PlanningService::DatasetMemoryStats PlanningService::dataset_memory_stats(
+    const std::string& dataset) const {
+  const auto shard = FindShard(dataset);
+  DatasetMemoryStats stats;
+  stats.resident_versions = shard->store->num_versions();
+  stats.snapshot_bytes = shard->store->ApproxBytes();
+  stats.lineage_records = shard->store->num_lineage_records();
+  std::lock_guard<std::mutex> lock(shard->mu);
+  stats.pinned_versions = shard->version_pins.size();
+  stats.snapshots_pruned = shard->snapshots_pruned;
+  stats.lineage_trimmed = shard->lineage_trimmed;
+  return stats;
 }
 
 int PlanningService::num_workers() const { return next_worker_id_.load(); }
@@ -438,6 +548,14 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
     precompute_seconds = SecondsSince(timer);
   } catch (...) {
     failure = std::current_exception();
+  }
+  // Snapshot resolution is done (the shared_ptr keeps it alive from here,
+  // or the batch failed): release the members' queued-version pins.
+  {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const Task& task : batch) {
+      UnpinVersionLocked(shard, task.pinned_version);
+    }
   }
 
   for (std::size_t i = 0; i < batch.size(); ++i) {

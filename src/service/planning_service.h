@@ -37,6 +37,18 @@
 // publishes copy-on-write — and async commits apply in submission order,
 // so they stack exactly like sequential Commit calls.
 //
+// Memory governance: the precompute cache evicts by a byte budget
+// (ServiceOptions::cache_max_bytes, entry count as a secondary limit) and
+// every commit is followed by a SnapshotRetentionPolicy pass over the
+// dataset's snapshot store (keep-latest-K + byte budget). Versions pinned
+// by queued explicit-version requests or pending async commits, and
+// versions with resident precompute-cache entries (warm-start donors,
+// in-flight derives), are never pruned and keep their lineage — so
+// budgets only ever change recompute cost and stats, never planning
+// results. Budgets are deliberately NOT part of PrecomputeKey or batch
+// keys: two services differing only in budgets produce bit-identical
+// plans.
+//
 // Every worker builds its own PlanningContext, so queries never share
 // mutable state: results are bit-identical to running the same requests
 // serially (the estimators are deterministic by construction). Snapshots
@@ -94,6 +106,19 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   /// Precompute cache entries (0 disables caching).
   std::size_t cache_capacity = 16;
+  /// Byte budget for the precompute cache: summed
+  /// core::Precompute::ApproxBytes of resident ready entries (0 =
+  /// unlimited). The entry-count capacity stays as a secondary limit;
+  /// in-flight entries are never evicted, and a single entry larger than
+  /// the whole budget is still admitted (see service/precompute_cache.h).
+  std::size_t cache_max_bytes = 0;
+  /// Snapshot retention applied to a dataset's SnapshotStore after every
+  /// Commit / CommitAsync (defaults keep everything — prior behavior).
+  /// RegisterDataset can override per dataset. Pruning never changes
+  /// planning results: pinned and cache-resident versions are protected,
+  /// and a request against a genuinely pruned version fails the same way
+  /// an unknown version always has.
+  SnapshotRetentionPolicy retention;
   /// Shared across shards; see OverflowPolicy.
   OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
   /// Upper bound on how many same-key sweep requests one worker executes
@@ -184,9 +209,14 @@ class PlanningService {
 
   /// Registers a city under `name`, seeding its SnapshotStore at version 1
   /// and spawning the dataset's worker-pool shard. Registering an existing
-  /// name (or registering after Shutdown) throws.
+  /// name (or registering after Shutdown) throws. The dataset inherits
+  /// ServiceOptions::retention; the overload pins a per-dataset policy
+  /// (DatasetCatalog uses it for descriptor-supplied budgets).
   void RegisterDataset(const std::string& name, graph::RoadNetwork road,
                        graph::TransitNetwork transit);
+  void RegisterDataset(const std::string& name, graph::RoadNetwork road,
+                       graph::TransitNetwork transit,
+                       const SnapshotRetentionPolicy& retention);
 
   /// Registers a gen:: preset by registry name (see gen::DatasetNames()).
   void RegisterPreset(const std::string& name, double scale = 1.0);
@@ -250,8 +280,27 @@ class PlanningService {
     std::uint64_t batched_requests = 0;
     /// Commits applied by the async pipeline (CommitAsync only).
     std::uint64_t async_commits = 0;
+    /// Snapshot versions pruned / lineage records trimmed by the
+    /// post-commit retention passes, summed across datasets.
+    std::uint64_t snapshots_pruned = 0;
+    std::uint64_t lineage_trimmed = 0;
   };
   ServiceStats service_stats() const;
+
+  /// Per-dataset memory accounting, read under the shard's lock.
+  struct DatasetMemoryStats {
+    /// Resident snapshot versions and their summed ApproxBytes.
+    std::size_t resident_versions = 0;
+    std::size_t snapshot_bytes = 0;
+    /// Lineage records currently resident in the store.
+    std::size_t lineage_records = 0;
+    /// Distinct versions pinned by queued requests / pending commits.
+    std::size_t pinned_versions = 0;
+    /// Cumulative retention-pass removals for this dataset.
+    std::uint64_t snapshots_pruned = 0;
+    std::uint64_t lineage_trimmed = 0;
+  };
+  DatasetMemoryStats dataset_memory_stats(const std::string& dataset) const;
 
   /// Worker threads per dataset shard (the resolved ServiceOptions value).
   int num_threads() const { return threads_per_shard_; }
@@ -273,6 +322,11 @@ class PlanningService {
     /// under the shard mutex is a plain field comparison instead of
     /// constructing keys per scanned task.
     PrecomputeKey batch_key;
+    /// Snapshot version pinned against retention while this task is
+    /// queued (0 = none; only explicit-version requests pin — "latest"
+    /// can never be pruned). Released by ExecuteBatch once the snapshot
+    /// shared_ptr is resolved.
+    std::uint64_t pinned_version = 0;
   };
 
   /// One dataset's serving state: its snapshot store plus a private
@@ -283,6 +337,8 @@ class PlanningService {
         : store(std::move(snapshot_store)) {}
 
     std::shared_ptr<SnapshotStore> store;
+    /// Retention enforced after each commit to this dataset.
+    SnapshotRetentionPolicy retention;
     std::mutex mu;
     std::condition_variable not_empty;
     std::condition_variable not_full;
@@ -291,6 +347,13 @@ class PlanningService {
     std::deque<Task> sweep;        // batched by precompute key
     int live_workers = 0;  // guarded by mu
     std::vector<std::thread> workers;
+    /// version -> pin count for queued explicit-version requests and
+    /// pending async commits; pinned versions survive retention passes.
+    /// Guarded by mu.
+    std::unordered_map<std::uint64_t, int> version_pins;
+    /// Cumulative retention removals for this dataset. Guarded by mu.
+    std::uint64_t snapshots_pruned = 0;
+    std::uint64_t lineage_trimmed = 0;
 
     std::size_t queued() const { return interactive.size() + sweep.size(); }
   };
@@ -298,6 +361,12 @@ class PlanningService {
   struct CommitTask {
     ServiceResult result;
     std::promise<std::uint64_t> promise;
+    /// The planned-against version, pinned from CommitAsync until the
+    /// commit applies, so retention cannot prune the snapshot the
+    /// result's edge ids resolve through. The shard is captured so the
+    /// unpin cannot race a dataset lookup.
+    std::shared_ptr<Shard> shard;
+    std::uint64_t pinned_version = 0;
   };
 
   void WorkerLoop(Shard* shard, int worker_id);
@@ -313,6 +382,16 @@ class PlanningService {
   std::shared_ptr<SnapshotStore> Store(const std::string& dataset) const;
   std::shared_ptr<Shard> FindShard(const std::string& dataset) const;
 
+  /// Decrements `version`'s pin count on `shard` (no-op for version 0).
+  void UnpinVersion(Shard* shard, std::uint64_t version);
+  /// Same, with shard->mu already held by the caller.
+  void UnpinVersionLocked(Shard* shard, std::uint64_t version);
+  /// Runs the shard's retention policy over its snapshot store,
+  /// protecting pinned versions and every version with a resident
+  /// precompute-cache entry for `dataset`. Called after each commit;
+  /// no-op when the policy is unlimited.
+  void ApplyRetention(const std::string& dataset, Shard* shard);
+
   /// Cache lookup with warm start: on a miss, tries to derive from the
   /// nearest resident ancestor version before computing from scratch.
   PrecomputeCache::PrecomputePtr ResolvePrecompute(
@@ -322,6 +401,8 @@ class PlanningService {
 
   const bool warm_start_precompute_;
   const int max_warm_start_depth_;
+  /// Retention for datasets registered without a per-dataset policy.
+  const SnapshotRetentionPolicy default_retention_;
   PrecomputeCache cache_;
   const std::size_t queue_capacity_;
   const std::size_t max_batch_size_;

@@ -55,8 +55,8 @@ std::size_t PrecomputeKeyHash::operator()(const PrecomputeKey& key) const {
   return h;
 }
 
-PrecomputeCache::PrecomputeCache(std::size_t capacity)
-    : capacity_(capacity) {}
+PrecomputeCache::PrecomputeCache(std::size_t capacity, std::size_t max_bytes)
+    : capacity_(capacity), max_bytes_(max_bytes) {}
 
 PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
     const PrecomputeKey& key, const ComputeFn& compute, bool* was_hit) {
@@ -98,7 +98,9 @@ PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
     const auto it = entries_.find(key);
     if (it != entries_.end() && it->second.generation == generation) {
       it->second.ready = true;
-      EvictReadyLocked();  // capacity may have been exceeded while in flight
+      it->second.bytes = result->ApproxBytes();
+      resident_bytes_ += it->second.bytes;
+      EvictReadyLocked();  // limits may have been exceeded while in flight
     }
     return result;
   } catch (...) {
@@ -115,11 +117,21 @@ PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
 
 void PrecomputeCache::EvictReadyLocked() {
   std::size_t resident = entries_.size();
+  // The walk stops at lru_.begin(): the MRU entry is never evicted, so a
+  // single entry larger than the whole byte budget is still admitted and
+  // serves hits until the next insertion displaces it from the MRU slot.
+  const auto over_limit = [&] {
+    return resident > capacity_ ||
+           (max_bytes_ > 0 && resident_bytes_ > max_bytes_);
+  };
   auto candidate = lru_.end();
-  while (resident > capacity_ && candidate != lru_.begin()) {
+  while (over_limit() && candidate != lru_.begin()) {
     --candidate;  // walk tail -> head, skipping in-flight entries
+    if (candidate == lru_.begin()) break;  // reached the MRU entry
     const auto it = entries_.find(*candidate);
     if (it == entries_.end() || !it->second.ready) continue;
+    resident_bytes_ -= it->second.bytes;
+    stats_.evicted_bytes += it->second.bytes;
     entries_.erase(it);
     candidate = lru_.erase(candidate);
     ++stats_.evictions;
@@ -152,6 +164,14 @@ bool PrecomputeCache::Contains(const PrecomputeKey& key) const {
   return entries_.count(key) > 0;
 }
 
+PrecomputeCache::PrecomputePtr PrecomputeCache::Peek(
+    const PrecomputeKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || !it->second.ready) return nullptr;
+  return it->second.future.get();  // ready => never blocks
+}
+
 std::vector<PrecomputeKey> PrecomputeCache::KeysByRecency() const {
   std::lock_guard<std::mutex> lock(mu_);
   return {lru_.begin(), lru_.end()};
@@ -161,6 +181,7 @@ void PrecomputeCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
   lru_.clear();
+  resident_bytes_ = 0;
 }
 
 std::size_t PrecomputeCache::size() const {
@@ -168,9 +189,16 @@ std::size_t PrecomputeCache::size() const {
   return entries_.size();
 }
 
+std::size_t PrecomputeCache::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
 PrecomputeCache::Stats PrecomputeCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats stats = stats_;
+  stats.resident_bytes = resident_bytes_;
+  return stats;
 }
 
 }  // namespace ctbus::service

@@ -12,6 +12,17 @@
 // instead of recomputing. Capacity 0 disables caching entirely (every call
 // computes, nothing is stored).
 //
+// Memory governance: eviction is driven by an explicit byte budget
+// (`max_bytes`, charged per entry via core::Precompute::ApproxBytes) with
+// the entry count capacity kept as a secondary limit. Ready entries are
+// evicted LRU-tail-first until both limits hold; in-flight entries are
+// never evicted (the miss dedup cannot be broken by memory pressure), and
+// the most recently used entry survives even when it alone exceeds the
+// budget — a single oversized precompute is admitted, serves hits, and is
+// only displaced by the next insertion. Budgets never appear in
+// PrecomputeKey: they change *what stays resident*, never *what a key
+// computes to*, so results are bit-identical under any budget.
+//
 // Ownership: values are handed out as shared_ptr<const core::Precompute>.
 // Eviction only drops the cache's reference — callers (and the planning
 // contexts built over them) keep the object alive for as long as they
@@ -76,12 +87,19 @@ class PrecomputeCache {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
+    /// ApproxBytes of the resident *ready* entries right now (in-flight
+    /// entries are charged when they become ready).
+    std::size_t resident_bytes = 0;
+    /// Cumulative ApproxBytes of evicted entries.
+    std::uint64_t evicted_bytes = 0;
   };
 
   using ComputeFn = std::function<core::Precompute()>;
   using PrecomputePtr = std::shared_ptr<const core::Precompute>;
 
-  explicit PrecomputeCache(std::size_t capacity);
+  /// `capacity` bounds resident entries (0 disables caching entirely);
+  /// `max_bytes` bounds their summed ApproxBytes (0 = unlimited).
+  explicit PrecomputeCache(std::size_t capacity, std::size_t max_bytes = 0);
 
   PrecomputeCache(const PrecomputeCache&) = delete;
   PrecomputeCache& operator=(const PrecomputeCache&) = delete;
@@ -106,6 +124,13 @@ class PrecomputeCache {
   /// True if `key` is resident (does not touch LRU order).
   bool Contains(const PrecomputeKey& key) const;
 
+  /// The ready value for `key` if resident, else nullptr (in-flight
+  /// entries also return nullptr — Peek never blocks). Does not touch
+  /// LRU order or hit/miss stats. The serving layer's commit path uses
+  /// this to map a result's edge ids through its planned-in universe even
+  /// after the planned-against snapshot version was pruned by retention.
+  PrecomputePtr Peek(const PrecomputeKey& key) const;
+
   /// Resident keys, most recently used first. For tests and introspection.
   std::vector<PrecomputeKey> KeysByRecency() const;
 
@@ -113,6 +138,9 @@ class PrecomputeCache {
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
+  std::size_t max_bytes() const { return max_bytes_; }
+  /// Summed ApproxBytes of resident ready entries.
+  std::size_t resident_bytes() const;
   Stats stats() const;
 
  private:
@@ -125,17 +153,23 @@ class PrecomputeCache {
     /// Distinguishes re-insertions of one key, so a failed compute only
     /// erases its own generation, never a newer healthy entry.
     std::uint64_t generation = 0;
+    /// ApproxBytes of the value, charged against max_bytes_ once ready
+    /// (0 while in flight — the size is unknown until computed).
+    std::size_t bytes = 0;
   };
 
-  /// Evicts ready entries from the LRU tail until within capacity (or
-  /// only in-flight entries remain). Caller holds mu_.
+  /// Evicts ready entries from the LRU tail until within the entry-count
+  /// capacity AND the byte budget (or only in-flight entries and the MRU
+  /// entry remain). Caller holds mu_.
   void EvictReadyLocked();
 
   const std::size_t capacity_;
+  const std::size_t max_bytes_;
   mutable std::mutex mu_;
   std::list<PrecomputeKey> lru_;  // front = most recently used
   std::unordered_map<PrecomputeKey, Entry, PrecomputeKeyHash> entries_;
   std::uint64_t next_generation_ = 0;
+  std::size_t resident_bytes_ = 0;  // summed Entry::bytes of ready entries
   Stats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 namespace ctbus::service {
@@ -135,8 +136,63 @@ void SnapshotStore::Prune(std::size_t keep_latest) {
   // out the snapshot. The latest version is always retained.
   if (keep_latest == 0) keep_latest = 1;
   while (versions_.size() > keep_latest) {
+    resident_bytes_ -= versions_.begin()->second->approx_bytes;
     versions_.erase(versions_.begin());
   }
+}
+
+SnapshotStore::RetentionResult SnapshotStore::ApplyRetention(
+    const SnapshotRetentionPolicy& policy,
+    const std::vector<std::uint64_t>& protected_versions) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RetentionResult result;
+  const std::unordered_set<std::uint64_t> protected_set(
+      protected_versions.begin(), protected_versions.end());
+  const auto over_limit = [&] {
+    return (policy.keep_latest > 0 &&
+            versions_.size() > policy.keep_latest) ||
+           (policy.max_bytes > 0 && resident_bytes_ > policy.max_bytes);
+  };
+  // Oldest-first; the latest and protected versions are skipped, so a
+  // budget tighter than the unprunable set is satisfied best-effort.
+  for (auto it = versions_.begin();
+       it != versions_.end() && over_limit();) {
+    if (it->first == latest_->version || protected_set.count(it->first) > 0) {
+      ++it;
+      continue;
+    }
+    resident_bytes_ -= it->second->approx_bytes;
+    it = versions_.erase(it);
+    ++result.versions_pruned;
+  }
+  // Lineage below the oldest still-relevant version can never be walked
+  // again: DeltaBetween(from, to) only reads records with child > from,
+  // and no caller may name a `from` older than every resident AND every
+  // protected version (protected covers cached donors whose snapshots
+  // are long pruned — their lineage must survive for pending derives).
+  std::uint64_t cutoff = latest_->version;
+  if (!versions_.empty()) {
+    cutoff = std::min(cutoff, versions_.begin()->first);
+  }
+  for (std::uint64_t v : protected_versions) {
+    if (v != 0) cutoff = std::min(cutoff, v);
+  }
+  for (auto it = lineage_.begin();
+       it != lineage_.end() && it->first <= cutoff;) {
+    it = lineage_.erase(it);
+    ++result.lineage_trimmed;
+  }
+  return result;
+}
+
+std::size_t SnapshotStore::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_bytes_;
+}
+
+std::size_t SnapshotStore::num_lineage_records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lineage_.size();
 }
 
 std::uint64_t SnapshotStore::Publish(graph::RoadNetwork road,
@@ -149,10 +205,15 @@ std::uint64_t SnapshotStore::Publish(graph::RoadNetwork road,
   snapshot->transit =
       std::make_shared<const graph::TransitNetwork>(std::move(transit));
   snapshot->parent_version = parent_version;
+  // Networks are immutable from here on, so the footprint is measured
+  // exactly once per version.
+  snapshot->approx_bytes =
+      snapshot->road->ApproxBytes() + snapshot->transit->ApproxBytes();
   std::lock_guard<std::mutex> lock(mu_);
   snapshot->version = next_version_++;
   latest_ = SnapshotPtr(std::move(snapshot));
   versions_[latest_->version] = latest_;
+  resident_bytes_ += latest_->approx_bytes;
   if (parent_version != 0) {
     lineage_[latest_->version] = Lineage{parent_version, std::move(delta)};
   }

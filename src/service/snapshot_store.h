@@ -13,9 +13,21 @@
 // index lock while copying networks. The store also records each commit's
 // lineage (parent version + edge-diff), which DeltaBetween composes into
 // the warm-start input of PlanningContext::DerivePrecompute.
+//
+// Memory governance: each published version's footprint is measured once
+// (ApproxBytes of its networks) and the store exposes the resident total.
+// ApplyRetention enforces a SnapshotRetentionPolicy — keep-latest-K plus a
+// byte budget — pruning oldest-first while never touching the latest
+// version or any caller-protected version, and trimming lineage records
+// only below the oldest version anyone can still warm-start from, so
+// DeltaBetween never silently loses a reachable donor. Pruning changes
+// which versions stay resident, never their contents: planning results
+// are bit-identical under any policy that leaves the queried versions
+// resident.
 #ifndef CTBUS_SERVICE_SNAPSHOT_STORE_H_
 #define CTBUS_SERVICE_SNAPSHOT_STORE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -39,6 +51,20 @@ struct NetworkSnapshot {
   std::uint64_t parent_version = 0;
   std::shared_ptr<const graph::RoadNetwork> road;
   std::shared_ptr<const graph::TransitNetwork> transit;
+  /// ApproxBytes of road + transit, measured once at publish time (the
+  /// networks are immutable, so the value never goes stale).
+  std::size_t approx_bytes = 0;
+};
+
+/// Retention policy over a store's resident versions. Zero means
+/// "unlimited" for both knobs; the latest version and caller-protected
+/// versions are retained regardless, so a policy can bound memory but can
+/// never make the store lose data someone still plans against.
+struct SnapshotRetentionPolicy {
+  /// Keep at most this many resident versions (0 = no count limit).
+  std::size_t keep_latest = 0;
+  /// Keep at most this many summed snapshot ApproxBytes (0 = no limit).
+  std::size_t max_bytes = 0;
 };
 
 using SnapshotPtr = std::shared_ptr<const NetworkSnapshot>;
@@ -105,6 +131,37 @@ class SnapshotStore {
   /// links + deltas) are kept — see DeltaBetween.
   void Prune(std::size_t keep_latest);
 
+  /// What one ApplyRetention pass removed.
+  struct RetentionResult {
+    std::size_t versions_pruned = 0;
+    std::size_t lineage_trimmed = 0;
+  };
+
+  /// Enforces `policy` over the resident versions: prunes oldest-first
+  /// while more than policy.keep_latest versions are resident (when > 0)
+  /// or their summed ApproxBytes exceed policy.max_bytes (when > 0). The
+  /// latest version and every version in `protected_versions` are never
+  /// pruned — callers pass the versions pinned by queued requests and by
+  /// resident precompute-cache entries, so an in-flight query or a
+  /// pending warm-start derive can never lose its snapshot. A byte budget
+  /// smaller than the unprunable set is therefore satisfied best-effort.
+  ///
+  /// Lineage is trimmed *conservatively*: only records at or below the
+  /// oldest still-relevant version (the minimum over resident and
+  /// protected versions) are dropped, so DeltaBetween(donor, v) keeps
+  /// working for every donor a caller declared protected — a retention
+  /// pass can make a warm start cheaper to decline (fall back to scratch)
+  /// but never sever a declared donor's lineage mid-derive.
+  RetentionResult ApplyRetention(
+      const SnapshotRetentionPolicy& policy,
+      const std::vector<std::uint64_t>& protected_versions = {});
+
+  /// Summed ApproxBytes of the resident (not pruned) versions. O(1).
+  std::size_t ApproxBytes() const;
+
+  /// Resident lineage records (for tests and introspection).
+  std::size_t num_lineage_records() const;
+
  private:
   /// One commit's worth of lineage: the parent version and the edge-diff
   /// the commit applied to it.
@@ -123,6 +180,7 @@ class SnapshotStore {
   std::map<std::uint64_t, SnapshotPtr> versions_;
   std::map<std::uint64_t, Lineage> lineage_;  // keyed by child version
   SnapshotPtr latest_;
+  std::size_t resident_bytes_ = 0;  // summed approx_bytes of versions_
 };
 
 }  // namespace ctbus::service

@@ -97,6 +97,17 @@ TEST(EdgeUniverseTest, DemandScoresMatchEdges) {
   }
 }
 
+TEST(EdgeUniverseTest, ApproxBytesGrowsWithTheUniverse) {
+  const gen::Dataset d = gen::MakeMidtown();
+  const EdgeUniverse small = BuildDefault(d, /*tau=*/300.0);
+  const EdgeUniverse large = BuildDefault(d, /*tau=*/700.0);
+  EXPECT_GE(small.ApproxBytes(), sizeof(EdgeUniverse));
+  ASSERT_GT(large.num_edges(), small.num_edges());
+  EXPECT_GT(large.ApproxBytes(), small.ApproxBytes());
+  // Deterministic: rebuilding the same universe reports the same bytes.
+  EXPECT_EQ(BuildDefault(d, 700.0).ApproxBytes(), large.ApproxBytes());
+}
+
 TEST(EdgeUniverseTest, NoDuplicatePairs) {
   const gen::Dataset d = gen::MakeMidtown();
   const EdgeUniverse u = BuildDefault(d);

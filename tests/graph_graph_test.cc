@@ -104,5 +104,23 @@ TEST(GraphTest, SingleVertexIsConnected) {
   EXPECT_TRUE(g.IsConnected());
 }
 
+TEST(GraphTest, ApproxBytesIsDeterministicAndMonotonic) {
+  Graph g;
+  const std::size_t empty = g.ApproxBytes();
+  EXPECT_GE(empty, sizeof(Graph));
+  g.AddVertex({0, 0});
+  g.AddVertex({1, 0});
+  const std::size_t with_vertices = g.ApproxBytes();
+  EXPECT_GT(with_vertices, empty);
+  g.AddEdge(0, 1, 1.0);
+  EXPECT_GT(g.ApproxBytes(), with_vertices);
+  // Same topology => same bytes (logical counts, not allocator state).
+  Graph h;
+  h.AddVertex({5, 5});
+  h.AddVertex({6, 6});
+  h.AddEdge(0, 1, 9.0);
+  EXPECT_EQ(g.ApproxBytes(), h.ApproxBytes());
+}
+
 }  // namespace
 }  // namespace ctbus::graph

@@ -1,6 +1,7 @@
 #include "io/csv.h"
 
 #include <cstdio>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -58,6 +59,63 @@ TEST(CsvTest, FileRoundTrip) {
 TEST(CsvTest, ReadMissingFileFails) {
   EXPECT_FALSE(ReadCsvFile("/nonexistent/definitely_not_here.csv")
                    .has_value());
+}
+
+TEST(CsvTest, ForEachCsvRowStreamsRowsWithLineNumbers) {
+  const std::string path = ::testing::TempDir() + "/ctbus_csv_stream.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {{"a", "b"}, {"c"}, {"d", "e", "f"}}));
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::size_t> lines;
+  ASSERT_TRUE(ForEachCsvRow(
+      path, [&](std::vector<std::string>&& fields, std::size_t line) {
+        rows.push_back(std::move(fields));
+        lines.push_back(line);
+        return true;
+      }));
+  EXPECT_EQ(rows, (std::vector<std::vector<std::string>>{
+                      {"a", "b"}, {"c"}, {"d", "e", "f"}}));
+  EXPECT_EQ(lines, (std::vector<std::size_t>{1, 2, 3}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ForEachCsvRowEarlyStopStillSucceeds) {
+  const std::string path = ::testing::TempDir() + "/ctbus_csv_stop.csv";
+  ASSERT_TRUE(WriteCsvFile(path, {{"1"}, {"2"}, {"3"}}));
+  int seen = 0;
+  ASSERT_TRUE(ForEachCsvRow(
+      path, [&](std::vector<std::string>&&, std::size_t) {
+        return ++seen < 2;  // stop after the second row
+      }));
+  EXPECT_EQ(seen, 2);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ForEachCsvRowReportsLineNumberedErrors) {
+  const std::string path = ::testing::TempDir() + "/ctbus_csv_bad.csv";
+  {
+    std::ofstream out(path);
+    out << "good,row\n" << R"(bad,"unterminated)" << "\n";
+  }
+  std::string error;
+  int seen = 0;
+  EXPECT_FALSE(ForEachCsvRow(
+      path,
+      [&](std::vector<std::string>&&, std::size_t) {
+        ++seen;
+        return true;
+      },
+      &error));
+  EXPECT_EQ(seen, 1);  // the good row streamed before the failure
+  EXPECT_NE(error.find(":2:"), std::string::npos) << error;
+  std::remove(path.c_str());
+
+  error.clear();
+  EXPECT_FALSE(ForEachCsvRow("/nonexistent/nope.csv",
+                             [](std::vector<std::string>&&, std::size_t) {
+                               return true;
+                             },
+                             &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
 }
 
 }  // namespace

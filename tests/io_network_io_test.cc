@@ -88,5 +88,147 @@ TEST(NetworkIoTest, LoadRejectsTruncatedRecords) {
   std::remove(path.c_str());
 }
 
+TEST(NetworkIoTest, LoadErrorsCarryLineNumberedDiagnostics) {
+  const std::string path = TempPath("diagnosed.tsv");
+  {
+    std::ofstream out(path);
+    out << "V\t0\t0.0\t0.0\n"
+        << "V\t1\t100.0\t0.0\n"
+        << "E\t0\t0\t1\tnot_a_length\t3\n";
+  }
+  std::string error;
+  EXPECT_FALSE(LoadRoadNetwork(path, &error).has_value());
+  EXPECT_NE(error.find(":3:"), std::string::npos) << error;
+  EXPECT_NE(error.find("malformed edge record"), std::string::npos) << error;
+  std::remove(path.c_str());
+
+  error.clear();
+  EXPECT_FALSE(LoadRoadNetwork("/nonexistent/road.tsv", &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos) << error;
+}
+
+TEST(NetworkIoTest, LoadRejectsGarbageNumericsWithoutThrowing) {
+  // The std::sto* family throws on garbage; the loader must turn that
+  // into a diagnosed nullopt, not an escaping exception.
+  const std::string path = TempPath("garbage_numbers.tsv");
+  {
+    std::ofstream out(path);
+    out << "V\tzero\t0.0\t0.0\n";
+  }
+  std::string error;
+  EXPECT_FALSE(LoadRoadNetwork(path, &error).has_value());
+  EXPECT_NE(error.find(":1:"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, LoadAcceptsCrlfLineEndings) {
+  // Windows checkouts / Excel exports end lines with \r\n; the strict
+  // whole-field numeric parsing must not see the trailing '\r'.
+  const std::string path = TempPath("crlf.tsv");
+  {
+    std::ofstream out(path);
+    out << "V\t0\t0.0\t0.0\r\n"
+        << "V\t1\t100.0\t0.0\r\n"
+        << "E\t0\t0\t1\t100.0\t3\r\n";
+  }
+  std::string error;
+  const auto road = LoadRoadNetwork(path, &error);
+  ASSERT_TRUE(road.has_value()) << error;
+  EXPECT_EQ(road->graph().num_vertices(), 2);
+  EXPECT_EQ(road->trip_count(0), 3);
+  std::remove(path.c_str());
+
+  const std::string transit_path = TempPath("crlf_transit.tsv");
+  {
+    std::ofstream out(transit_path);
+    out << "S\t0\t0\t0.0\t0.0\r\n"
+        << "S\t1\t1\t100.0\t0.0\r\n"
+        << "E\t0\t0\t1\t100.0\t0\r\n"
+        << "R\t0\t0 1\r\n";
+  }
+  error.clear();
+  const auto transit = LoadTransitNetwork(transit_path, &error);
+  ASSERT_TRUE(transit.has_value()) << error;
+  EXPECT_EQ(transit->num_stops(), 2);
+  EXPECT_EQ(transit->num_active_routes(), 1);
+  std::remove(transit_path.c_str());
+}
+
+TEST(NetworkIoTest, LoadRejectsInvalidValuesWithDiagnostics) {
+  // Negative / NaN lengths, negative trip counts and self-loop transit
+  // edges would trip asserts in Debug builds (Graph::AddEdge,
+  // TransitNetwork::AddEdge) or silently corrupt the planning math in
+  // Release: the loaders must diagnose them instead.
+  const std::string road_path = TempPath("bad_values_road.tsv");
+  for (const std::string edge_record :
+       {"E\t0\t0\t1\t-5.0\t3", "E\t0\t0\t1\tnan\t3",
+        "E\t0\t0\t1\t100.0\t-2"}) {
+    {
+      std::ofstream out(road_path);
+      out << "V\t0\t0.0\t0.0\n" << "V\t1\t100.0\t0.0\n"
+          << edge_record << "\n";
+    }
+    std::string error;
+    EXPECT_FALSE(LoadRoadNetwork(road_path, &error).has_value())
+        << edge_record;
+    EXPECT_NE(error.find(":3:"), std::string::npos) << error;
+  }
+  std::remove(road_path.c_str());
+
+  const std::string transit_path = TempPath("self_loop_transit.tsv");
+  {
+    std::ofstream out(transit_path);
+    out << "S\t0\t0\t0.0\t0.0\n" << "E\t0\t0\t0\t100.0\t\n";
+  }
+  std::string error;
+  EXPECT_FALSE(LoadTransitNetwork(transit_path, &error).has_value());
+  EXPECT_NE(error.find("self-loop"), std::string::npos) << error;
+  std::remove(transit_path.c_str());
+}
+
+TEST(NetworkIoTest, LoadRejectsMalformedIntLists) {
+  // The lenient istream-based list parsing silently truncated at the
+  // first bad token ("3,4" loaded as {3}); it must be a diagnosed error.
+  const std::string path = TempPath("bad_list.tsv");
+  {
+    std::ofstream out(path);
+    out << "S\t0\t0\t0.0\t0.0\n"
+        << "S\t1\t1\t100.0\t0.0\n"
+        << "E\t0\t0\t1\t100.0\t3,4\n";
+  }
+  std::string error;
+  EXPECT_FALSE(LoadTransitNetwork(path, &error).has_value());
+  EXPECT_NE(error.find(":3:"), std::string::npos) << error;
+  EXPECT_NE(error.find("road-edge list"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(NetworkIoTest, LoadRejectsOutOfRangeReferences) {
+  const std::string path = TempPath("bad_refs.tsv");
+  {
+    std::ofstream out(path);
+    out << "V\t0\t0.0\t0.0\n"
+        << "V\t1\t100.0\t0.0\n"
+        << "E\t0\t0\t7\t100.0\t0\n";  // vertex 7 does not exist
+  }
+  std::string error;
+  EXPECT_FALSE(LoadRoadNetwork(path, &error).has_value());
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  std::remove(path.c_str());
+
+  const std::string transit_path = TempPath("bad_route.tsv");
+  {
+    std::ofstream out(transit_path);
+    out << "S\t0\t0\t0.0\t0.0\n"
+        << "S\t1\t1\t100.0\t0.0\n"
+        << "R\t0\t0 1\n";  // no transit edge between stops 0 and 1
+  }
+  error.clear();
+  EXPECT_FALSE(LoadTransitNetwork(transit_path, &error).has_value());
+  EXPECT_NE(error.find("no declared transit edge"), std::string::npos)
+      << error;
+  std::remove(transit_path.c_str());
+}
+
 }  // namespace
 }  // namespace ctbus::io

@@ -28,6 +28,18 @@ core::Precompute FakePrecompute(double tag) {
   return pre;
 }
 
+/// A fake precompute with a controllable ApproxBytes footprint.
+core::Precompute FakePrecomputeOfSize(double tag, std::size_t doubles) {
+  core::Precompute pre;
+  pre.increments.assign(doubles, tag);
+  return pre;
+}
+
+/// ApproxBytes of a FakePrecomputeOfSize(_, doubles) value.
+std::size_t BytesOf(std::size_t doubles) {
+  return FakePrecomputeOfSize(0.0, doubles).ApproxBytes();
+}
+
 TEST(PrecomputeCacheTest, MissComputesThenHitReuses) {
   PrecomputeCache cache(4);
   int computes = 0;
@@ -301,6 +313,117 @@ TEST(PrecomputeCacheTest, WaiterSeesMissComputeExceptionAndEntryIsErased) {
   ASSERT_EQ(value->increments.size(), 1u);
   EXPECT_EQ(value->increments[0], 9.0);
   EXPECT_TRUE(cache.Contains(key));
+}
+
+TEST(PrecomputeCacheBytesTest, ByteBudgetEvictsLruTailFirst) {
+  // Budget fits one 100-double entry plus change, never two.
+  const std::size_t entry_bytes = BytesOf(100);
+  PrecomputeCache cache(/*capacity=*/8, /*max_bytes=*/entry_bytes +
+                                            entry_bytes / 2);
+  cache.GetOrCompute(Key("a", 1),
+                     [] { return FakePrecomputeOfSize(1.0, 100); });
+  EXPECT_EQ(cache.resident_bytes(), entry_bytes);
+  cache.GetOrCompute(Key("a", 2),
+                     [] { return FakePrecomputeOfSize(2.0, 100); });
+  // The older entry went; the newer (MRU) one stays.
+  EXPECT_FALSE(cache.Contains(Key("a", 1)));
+  EXPECT_TRUE(cache.Contains(Key("a", 2)));
+  EXPECT_EQ(cache.resident_bytes(), entry_bytes);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.evicted_bytes, entry_bytes);
+  EXPECT_EQ(stats.resident_bytes, entry_bytes);
+}
+
+TEST(PrecomputeCacheBytesTest,
+     EntryLargerThanTheWholeBudgetIsAdmittedUntilTheNextInsert) {
+  // The satellite edge case: a budget smaller than a single entry. The
+  // entry must still be admitted (and serve hits) — an empty cache would
+  // otherwise thrash forever — and is evicted only when the next insert
+  // displaces it from the MRU slot.
+  PrecomputeCache cache(/*capacity=*/8, /*max_bytes=*/1);
+  int computes = 0;
+  cache.GetOrCompute(Key("a", 1), [&] {
+    ++computes;
+    return FakePrecomputeOfSize(1.0, 50);
+  });
+  EXPECT_TRUE(cache.Contains(Key("a", 1)));  // admitted despite the budget
+  bool hit = false;
+  cache.GetOrCompute(
+      Key("a", 1),
+      [&] {
+        ++computes;
+        return FakePrecomputeOfSize(1.0, 50);
+      },
+      &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes, 1);
+
+  cache.GetOrCompute(Key("a", 2),
+                     [] { return FakePrecomputeOfSize(2.0, 50); });
+  EXPECT_FALSE(cache.Contains(Key("a", 1)));  // evicted on the next insert
+  EXPECT_TRUE(cache.Contains(Key("a", 2)));   // new MRU survives over-budget
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(PrecomputeCacheBytesTest, BytePressureNeverEvictsInFlightEntries) {
+  // An in-flight entry must survive any byte pressure: evicting it would
+  // break the same-key miss dedup (waiters hold its shared_future).
+  PrecomputeCache cache(/*capacity=*/8, /*max_bytes=*/1);
+  std::atomic<bool> release{false};
+  std::thread slow([&] {
+    cache.GetOrCompute(Key("a", 1), [&] {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return FakePrecomputeOfSize(1.0, 50);
+    });
+  });
+  while (!cache.Contains(Key("a", 1))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Ready inserts land and evict each other, but never the in-flight one.
+  cache.GetOrCompute(Key("a", 2),
+                     [] { return FakePrecomputeOfSize(2.0, 50); });
+  cache.GetOrCompute(Key("a", 3),
+                     [] { return FakePrecomputeOfSize(3.0, 50); });
+  EXPECT_TRUE(cache.Contains(Key("a", 1)));
+  // The dedup still pays off: a second caller joins the in-flight miss.
+  bool hit = false;
+  std::thread waiter([&] {
+    const auto value = cache.GetOrCompute(
+        Key("a", 1), [] { return FakePrecomputeOfSize(9.0, 1); }, &hit);
+    EXPECT_EQ(value->increments[0], 1.0);
+  });
+  while (cache.stats().hits == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  release.store(true);
+  slow.join();
+  waiter.join();
+  EXPECT_TRUE(hit);
+}
+
+TEST(PrecomputeCacheBytesTest, CountCapacityStaysASecondaryLimit) {
+  // A generous byte budget does not loosen the entry-count capacity.
+  PrecomputeCache cache(/*capacity=*/1, /*max_bytes=*/BytesOf(1000));
+  cache.GetOrCompute(Key("a", 1), [] { return FakePrecomputeOfSize(1.0, 2); });
+  cache.GetOrCompute(Key("a", 2), [] { return FakePrecomputeOfSize(2.0, 2); });
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Contains(Key("a", 1)));
+  EXPECT_TRUE(cache.Contains(Key("a", 2)));
+}
+
+TEST(PrecomputeCacheBytesTest, ClearResetsResidentBytes) {
+  PrecomputeCache cache(/*capacity=*/4, /*max_bytes=*/0);  // unlimited bytes
+  cache.GetOrCompute(Key("a", 1),
+                     [] { return FakePrecomputeOfSize(1.0, 10); });
+  cache.GetOrCompute(Key("a", 2),
+                     [] { return FakePrecomputeOfSize(2.0, 20); });
+  EXPECT_EQ(cache.resident_bytes(), BytesOf(10) + BytesOf(20));
+  cache.Clear();
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
 }
 
 }  // namespace

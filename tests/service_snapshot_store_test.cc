@@ -90,5 +90,78 @@ TEST_F(SnapshotStorePruneTest, LineageSurvivesPruning) {
   EXPECT_FALSE(delta->added_stop_pairs.empty());
 }
 
+TEST_F(SnapshotStorePruneTest, ApproxBytesTracksResidentVersions) {
+  const std::size_t seed_bytes = store_->Get(1)->approx_bytes;
+  const std::size_t latest_bytes = store_->Latest()->approx_bytes;
+  ASSERT_GT(seed_bytes, 0u);
+  // Commits only add transit edges/routes: versions grow monotonically.
+  EXPECT_GE(latest_bytes, seed_bytes);
+  EXPECT_GE(store_->ApproxBytes(), 3 * seed_bytes);
+  store_->Prune(1);
+  EXPECT_EQ(store_->ApproxBytes(), latest_bytes);
+}
+
+TEST_F(SnapshotStorePruneTest, RetentionKeepLatestPrunesOldestFirst) {
+  SnapshotRetentionPolicy policy;
+  policy.keep_latest = 2;
+  const auto result = store_->ApplyRetention(policy);
+  EXPECT_EQ(result.versions_pruned, 1u);
+  EXPECT_EQ(store_->Versions(), (std::vector<std::uint64_t>{2, latest_}));
+}
+
+TEST_F(SnapshotStorePruneTest, RetentionByteBudgetPrunesDownToTheBudget) {
+  SnapshotRetentionPolicy policy;
+  policy.max_bytes = store_->Latest()->approx_bytes + 1;  // fits one
+  const auto result = store_->ApplyRetention(policy);
+  EXPECT_EQ(result.versions_pruned, 2u);
+  EXPECT_EQ(store_->num_versions(), 1u);
+  EXPECT_LE(store_->ApproxBytes(), policy.max_bytes);
+  EXPECT_NE(store_->Get(latest_), nullptr);  // latest is never pruned
+}
+
+TEST_F(SnapshotStorePruneTest, RetentionNeverPrunesProtectedVersions) {
+  SnapshotRetentionPolicy policy;
+  policy.keep_latest = 1;
+  // Version 1 is protected (a queued request pinned it): only version 2
+  // is prunable, and the count budget is satisfied best-effort.
+  const auto result = store_->ApplyRetention(policy, {1});
+  EXPECT_EQ(result.versions_pruned, 1u);
+  EXPECT_NE(store_->Get(1), nullptr);
+  EXPECT_EQ(store_->Get(2), nullptr);
+  EXPECT_NE(store_->Get(latest_), nullptr);
+}
+
+TEST_F(SnapshotStorePruneTest,
+       RetentionRefusesToSeverAProtectedDonorsLineage) {
+  ASSERT_EQ(store_->num_lineage_records(), 2u);  // children 2 and 3
+  SnapshotRetentionPolicy policy;
+  policy.keep_latest = 1;
+  // A pending warm-start derive holds version 2's precompute as its
+  // donor (the serving layer passes every cache-resident version as
+  // protected): the records walking latest back to 2 must survive, even
+  // though version 2's snapshot itself may be pruned later.
+  auto result = store_->ApplyRetention(policy, {2});
+  EXPECT_EQ(result.versions_pruned, 1u);   // version 1 only; 2 protected
+  EXPECT_EQ(result.lineage_trimmed, 1u);   // child-2 record is dead
+  EXPECT_TRUE(store_->DeltaBetween(2, latest_).has_value());  // intact
+  EXPECT_FALSE(store_->DeltaBetween(1, latest_).has_value());
+
+  // Once nothing protects version 2 anymore, its chain is trimmed too.
+  result = store_->ApplyRetention(policy);
+  EXPECT_EQ(result.versions_pruned, 1u);
+  EXPECT_EQ(result.lineage_trimmed, 1u);
+  EXPECT_EQ(store_->num_lineage_records(), 0u);
+  EXPECT_TRUE(store_->DeltaBetween(latest_, latest_).has_value());
+}
+
+TEST_F(SnapshotStorePruneTest, UnlimitedRetentionIsANoOpOnResidentStores) {
+  const SnapshotRetentionPolicy unlimited;
+  const auto result = store_->ApplyRetention(unlimited);
+  EXPECT_EQ(result.versions_pruned, 0u);
+  EXPECT_EQ(result.lineage_trimmed, 0u);
+  EXPECT_EQ(store_->num_versions(), 3u);
+  EXPECT_EQ(store_->num_lineage_records(), 2u);
+}
+
 }  // namespace
 }  // namespace ctbus::service
