@@ -20,14 +20,14 @@ void RunCity(const ctbus::gen::Dataset& city, ctbus::eval::Table* table) {
   ctbus::bench::PrintDataset(city);
 
   auto stochastic_options = ctbus::bench::BenchOptions();
-  ctbus::bench::Timer stochastic_timer;
+  ctbus::bench::Stopwatch stochastic_timer;
   auto stochastic_pre = ctbus::core::PlanningContext::RunPrecompute(
       city.road, city.transit, stochastic_options);
   const double stochastic_seconds = stochastic_timer.Seconds();
 
   auto perturbation_options = ctbus::bench::BenchOptions();
   perturbation_options.use_perturbation_precompute = true;
-  ctbus::bench::Timer perturbation_timer;
+  ctbus::bench::Stopwatch perturbation_timer;
   auto perturbation_pre = ctbus::core::PlanningContext::RunPrecompute(
       city.road, city.transit, perturbation_options);
   const double perturbation_seconds = perturbation_timer.Seconds();

@@ -25,7 +25,7 @@
 
 namespace {
 
-using ctbus::bench::Timer;
+using ctbus::bench::Stopwatch;
 
 std::vector<int> ThreadCounts() {
   const std::string spec =
@@ -60,7 +60,9 @@ bool SamePlan(const ctbus::core::PlanResult& a,
 }
 
 void EtaScalingSection(const ctbus::gen::Dataset& city,
-                       ctbus::core::CtBusOptions options, const char* label) {
+                       ctbus::core::CtBusOptions options, const char* label,
+                       const char* key,
+                       ctbus::bench::BenchReport* report) {
   std::printf("-- online ETA frontier scaling (%s) --\n", label);
   options.max_iterations = ctbus::bench::GetEtaIterations();
   const ctbus::bench::ContextFactory factory(city, options);
@@ -70,7 +72,7 @@ void EtaScalingSection(const ctbus::gen::Dataset& city,
   for (int threads : ThreadCounts()) {
     options.eta_threads = threads;
     const ctbus::core::PlanningContext ctx = factory.Make(options);
-    const Timer timer;
+    const Stopwatch timer;
     const ctbus::core::PlanResult result =
         ctbus::core::RunEta(&ctx, ctbus::core::SearchMode::kOnline);
     const double seconds = timer.Seconds();
@@ -84,6 +86,12 @@ void EtaScalingSection(const ctbus::gen::Dataset& city,
         threads, seconds, seconds > 0.0 ? serial_seconds / seconds : 0.0,
         result.iterations, result.objective, result.path.edges().size(),
         SamePlan(result, serial) ? "yes" : "NO");
+    report->AddMetric(std::string(key) + "_query_seconds_threads_" +
+                          std::to_string(threads),
+                      seconds, "lower");
+    if (threads == 1) {
+      report->AddChecksum(std::string(key) + "_objective", result.objective);
+    }
   }
   const int hw = ctbus::core::ResolveThreadCount(0);
   if (hw < 2) {
@@ -105,14 +113,19 @@ int main() {
   const ctbus::gen::Dataset city = ctbus::gen::MakeChicagoLike(scale);
   ctbus::bench::PrintDataset(city);
   std::printf("\n");
+  ctbus::bench::BenchReport report("eta_scaling");
+  report.AddDataset(city);
 
   ctbus::core::CtBusOptions best_neighbor = ctbus::bench::BenchOptions();
   best_neighbor.trace_every = 10;
-  EtaScalingSection(city, best_neighbor, "best-neighbor expansion");
+  EtaScalingSection(city, best_neighbor, "best-neighbor expansion",
+                    "best_neighbor", &report);
 
   ctbus::core::CtBusOptions all_neighbors = ctbus::bench::BenchOptions();
   all_neighbors.best_neighbor_only = false;
   all_neighbors.trace_every = 10;
-  EtaScalingSection(city, all_neighbors, "ETA-AN expansion");
+  EtaScalingSection(city, all_neighbors, "ETA-AN expansion", "eta_an",
+                    &report);
+  report.WriteIfRequested();
   return 0;
 }

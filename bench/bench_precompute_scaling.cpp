@@ -26,7 +26,7 @@
 
 namespace {
 
-using ctbus::bench::Timer;
+using ctbus::bench::Stopwatch;
 
 double Checksum(const std::vector<double>& values) {
   double sum = 0.0;
@@ -48,7 +48,8 @@ double MaxAbsDiff(const std::vector<double>& a, const std::vector<double>& b) {
 
 void ThreadScalingSection(const ctbus::gen::Dataset& city,
                           ctbus::core::CtBusOptions options,
-                          const char* label) {
+                          const char* label,
+                          ctbus::bench::BenchReport* report) {
   std::printf("-- thread scaling (%s path) --\n", label);
   const int hw = ctbus::core::ResolveThreadCount(0);
   std::vector<int> thread_counts = {1, 2, 4};
@@ -60,7 +61,7 @@ void ThreadScalingSection(const ctbus::gen::Dataset& city,
   std::vector<double> serial_increments;
   for (int threads : thread_counts) {
     options.precompute_threads = threads;
-    const Timer timer;
+    const Stopwatch timer;
     const ctbus::core::Precompute pre =
         ctbus::core::PlanningContext::RunPrecompute(city.road, city.transit,
                                                     options);
@@ -79,6 +80,14 @@ void ThreadScalingSection(const ctbus::gen::Dataset& city,
             ? serial_seconds / pre.stats.increments_seconds
             : 0.0,
         Checksum(pre.increments), identical ? "yes" : "NO");
+    const std::string key =
+        std::string(label) + "_delta_seconds_threads_" +
+        std::to_string(threads);
+    report->AddMetric(key, pre.stats.increments_seconds, "lower");
+    if (threads == 1) {
+      report->AddChecksum(std::string(label) + "_increments",
+                          Checksum(pre.increments));
+    }
   }
   if (hw < 2) {
     std::printf("note: host has %d core(s); >= 2 cores are needed to "
@@ -89,7 +98,8 @@ void ThreadScalingSection(const ctbus::gen::Dataset& city,
 }
 
 void WarmStartSection(ctbus::gen::Dataset city,
-                      ctbus::core::CtBusOptions options, const char* label) {
+                      ctbus::core::CtBusOptions options, const char* label,
+                      ctbus::bench::BenchReport* report) {
   std::printf("-- warm start across a commit (%s path) --\n", label);
   options.precompute_threads = 0;  // hardware concurrency
   ctbus::service::SnapshotStore store(std::move(city.road),
@@ -118,13 +128,13 @@ void WarmStartSection(ctbus::gen::Dataset city,
               plan.path.edges().size(), delta->added_stop_pairs.size(),
               delta->touched_stops.size());
 
-  const Timer scratch_timer;
+  const Stopwatch scratch_timer;
   const ctbus::core::Precompute scratch =
       ctbus::core::PlanningContext::RunPrecompute(*v2->road, *v2->transit,
                                                   options);
   const double scratch_seconds = scratch_timer.Seconds();
 
-  const Timer derived_timer;
+  const Stopwatch derived_timer;
   const ctbus::core::Precompute derived =
       ctbus::core::PlanningContext::DerivePrecompute(*v2->road, *v2->transit,
                                                      options, *pre1, *delta);
@@ -155,6 +165,11 @@ void WarmStartSection(ctbus::gen::Dataset city,
               MaxAbsDiff(derived.increments, scratch.increments),
               *std::max_element(scratch.increments.begin(),
                                 scratch.increments.end()));
+  const std::string prefix = std::string(label) + "_warm_start_";
+  report->AddMetric(prefix + "scratch_seconds", scratch_seconds, "lower");
+  report->AddMetric(prefix + "derived_seconds", derived_seconds, "lower");
+  report->AddMetric(prefix + "recompute_fraction", recompute_fraction,
+                    "lower");
 }
 
 }  // namespace
@@ -164,29 +179,32 @@ int main() {
       "precompute scaling (parallel + warm start)",
       "Table 4: the Delta(e) pre-computation dominates planning cost");
   const double scale = ctbus::bench::GetScale();
+  ctbus::bench::BenchReport report("precompute_scaling");
 
   {
     const ctbus::gen::Dataset city = ctbus::gen::MakeChicagoLike(scale);
     ctbus::bench::PrintDataset(city);
+    report.AddDataset(city);
     std::printf("\n");
 
     ctbus::core::CtBusOptions stochastic = ctbus::bench::BenchOptions();
-    ThreadScalingSection(city, stochastic, "stochastic");
+    ThreadScalingSection(city, stochastic, "stochastic", &report);
 
     ctbus::core::CtBusOptions perturbation = ctbus::bench::BenchOptions();
     perturbation.use_perturbation_precompute = true;
-    ThreadScalingSection(city, perturbation, "perturbation");
+    ThreadScalingSection(city, perturbation, "perturbation", &report);
   }
 
   {
     ctbus::core::CtBusOptions stochastic = ctbus::bench::BenchOptions();
     WarmStartSection(ctbus::gen::MakeChicagoLike(scale), stochastic,
-                     "stochastic");
+                     "stochastic", &report);
 
     ctbus::core::CtBusOptions perturbation = ctbus::bench::BenchOptions();
     perturbation.use_perturbation_precompute = true;
     WarmStartSection(ctbus::gen::MakeChicagoLike(scale), perturbation,
-                     "perturbation");
+                     "perturbation", &report);
   }
+  report.WriteIfRequested();
   return 0;
 }

@@ -92,12 +92,18 @@ PlanRequest MakeRequest(const std::string& dataset,
 
 /// Runs `num_requests` identical ETA-Pre queries through a fresh pool of
 /// `num_threads` workers and returns queries/sec (excluding the warmup
-/// request that populates the precompute cache).
+/// request that populates the precompute cache). `enable_metrics` /
+/// `enable_tracing` feed the overhead section: results must be
+/// bit-identical either way.
 double MeasureThroughput(const ctbus::gen::Dataset& city, int num_threads,
-                         int num_requests, double* check_sum) {
+                         int num_requests, double* check_sum,
+                         bool enable_metrics = true,
+                         bool enable_tracing = false) {
   ServiceOptions service_options;
   service_options.num_threads = num_threads;
   service_options.queue_capacity = static_cast<std::size_t>(num_requests) + 1;
+  service_options.enable_metrics = enable_metrics;
+  service_options.enable_tracing = enable_tracing;
   PlanningService service(service_options);
   service.RegisterDataset(city.name, city.road, city.transit);
 
@@ -105,7 +111,7 @@ double MeasureThroughput(const ctbus::gen::Dataset& city, int num_threads,
   // Warm the cache: steady-state serving amortizes the precompute.
   service.Plan(request);
 
-  ctbus::bench::Timer timer;
+  ctbus::bench::Stopwatch timer;
   std::vector<std::future<ServiceResult>> futures;
   futures.reserve(num_requests);
   for (int i = 0; i < num_requests; ++i) {
@@ -140,7 +146,7 @@ double MeasureBatching(const ctbus::gen::Dataset& city,
   for (int i = 0; i < num_requests; ++i) {
     futures.push_back(service.Submit(MakeRequest(city.name, Priority::kSweep)));
   }
-  ctbus::bench::Timer timer;
+  ctbus::bench::Stopwatch timer;
   service.Start();
   double sum = 0.0;
   for (auto& future : futures) {
@@ -167,7 +173,7 @@ double MeasureSharding(const std::vector<ctbus::gen::Dataset>& datasets,
     service.Plan(MakeRequest(city.name));  // warm this shard's precompute
   }
 
-  ctbus::bench::Timer timer;
+  ctbus::bench::Stopwatch timer;
   std::vector<std::future<ServiceResult>> futures;
   futures.reserve(num_requests);
   for (int i = 0; i < num_requests; ++i) {
@@ -256,6 +262,8 @@ int main() {
   ctbus::bench::PrintDataset(city);
   const int hardware =
       std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  ctbus::bench::BenchReport report("service_throughput");
+  report.AddDataset(city);
 
   // ---- 1. pool scaling -------------------------------------------------
   std::printf("\n-- pool scaling (CTBUS_BENCH_THREADS to change) --\n");
@@ -270,6 +278,9 @@ int main() {
     std::printf("%8d %12.2f %9.2fx %10.4f%s\n", threads, qps,
                 baseline > 0.0 ? qps / baseline : 1.0, check_sum,
                 threads == hardware ? "  (hardware)" : "");
+    report.AddMetric("pool_qps_threads_" + std::to_string(threads), qps,
+                     "higher");
+    report.AddChecksum("pool_threads_" + std::to_string(threads), check_sum);
   }
   if (hardware == 1) {
     std::printf("note: 1-CPU host — multi-thread speedups need >= 2 cores.\n");
@@ -293,6 +304,10 @@ int main() {
     std::printf("%10zu %12.2f %9.2fx %8llu %10.4f\n", max_batch, qps,
                 unbatched_qps > 0.0 ? qps / unbatched_qps : 1.0,
                 static_cast<unsigned long long>(batches), check_sum);
+    report.AddMetric("batching_qps_max_" + std::to_string(max_batch), qps,
+                     "higher");
+    report.AddChecksum("batching_max_" + std::to_string(max_batch),
+                       check_sum);
   }
 
   // ---- 3. sharding -----------------------------------------------------
@@ -313,6 +328,9 @@ int main() {
   std::printf("%12d %12.2f %10.4f\n", 1, single_qps, single_sum);
   std::printf("%12d %12.2f %10.4f  (interleaved across both)\n", 2, dual_qps,
               dual_sum);
+  report.AddMetric("sharding_qps_single", single_qps, "higher");
+  report.AddMetric("sharding_qps_dual", dual_qps, "higher");
+  report.AddChecksum("sharding_single", single_sum);
 
   // ---- 4. memory governance --------------------------------------------
   // Steady-state footprint under a sweep flood + commit loop with tight
@@ -322,7 +340,38 @@ int main() {
   MeasureMemoryGovernance(city, /*rounds=*/4,
                           /*requests_per_round=*/std::min(num_requests, 8));
 
+  // ---- 5. metrics overhead ---------------------------------------------
+  // Same workload with the metrics registry + tracing fully on vs fully
+  // off: the record path is relaxed atomics, so the target is < 2%
+  // overhead — and checksums MUST match exactly (observability never
+  // changes planning results).
+  std::printf("\n-- metrics overhead (registry + tracing on vs off) --\n");
+  double off_sum = 0.0;
+  const double off_qps =
+      MeasureThroughput(city, 1, num_requests, &off_sum,
+                        /*enable_metrics=*/false, /*enable_tracing=*/false);
+  double on_sum = 0.0;
+  const double on_qps =
+      MeasureThroughput(city, 1, num_requests, &on_sum,
+                        /*enable_metrics=*/true, /*enable_tracing=*/true);
+  const double overhead_pct =
+      off_qps > 0.0 ? (off_qps - on_qps) / off_qps * 100.0 : 0.0;
+  std::printf("%12s %12s %10s\n", "metrics", "queries/s", "checksum");
+  std::printf("%12s %12.2f %10.4f\n", "off", off_qps, off_sum);
+  std::printf("%12s %12.2f %10.4f\n", "on+trace", on_qps, on_sum);
+  std::printf("overhead: %.2f%% (target < 2%%); checksums %s\n", overhead_pct,
+              off_sum == on_sum ? "IDENTICAL" : "DIFFER (BUG!)");
+  if (off_sum != on_sum) {
+    std::fprintf(stderr,
+                 "FATAL: metrics/tracing changed planning results\n");
+    return 1;
+  }
+  report.AddMetric("metrics_overhead_pct", overhead_pct, "lower");
+  report.AddChecksum("metrics_off", off_sum);
+  report.AddChecksum("metrics_on", on_sum);
+
   std::printf("\nidentical checksums certify the concurrent results match "
               "the serial ones.\n");
+  report.WriteIfRequested();
   return 0;
 }

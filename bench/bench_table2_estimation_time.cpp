@@ -13,13 +13,15 @@
 
 namespace {
 
-void RunCity(const ctbus::gen::Dataset& city, ctbus::eval::Table* table) {
+void RunCity(const ctbus::gen::Dataset& city, ctbus::eval::Table* table,
+             ctbus::bench::BenchReport* report) {
   ctbus::bench::PrintDataset(city);
+  report->AddDataset(city);
   const auto adjacency = city.transit.AdjacencyMatrix();
   const int n = adjacency.dim();
   const int k = 15;
 
-  ctbus::bench::Timer dense_timer;
+  ctbus::bench::Stopwatch dense_timer;
   const double exact =
       ctbus::connectivity::NaturalConnectivityExact(adjacency);
   const double dense_seconds = dense_timer.Seconds();
@@ -27,21 +29,21 @@ void RunCity(const ctbus::gen::Dataset& city, ctbus::eval::Table* table) {
   ctbus::connectivity::EstimatorOptions options;  // s=50, t=10
   options.seed = 5;
   const ctbus::connectivity::ConnectivityEstimator estimator(n, options);
-  ctbus::bench::Timer lanczos_timer;
+  ctbus::bench::Stopwatch lanczos_timer;
   const double estimate = estimator.Estimate(adjacency);
   const double lanczos_seconds = lanczos_timer.Seconds();
 
   // Bounds need the top eigenvalues once; time eigen+bound together, as the
   // paper's bound columns do.
   ctbus::linalg::Rng rng(3);
-  ctbus::bench::Timer general_timer;
+  ctbus::bench::Stopwatch general_timer;
   const auto top_general = ctbus::linalg::TopEigenvalues(
       adjacency, 2 * k, 2 * k + 30, &rng);
   const double general =
       ctbus::connectivity::GeneralUpperBound(estimate, top_general, k, n);
   const double general_seconds = general_timer.Seconds();
 
-  ctbus::bench::Timer path_timer;
+  ctbus::bench::Stopwatch path_timer;
   const auto top_path = ctbus::linalg::TopEigenvalues(
       adjacency, (k + 1) / 2, (k + 1) / 2 + 20, &rng);
   const double path =
@@ -57,6 +59,14 @@ void RunCity(const ctbus::gen::Dataset& city, ctbus::eval::Table* table) {
               exact, estimate, 100.0 * std::abs(estimate - exact) /
                                    std::max(1e-12, std::abs(exact)),
               general, path);
+  const std::string prefix = city.name + "_";
+  report->AddMetric(prefix + "dense_eigen_seconds", dense_seconds, "lower");
+  report->AddMetric(prefix + "lanczos_seconds", lanczos_seconds, "lower");
+  report->AddMetric(prefix + "general_bound_seconds", general_seconds,
+                    "lower");
+  report->AddMetric(prefix + "path_bound_seconds", path_seconds, "lower");
+  report->AddChecksum(prefix + "lambda_estimate", estimate);
+  report->AddChecksum(prefix + "lambda_exact", exact);
 }
 
 }  // namespace
@@ -69,10 +79,12 @@ int main() {
   const double scale = ctbus::bench::GetScale();
   ctbus::eval::Table table({"city", "dense_eigen_s", "lanczos_s",
                             "general_bound_s", "path_bound_s"});
-  RunCity(ctbus::gen::MakeChicagoLike(scale), &table);
-  RunCity(ctbus::gen::MakeNycLike(scale), &table);
+  ctbus::bench::BenchReport report("table2_estimation_time");
+  RunCity(ctbus::gen::MakeChicagoLike(scale), &table, &report);
+  RunCity(ctbus::gen::MakeNycLike(scale), &table, &report);
   table.Print(std::cout);
   std::printf("\nshape check: Lanczos must be orders of magnitude faster "
               "than the dense solve; bounds cheaper than a full estimate.\n");
+  report.WriteIfRequested();
   return 0;
 }

@@ -1,31 +1,55 @@
 // Shared helpers for the experiment harness. Every bench binary regenerates
 // one table or figure of the paper; these helpers standardize dataset
-// scaling, planner options, and paper-vs-measured output framing.
+// scaling, planner options, paper-vs-measured output framing, and the
+// machine-readable BENCH_<name>.json reports the perf-trajectory CI job
+// diffs across commits (tools/bench_diff.py).
 //
 // Environment knobs:
-//   CTBUS_SCALE      dataset scale factor (default 1.0; paper scale ~7-20x)
-//   CTBUS_ETA_ITERS  iteration cap for *online* ETA runs (default 300;
-//                    the paper runs to convergence, which takes hours)
+//   CTBUS_SCALE           dataset scale factor (default 1.0; paper ~7-20x)
+//   CTBUS_ETA_ITERS       iteration cap for *online* ETA runs (default 100;
+//                         the paper runs to convergence, which takes hours)
+//   CTBUS_BENCH_JSON_DIR  when set, each bench writes
+//                         <dir>/BENCH_<name>.json next to its stdout tables
 #ifndef CTBUS_BENCH_BENCH_UTIL_H_
 #define CTBUS_BENCH_BENCH_UTIL_H_
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
+#include <ostream>
 #include <string>
+#include <thread>
+#include <utility>
+#include <vector>
 
 #include "core/options.h"
 #include "core/planning_context.h"
+#include "core/timing.h"
 #include "gen/datasets.h"
+#include "io/parse.h"
+#include "obs/json.h"
 
 namespace ctbus::bench {
 
+/// The bench suite's stopwatch is the repo-wide one (core/timing.h) — the
+/// same type the serving layer and the obs span recorder time with.
+using core::Stopwatch;
+
+/// Strict env parsing: the whole value must parse (io::ParseDouble), so
+/// "1.5x" or "fast" fall back to the default with a warning instead of
+/// silently truncating to 1.5 / 0.0 the way strtod-based parsing did.
 inline double GetEnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  return end == value ? fallback : parsed;
+  double parsed = 0.0;
+  if (!io::ParseDouble(value, &parsed)) {
+    std::fprintf(stderr,
+                 "warning: ignoring malformed %s=\"%s\" (using %g)\n", name,
+                 value, fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
 inline std::string GetEnvString(const char* name, const std::string& fallback) {
@@ -76,20 +100,6 @@ class ContextFactory {
   core::Precompute precompute_;
 };
 
-/// Stopwatch helper.
-class Timer {
- public:
-  Timer() : start_(std::chrono::steady_clock::now()) {}
-  double Seconds() const {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start_)
-        .count();
-  }
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
-
 /// Standard experiment banner: what the paper reports, what we measure.
 inline void PrintHeader(const char* experiment, const char* paper_claim) {
   std::printf("=== %s ===\n", experiment);
@@ -106,6 +116,136 @@ inline void PrintDataset(const gen::Dataset& d) {
               d.transit.AverageRouteLength(),
               static_cast<long long>(d.num_trips));
 }
+
+/// Machine-readable bench result (schema "ctbus-bench-v1"), the unit
+/// tools/bench_diff.py compares across commits:
+///
+///   {"schema": "ctbus-bench-v1", "bench": "<name>", "scale": 1.0,
+///    "hardware": {"hardware_threads": 8, "build": "release"},
+///    "datasets": [{"name": "...", "road_vertices": ..., ...}],
+///    "metrics":   {"<metric>": {"value": 1.25, "better": "lower"}},
+///    "checksums": {"<checksum>": 1234.5}}
+///
+/// Metrics carry a direction ("higher" / "lower" / "neutral") so the diff
+/// tool knows which way a change is a regression without a side table;
+/// checksums are planning-result fingerprints that must match EXACTLY
+/// between runs at the same scale — a drifting checksum means results
+/// changed, which no perf PR is allowed to do silently.
+///
+/// Keys are emitted in sorted order (std::map), so two reports of
+/// identical results are byte-identical.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void AddMetric(const std::string& name, double value,
+                 const std::string& better) {
+    metrics_[name] = {value, better};
+  }
+  void AddChecksum(const std::string& name, double value) {
+    checksums_[name] = value;
+  }
+  void AddDataset(const gen::Dataset& d) {
+    DatasetShape shape;
+    shape.name = d.name;
+    shape.road_vertices = d.road.graph().num_vertices();
+    shape.road_edges = d.road.graph().num_edges();
+    shape.transit_stops = d.transit.num_stops();
+    shape.transit_edges = d.transit.num_active_edges();
+    shape.transit_routes = d.transit.num_active_routes();
+    shape.trips = d.num_trips;
+    datasets_.push_back(std::move(shape));
+  }
+
+  void Write(std::ostream& out) const {
+    out << "{\"schema\": \"ctbus-bench-v1\", \"bench\": ";
+    obs::WriteJsonString(out, name_);
+    out << ", \"scale\": ";
+    obs::WriteJsonDouble(out, GetScale());
+    out << ", \"hardware\": {\"hardware_threads\": "
+        << std::thread::hardware_concurrency() << ", \"build\": \""
+#ifdef NDEBUG
+        << "release"
+#else
+        << "debug"
+#endif
+        << "\"}, \"datasets\": [";
+    const char* sep = "";
+    for (const DatasetShape& d : datasets_) {
+      out << sep << "{\"name\": ";
+      obs::WriteJsonString(out, d.name);
+      out << ", \"road_vertices\": " << d.road_vertices
+          << ", \"road_edges\": " << d.road_edges
+          << ", \"transit_stops\": " << d.transit_stops
+          << ", \"transit_edges\": " << d.transit_edges
+          << ", \"transit_routes\": " << d.transit_routes
+          << ", \"trips\": " << d.trips << "}";
+      sep = ", ";
+    }
+    out << "], \"metrics\": {";
+    sep = "";
+    for (const auto& [name, metric] : metrics_) {
+      out << sep;
+      obs::WriteJsonString(out, name);
+      out << ": {\"value\": ";
+      obs::WriteJsonDouble(out, metric.value);
+      out << ", \"better\": ";
+      obs::WriteJsonString(out, metric.better);
+      out << "}";
+      sep = ", ";
+    }
+    out << "}, \"checksums\": {";
+    sep = "";
+    for (const auto& [name, value] : checksums_) {
+      out << sep;
+      obs::WriteJsonString(out, name);
+      out << ": ";
+      obs::WriteJsonDouble(out, value);
+      sep = ", ";
+    }
+    out << "}}\n";
+  }
+
+  /// Writes <dir>/BENCH_<name>.json when CTBUS_BENCH_JSON_DIR is set.
+  /// Returns false (with a stderr warning) if the directory is set but
+  /// unwritable; true otherwise — a bench run without the env var is not
+  /// an error, the report is simply opt-in.
+  bool WriteIfRequested() const {
+    const char* dir = std::getenv("CTBUS_BENCH_JSON_DIR");
+    if (dir == nullptr || *dir == '\0') return true;
+    const std::string path =
+        std::string(dir) + "/BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write bench report %s\n",
+                   path.c_str());
+      return false;
+    }
+    Write(out);
+    std::printf("bench report: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Metric {
+    double value = 0.0;
+    std::string better;  // "higher" | "lower" | "neutral"
+  };
+  struct DatasetShape {
+    std::string name;
+    int road_vertices = 0;
+    int road_edges = 0;
+    int transit_stops = 0;
+    int transit_edges = 0;
+    int transit_routes = 0;
+    long long trips = 0;
+  };
+
+  std::string name_;
+  std::vector<DatasetShape> datasets_;
+  std::map<std::string, Metric> metrics_;
+  std::map<std::string, double> checksums_;
+};
 
 }  // namespace ctbus::bench
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
@@ -143,22 +142,22 @@ Precompute PlanningContext::RunPrecompute(
 
   // Phase 1: realize the plannable-edge universe (shortest-path search per
   // candidate edge; Table 4's "Shortest path" column).
-  auto start = std::chrono::steady_clock::now();
+  Stopwatch stopwatch;
   EdgeUniverseOptions universe_options;
   universe_options.tau = options.tau;
   pre.universe = EdgeUniverse::Build(road, transit, universe_options);
-  pre.stats.universe_seconds = SecondsSince(start);
+  pre.stats.universe_seconds = stopwatch.Seconds();
   pre.stats.num_new_edges = pre.universe.num_new_edges();
 
   // Phase 2: Delta(e) for every new edge (Table 4's "Connectivity"
   // column) — either one stochastic trace estimate per edge, or the
   // perturbation model (one Lanczos eigenpair run, then O(m) per edge).
   // Sharded over options.precompute_threads; bit-identical to serial.
-  start = std::chrono::steady_clock::now();
+  stopwatch.Reset();
   pre.increments.assign(pre.universe.num_edges(), 0.0);
   RunIncrementPass(transit, options, pre.universe, NewEdgeIds(pre.universe),
                    &pre);
-  pre.stats.increments_seconds = SecondsSince(start);
+  pre.stats.increments_seconds = stopwatch.Seconds();
   return pre;
 }
 
@@ -175,12 +174,12 @@ Precompute PlanningContext::DerivePrecompute(const graph::RoadNetwork& road,
   // derived universe is bit-identical to EdgeUniverse::Build on the new
   // networks (commits add transit edges and zero demand; they never move
   // stops or change road topology).
-  auto start = std::chrono::steady_clock::now();
+  Stopwatch stopwatch;
   pre.universe = EdgeUniverse::DeriveFrom(prev.universe, road, transit);
-  pre.stats.universe_seconds = SecondsSince(start);
+  pre.stats.universe_seconds = stopwatch.Seconds();
   pre.stats.num_new_edges = pre.universe.num_new_edges();
 
-  start = std::chrono::steady_clock::now();
+  stopwatch.Reset();
   pre.increments.assign(pre.universe.num_edges(), 0.0);
   if (options.use_perturbation_precompute) {
     // The perturbation model is global (eigenpairs of the new adjacency),
@@ -225,7 +224,7 @@ Precompute PlanningContext::DerivePrecompute(const graph::RoadNetwork& road,
     RunIncrementPass(transit, options, pre.universe, todo, &pre);
     pre.stats.num_increments_carried = carried;
   }
-  pre.stats.increments_seconds = SecondsSince(start);
+  pre.stats.increments_seconds = stopwatch.Seconds();
   return pre;
 }
 

@@ -1,4 +1,8 @@
-// Shared wall-clock helper for phase timing.
+// The repo's one wall-clock stopwatch, shared by the precompute engine's
+// phase stats, the serving layer's per-request timings, the obs span
+// recorder, and every bench binary (bench_util.h re-exports it). One type
+// instead of per-layer helpers so a "seconds" anywhere in the codebase
+// always means the same steady_clock measurement.
 #ifndef CTBUS_CORE_TIMING_H_
 #define CTBUS_CORE_TIMING_H_
 
@@ -6,11 +10,23 @@
 
 namespace ctbus::core {
 
-inline double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
+/// Steady-clock stopwatch: starts at construction, `Seconds()` reads the
+/// elapsed time without stopping it, `Reset()` restarts it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace ctbus::core
 

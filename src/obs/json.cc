@@ -1,0 +1,53 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ctbus::obs {
+
+void WriteJsonString(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void WriteJsonDouble(std::ostream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  // %.17g round-trips every finite double; shorter representations are
+  // preferred automatically when exact ("0.5" not "0.50000000000000000").
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  out << buffer;
+}
+
+}  // namespace ctbus::obs

@@ -1,0 +1,27 @@
+// Minimal JSON emission primitives shared by the observability layer
+// (metrics snapshots, trace dumps) and the bench JSON reports. Emission
+// only — the repo never parses JSON in C++ (tools/bench_diff.py does the
+// reading) — so this stays a pair of escape/format helpers rather than a
+// document model. Doubles are written with round-trip precision
+// (max_digits10) so a value survives emit -> python -> compare exactly;
+// non-finite doubles are emitted as null (JSON has no Inf/NaN).
+#ifndef CTBUS_OBS_JSON_H_
+#define CTBUS_OBS_JSON_H_
+
+#include <ostream>
+#include <string>
+
+namespace ctbus::obs {
+
+/// Writes `s` as a quoted JSON string, escaping quotes, backslashes, and
+/// control characters.
+void WriteJsonString(std::ostream& out, const std::string& s);
+
+/// Writes `value` with enough digits to round-trip exactly; trailing
+/// integral values still print a decimal-free form ("3" not "3.0000...").
+/// NaN and infinities become null.
+void WriteJsonDouble(std::ostream& out, double value);
+
+}  // namespace ctbus::obs
+
+#endif  // CTBUS_OBS_JSON_H_

@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace ctbus::obs {
+
+namespace {
+
+std::uint64_t DoubleBits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double BitsDouble(std::uint64_t bits) {
+  double value = 0.0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+/// value = max(value, candidate) over an atomic double-as-bits cell.
+void AtomicMaxDouble(std::atomic<std::uint64_t>* cell, double candidate) {
+  std::uint64_t observed = cell->load(std::memory_order_relaxed);
+  while (candidate > BitsDouble(observed) &&
+         !cell->compare_exchange_weak(observed, DoubleBits(candidate),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+/// value += delta over an atomic double-as-bits cell.
+void AtomicAddDouble(std::atomic<std::uint64_t>* cell, double delta) {
+  std::uint64_t observed = cell->load(std::memory_order_relaxed);
+  while (!cell->compare_exchange_weak(
+      observed, DoubleBits(BitsDouble(observed) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(const Options& options)
+    : counts_(static_cast<std::size_t>(std::max(2, options.num_buckets))),
+      sum_bits_(DoubleBits(0.0)),
+      max_bits_(DoubleBits(0.0)) {
+  const int num_buckets = std::max(2, options.num_buckets);
+  bounds_.reserve(num_buckets);
+  double bound = options.min_value;
+  for (int i = 0; i + 1 < num_buckets; ++i) {
+    bounds_.push_back(bound);
+    bound *= options.growth;
+  }
+  bounds_.push_back(std::numeric_limits<double>::infinity());
+}
+
+void Histogram::Record(double value) {
+  // Latencies are never negative; clamp garbage (negative, NaN) to zero
+  // rather than corrupting a bucket index or poisoning the running sum.
+  const double v = (std::isfinite(value) && value > 0.0) ? value : 0.0;
+  // First bucket whose upper bound admits v; the last bound is +inf, so
+  // the search always lands inside the table.
+  const std::size_t index = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[index].fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&sum_bits_, v);
+  AtomicMaxDouble(&max_bits_, v);
+}
+
+std::uint64_t Histogram::Count() const {
+  std::uint64_t total = 0;
+  for (const auto& count : counts_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  // One pass loads every bucket into a local copy; count and percentiles
+  // derive from that copy, so they are mutually consistent even while
+  // recorders are running.
+  std::vector<std::uint64_t> counts(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snapshot.count += counts[i];
+  }
+  snapshot.sum = BitsDouble(sum_bits_.load(std::memory_order_relaxed));
+  snapshot.max = BitsDouble(max_bits_.load(std::memory_order_relaxed));
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) {
+      snapshot.buckets.emplace_back(std::min(bounds_[i], snapshot.max),
+                                    counts[i]);
+    }
+  }
+  // Nearest-rank percentile over the bucket counts: the value reported is
+  // the upper bound of the bucket holding the rank-th sample, clamped to
+  // the exact observed max (which makes the single-sample and top-bucket
+  // answers exact, and every percentile a deterministic function of the
+  // counts + max).
+  const auto percentile = [&](double p) -> double {
+    if (snapshot.count == 0) return 0.0;
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(p * static_cast<double>(snapshot.count))));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      seen += counts[i];
+      if (seen >= rank) return std::min(bounds_[i], snapshot.max);
+    }
+    return snapshot.max;
+  };
+  snapshot.p50 = percentile(0.50);
+  snapshot.p95 = percentile(0.95);
+  snapshot.p99 = percentile(0.99);
+  return snapshot;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (gauges_.count(name) > 0 || histograms_.count(name) > 0) {
+    throw std::invalid_argument("metric name already used by another kind: " +
+                                name);
+  }
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) > 0 || histograms_.count(name) > 0) {
+    throw std::invalid_argument("metric name already used by another kind: " +
+                                name);
+  }
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Histogram::Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.count(name) > 0 || gauges_.count(name) > 0) {
+    throw std::invalid_argument("metric name already used by another kind: " +
+                                name);
+  }
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(options);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.emplace_back(name, histogram->Snapshot());
+  }
+  return snapshot;
+}
+
+void WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    WriteJsonString(out, snapshot.counters[i].first);
+    out << ": " << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "}" : "\n  }");
+  out << ",\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "\n    " : ",\n    ");
+    WriteJsonString(out, snapshot.gauges[i].first);
+    out << ": " << snapshot.gauges[i].second;
+  }
+  out << (snapshot.gauges.empty() ? "}" : "\n  }");
+  out << ",\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, histogram] = snapshot.histograms[i];
+    out << (i == 0 ? "\n    " : ",\n    ");
+    WriteJsonString(out, name);
+    out << ": {\"count\": " << histogram.count << ", \"sum\": ";
+    WriteJsonDouble(out, histogram.sum);
+    out << ", \"max\": ";
+    WriteJsonDouble(out, histogram.max);
+    out << ", \"p50\": ";
+    WriteJsonDouble(out, histogram.p50);
+    out << ", \"p95\": ";
+    WriteJsonDouble(out, histogram.p95);
+    out << ", \"p99\": ";
+    WriteJsonDouble(out, histogram.p99);
+    out << ", \"buckets\": [";
+    for (std::size_t b = 0; b < histogram.buckets.size(); ++b) {
+      if (b > 0) out << ", ";
+      out << '[';
+      WriteJsonDouble(out, histogram.buckets[b].first);
+      out << ", " << histogram.buckets[b].second << ']';
+    }
+    out << "]}";
+  }
+  out << (snapshot.histograms.empty() ? "}" : "\n  }");
+  out << "\n}\n";
+}
+
+}  // namespace ctbus::obs

@@ -1,0 +1,170 @@
+// Thread-safe metrics registry: named counters, gauges, and fixed-bucket
+// log-spaced latency histograms, cheap enough for the serving hot path.
+//
+// Design contract:
+//   - The RECORD path (Counter::Add, Gauge::Set/Add, Histogram::Record)
+//     takes no locks: counters and gauges are single relaxed atomics, a
+//     histogram record is one binary search over a fixed 8-entry-per-octave
+//     bound table plus two relaxed atomic adds and one CAS (for the exact
+//     max). Recording never allocates.
+//   - REGISTRATION (GetCounter/GetGauge/GetHistogram) takes the registry
+//     mutex; it is idempotent (the same name always returns the same
+//     instrument) and the returned pointer stays valid for the registry's
+//     lifetime, so callers resolve instruments once and record through raw
+//     pointers.
+//   - SNAPSHOT (MetricsRegistry::Snapshot) is safe concurrently with
+//     recording and is DETERMINISTICALLY ORDERED: every vector is sorted
+//     by instrument name, so two snapshots of identical state serialize
+//     identically (metric names are stable API — dashboards, bench JSON,
+//     and tests key on them).
+//
+// Histogram percentiles (p50/p95/p99) are computed exactly from the bucket
+// counts: the reported value is the upper bound of the bucket holding the
+// rank-th sample (nearest-rank definition) clamped to the exact max (which
+// is tracked via CAS), making them deterministic functions of the counts
+// plus the max — and exact for single samples and the top bucket. Buckets
+// are
+// log-spaced from `min_value` with ratio `growth` per bucket; values below
+// the first bound land in bucket 0, values beyond the last bound in the
+// overflow bucket (whose reported percentile value is the exact max).
+//
+// WriteMetricsJson serializes a snapshot as one JSON object with
+// "counters" / "gauges" / "histograms" members, keys in sorted order.
+#ifndef CTBUS_OBS_METRICS_H_
+#define CTBUS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ctbus::obs {
+
+/// Monotonic event count. Relaxed atomics: totals are exact once all
+/// recording threads are quiesced (or externally synchronized, e.g. by
+/// joining a worker or waiting on its future), which is when reconciliation
+/// against other counters is meaningful.
+class Counter {
+ public:
+  void Add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, resident bytes).
+class Gauge {
+ public:
+  void Set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t Value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Point-in-time view of one histogram; see Histogram for the percentile
+/// definition. `buckets` lists only non-empty buckets as
+/// (upper bound, count), ascending, with the overflow bucket's upper bound
+/// reported as +infinity's stand-in: the exact observed max.
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+};
+
+class Histogram {
+ public:
+  /// Log-spaced layout: bucket 0 covers (-inf, min_value]; bucket i covers
+  /// (min_value*growth^(i-1), min_value*growth^i]; the last bucket is the
+  /// overflow. Defaults span 1us .. ~18 minutes in 56 buckets (ratio
+  /// sqrt(2) per bucket = quarter-order-of-magnitude resolution), which
+  /// brackets every serving-layer phase latency.
+  struct Options {
+    double min_value = 1e-6;
+    double growth = 1.4142135623730951;  // sqrt(2)
+    int num_buckets = 56;                // including the overflow bucket
+  };
+
+  Histogram() : Histogram(Options()) {}
+  explicit Histogram(const Options& options);
+
+  /// Lock-free: binary search over the fixed bounds + relaxed adds.
+  /// Negative/NaN values clamp into bucket 0 (latencies are never
+  /// negative; a clamp beats corrupting the bucket index).
+  void Record(double value);
+
+  std::uint64_t Count() const;
+
+  /// Consistent view: count/percentiles derive from one pass over the
+  /// bucket counts, so count == sum of bucket counts always holds inside
+  /// a snapshot even while recorders run.
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::vector<double> bounds_;  // upper bound per bucket, last = +inf
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> sum_bits_;  // double stored as bits, CAS-added
+  std::atomic<std::uint64_t> max_bits_;  // double stored as bits, CAS-maxed
+};
+
+/// Deterministically ordered (name-sorted) view of a whole registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent: the first call for a name creates the instrument, later
+  /// calls return the same pointer (valid for the registry's lifetime).
+  /// A name identifies at most one instrument kind; reusing a counter
+  /// name for a gauge/histogram throws std::invalid_argument.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(
+      const std::string& name,
+      const Histogram::Options& options = Histogram::Options());
+
+  /// Name-sorted snapshot, safe during concurrent recording.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps iteration name-sorted, which is what makes Snapshot's
+  // ordering deterministic without a per-snapshot sort.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+/// Keys appear in the snapshot's (sorted) order; doubles round-trip.
+void WriteMetricsJson(const MetricsSnapshot& snapshot, std::ostream& out);
+
+}  // namespace ctbus::obs
+
+#endif  // CTBUS_OBS_METRICS_H_

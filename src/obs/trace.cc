@@ -1,0 +1,66 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace ctbus::obs {
+
+TraceLog::TraceLog(std::size_t capacity, bool enabled)
+    : capacity_(std::max<std::size_t>(1, capacity)), enabled_(enabled) {}
+
+void TraceLog::Record(Span span) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[total_recorded_ % capacity_] = std::move(span);
+  }
+  ++total_recorded_;
+}
+
+std::vector<Span> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_recorded_ <= capacity_) return ring_;
+  // Wrapped: the oldest resident span sits at the next overwrite slot.
+  std::vector<Span> spans;
+  spans.reserve(ring_.size());
+  const std::size_t head = total_recorded_ % capacity_;
+  spans.insert(spans.end(), ring_.begin() + head, ring_.end());
+  spans.insert(spans.end(), ring_.begin(), ring_.begin() + head);
+  return spans;
+}
+
+void TraceLog::Dump(std::ostream& out) const {
+  for (const Span& span : Snapshot()) {
+    out << "{\"trace\": " << span.trace_id << ", \"span\": ";
+    WriteJsonString(out, span.name);
+    out << ", \"detail\": ";
+    WriteJsonString(out, span.detail);
+    out << ", \"start\": ";
+    WriteJsonDouble(out, span.start_seconds);
+    out << ", \"dur\": ";
+    WriteJsonDouble(out, span.duration_seconds);
+    out << "}\n";
+  }
+}
+
+void TraceLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  total_recorded_ = 0;
+}
+
+std::size_t TraceLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::uint64_t TraceLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_recorded_;
+}
+
+}  // namespace ctbus::obs

@@ -1,0 +1,103 @@
+// Lightweight span recorder for request tracing: a bounded in-memory ring
+// buffer of (trace id, span name, start, duration) records with a
+// JSON-lines exporter.
+//
+// Cost contract: tracing is OFF by default and zero-cost-when-disabled
+// behind a single relaxed-atomic branch — callers wrap span construction
+// in `if (trace.enabled())`, so a disabled recorder costs one load per
+// potential span and allocates nothing. When enabled, Record takes a short
+// mutex to claim a ring slot; the ring never grows, so a trace flood
+// overwrites the oldest spans instead of exhausting memory
+// (`total_recorded() - size()` tells how many were overwritten).
+//
+// Trace ids come from NextTraceId() (monotonic, never 0), assigned once
+// per request at submission so every phase span of one request shares an
+// id. Span start times are seconds since the TraceLog's construction
+// (its `Now()` stopwatch), so spans from different threads order on one
+// timeline without wall-clock ambiguity.
+//
+// Dump writes one JSON object per line (JSON-lines, oldest span first):
+//   {"trace":7,"span":"plan-search","detail":"","start":0.01,"dur":0.2}
+#ifndef CTBUS_OBS_TRACE_H_
+#define CTBUS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/timing.h"
+
+namespace ctbus::obs {
+
+/// One timed phase of one traced request.
+struct Span {
+  std::uint64_t trace_id = 0;
+  /// Phase name, e.g. "queue-wait", "plan-search". Stable API like metric
+  /// names.
+  std::string name;
+  /// Free-form qualifier, e.g. the precompute resolution outcome
+  /// ("hit" / "derive" / "scratch") or the dataset name.
+  std::string detail;
+  /// Seconds since the owning TraceLog's construction.
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+class TraceLog {
+ public:
+  /// `capacity` bounds resident spans (clamped to >= 1); recording past it
+  /// overwrites the oldest. Tracing starts disabled unless `enabled`.
+  explicit TraceLog(std::size_t capacity = 4096, bool enabled = false);
+
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  /// The single branch guarding every tracing call site.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Monotonic, never 0 (0 means "untraced" in RequestStats).
+  std::uint64_t NextTraceId() {
+    return next_trace_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Seconds since construction — the timeline span starts are measured on.
+  double Now() const { return epoch_.Seconds(); }
+
+  /// Appends a span (overwriting the oldest past capacity). No-op while
+  /// disabled, so an unguarded call site is still correct, just slower
+  /// than a guarded one.
+  void Record(Span span);
+
+  /// Resident spans, oldest first.
+  std::vector<Span> Snapshot() const;
+
+  /// JSON-lines export of Snapshot(); see the file header for the format.
+  void Dump(std::ostream& out) const;
+
+  void Clear();
+
+  std::size_t capacity() const { return capacity_; }
+  /// Resident spans (<= capacity).
+  std::size_t size() const;
+  /// Spans ever recorded, including overwritten ones.
+  std::uint64_t total_recorded() const;
+
+ private:
+  const std::size_t capacity_;
+  std::atomic<bool> enabled_;
+  std::atomic<std::uint64_t> next_trace_id_{0};
+  core::Stopwatch epoch_;
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;            // guarded by mu_
+  std::uint64_t total_recorded_ = 0;  // guarded by mu_
+};
+
+}  // namespace ctbus::obs
+
+#endif  // CTBUS_OBS_TRACE_H_

@@ -10,9 +10,21 @@
 
 namespace ctbus::service {
 
-using core::SecondsSince;
+using core::Stopwatch;
 
 namespace {
+
+/// Latency histogram names, phase x priority class. Stable API.
+const char* const kPhaseNames[2][5] = {
+    {"service.latency.queue.interactive",
+     "service.latency.precompute.interactive",
+     "service.latency.context.interactive",
+     "service.latency.plan.interactive",
+     "service.latency.total.interactive"},
+    {"service.latency.queue.sweep", "service.latency.precompute.sweep",
+     "service.latency.context.sweep", "service.latency.plan.sweep",
+     "service.latency.total.sweep"},
+};
 
 /// The batch identity of a request: everything its precompute resolution
 /// depends on, with snapshot_version taken *as submitted* (0 = "latest"
@@ -29,11 +41,40 @@ PlanningService::PlanningService(const ServiceOptions& options)
     : warm_start_precompute_(options.warm_start_precompute),
       max_warm_start_depth_(std::max(1, options.max_warm_start_depth)),
       default_retention_(options.retention),
+      metrics_enabled_(options.enable_metrics),
+      trace_(options.trace_capacity, options.enable_tracing),
       cache_(options.cache_capacity, options.cache_max_bytes),
       queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)),
       max_batch_size_(std::max<std::size_t>(1, options.max_batch_size)),
       overflow_policy_(options.overflow_policy),
       paused_(options.start_paused) {
+  if (metrics_enabled_) {
+    // Resolve every instrument once; the hot path records through these
+    // raw pointers without ever touching the registry mutex again.
+    counters_.submitted = metrics_.GetCounter("service.submitted");
+    counters_.completed = metrics_.GetCounter("service.completed");
+    counters_.rejected = metrics_.GetCounter("service.rejected");
+    counters_.precomputes_from_scratch =
+        metrics_.GetCounter("service.precompute.from_scratch");
+    counters_.precomputes_derived =
+        metrics_.GetCounter("service.precompute.derived");
+    counters_.batches = metrics_.GetCounter("service.batch.batches");
+    counters_.batched_requests =
+        metrics_.GetCounter("service.batch.batched_requests");
+    counters_.commits = metrics_.GetCounter("service.commit.total");
+    counters_.async_commits = metrics_.GetCounter("service.commit.async");
+    counters_.snapshots_pruned =
+        metrics_.GetCounter("service.retention.snapshots_pruned");
+    counters_.lineage_trimmed =
+        metrics_.GetCounter("service.retention.lineage_trimmed");
+    for (int p = 0; p < 2; ++p) {
+      latency_[p].queue = metrics_.GetHistogram(kPhaseNames[p][0]);
+      latency_[p].precompute = metrics_.GetHistogram(kPhaseNames[p][1]);
+      latency_[p].context = metrics_.GetHistogram(kPhaseNames[p][2]);
+      latency_[p].plan = metrics_.GetHistogram(kPhaseNames[p][3]);
+      latency_[p].total = metrics_.GetHistogram(kPhaseNames[p][4]);
+    }
+  }
   int threads = options.num_threads;
   if (threads <= 0) {
     threads = static_cast<int>(std::thread::hardware_concurrency());
@@ -59,6 +100,10 @@ void PlanningService::RegisterDataset(
   auto shard = std::make_shared<Shard>(std::make_shared<SnapshotStore>(
       std::move(road), std::move(transit)));
   shard->retention = retention;
+  if (metrics_enabled_) {
+    shard->queue_depth_gauge =
+        metrics_.GetGauge("service.shard." + name + ".queue_depth");
+  }
   std::lock_guard<std::mutex> lock(datasets_mu_);
   if (shutting_down_.load()) {
     throw std::runtime_error("RegisterDataset after Shutdown");
@@ -145,6 +190,10 @@ std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
   if (task.request.priority == Priority::kSweep) {
     task.batch_key = BatchKeyOf(task.request);  // outside the shard lock
   }
+  if (trace_.enabled()) {
+    task.trace_id = trace_.NextTraceId();
+    task.submit_trace_offset = trace_.Now();
+  }
   std::future<ServiceResult> future = task.promise.get_future();
   // Count the submission before the task becomes visible to workers, so
   // completed can never be observed ahead of submitted.
@@ -157,6 +206,7 @@ std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
     if (overflow_policy_ == OverflowPolicy::kReject &&
         shard->queued() >= queue_capacity_ && !shutting_down_.load()) {
       lock.unlock();
+      if (metrics_enabled_) counters_.rejected->Add();
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       --service_stats_.submitted;
       ++service_stats_.rejected;
@@ -184,7 +234,16 @@ std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
     } else {
       shard->sweep.push_back(std::move(task));
     }
+    if (metrics_enabled_) {
+      shard->queue_depth_gauge->Set(
+          static_cast<std::int64_t>(shard->queued()));
+    }
   }
+  // The metrics counter is monotonic, so it is only bumped after the
+  // enqueue is irrevocable — the reject/shutdown paths above never touch
+  // it — which is what lets it reconcile exactly with ServiceStats (whose
+  // decrement-on-failure pattern a monotonic counter cannot mirror).
+  if (metrics_enabled_) counters_.submitted->Add();
   shard->not_empty.notify_one();
   return future;
 }
@@ -223,6 +282,10 @@ std::future<std::uint64_t> PlanningService::CommitAsync(ServiceResult result) {
 }
 
 std::uint64_t PlanningService::CommitNow(const ServiceResult& result) {
+  // The commit span reuses the request's trace id (when it was traced), so
+  // a request's whole lifecycle joins on one id in the trace dump.
+  const bool traced = trace_.enabled() && result.stats.trace_id != 0;
+  const double commit_start = traced ? trace_.Now() : 0.0;
   const PlanRequest& request = result.request;
   const auto shard = FindShard(request.dataset);
   const auto store = shard->store;
@@ -254,6 +317,16 @@ std::uint64_t PlanningService::CommitNow(const ServiceResult& result) {
       store->CommitRoute(result.plan, precompute->universe,
                          /*base_version=*/0);
   ApplyRetention(request.dataset, shard.get());
+  if (metrics_enabled_) counters_.commits->Add();
+  if (traced) {
+    obs::Span span;
+    span.trace_id = result.stats.trace_id;
+    span.name = "commit";
+    span.detail = request.dataset;
+    span.start_seconds = commit_start;
+    span.duration_seconds = trace_.Now() - commit_start;
+    trace_.Record(std::move(span));
+  }
   return new_version;
 }
 
@@ -272,6 +345,7 @@ void PlanningService::CommitLoop() {
     try {
       const std::uint64_t version = CommitNow(task.result);
       UnpinVersion(task.shard.get(), task.pinned_version);
+      if (metrics_enabled_) counters_.async_commits->Add();
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++service_stats_.async_commits;
@@ -332,6 +406,10 @@ void PlanningService::ApplyRetention(const std::string& dataset,
     shard->lineage_trimmed += result.lineage_trimmed;
   }
   if (result.versions_pruned == 0 && result.lineage_trimmed == 0) return;
+  if (metrics_enabled_) {
+    counters_.snapshots_pruned->Add(result.versions_pruned);
+    counters_.lineage_trimmed->Add(result.lineage_trimmed);
+  }
   std::lock_guard<std::mutex> lock(stats_mu_);
   service_stats_.snapshots_pruned += result.versions_pruned;
   service_stats_.lineage_trimmed += result.lineage_trimmed;
@@ -381,6 +459,11 @@ PrecomputeCache::PrecomputePtr PlanningService::ResolvePrecompute(
   if (cache_hit != nullptr) *cache_hit = was_hit;
   if (derived != nullptr) *derived = was_derived;
   if (!was_hit) {
+    if (metrics_enabled_) {
+      (was_derived ? counters_.precomputes_derived
+                   : counters_.precomputes_from_scratch)
+          ->Add();
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     if (was_derived) {
       ++service_stats_.precomputes_derived;
@@ -408,6 +491,66 @@ PlanningService::DatasetMemoryStats PlanningService::dataset_memory_stats(
   stats.snapshots_pruned = shard->snapshots_pruned;
   stats.lineage_trimmed = shard->lineage_trimmed;
   return stats;
+}
+
+void PlanningService::RecordRequestLatency(Priority priority,
+                                           const RequestStats& stats,
+                                           bool batch_leader) {
+  if (!metrics_enabled_) return;
+  PhaseHistograms& phases = latency_[static_cast<int>(priority)];
+  phases.queue->Record(stats.queue_seconds);
+  if (batch_leader) phases.precompute->Record(stats.precompute_seconds);
+  phases.context->Record(stats.context_seconds);
+  phases.plan->Record(stats.plan_seconds);
+  phases.total->Record(stats.queue_seconds + stats.precompute_seconds +
+                       stats.context_seconds + stats.plan_seconds);
+}
+
+obs::MetricsSnapshot PlanningService::MetricsSnapshot() const {
+  obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+  // Always-on read-time views: the cache and the snapshot stores keep
+  // their own exact accounting, so these need no hot-path instruments.
+  const PrecomputeCache::Stats cache = cache_.stats();
+  snapshot.counters.emplace_back("cache.evicted_bytes", cache.evicted_bytes);
+  snapshot.counters.emplace_back("cache.evictions", cache.evictions);
+  snapshot.counters.emplace_back("cache.hits", cache.hits);
+  snapshot.counters.emplace_back("cache.misses", cache.misses);
+  snapshot.gauges.emplace_back(
+      "cache.resident_bytes", static_cast<std::int64_t>(cache.resident_bytes));
+  std::vector<std::string> names = DatasetNames();
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const DatasetMemoryStats stats = dataset_memory_stats(name);
+    const std::string prefix = "dataset." + name + ".";
+    snapshot.counters.emplace_back(prefix + "retention.lineage_trimmed",
+                                   stats.lineage_trimmed);
+    snapshot.counters.emplace_back(prefix + "retention.snapshots_pruned",
+                                   stats.snapshots_pruned);
+    snapshot.gauges.emplace_back(
+        prefix + "snapshot.bytes",
+        static_cast<std::int64_t>(stats.snapshot_bytes));
+    snapshot.gauges.emplace_back(
+        prefix + "snapshot.lineage_records",
+        static_cast<std::int64_t>(stats.lineage_records));
+    snapshot.gauges.emplace_back(
+        prefix + "snapshot.pinned_versions",
+        static_cast<std::int64_t>(stats.pinned_versions));
+    snapshot.gauges.emplace_back(
+        prefix + "snapshot.resident_versions",
+        static_cast<std::int64_t>(stats.resident_versions));
+  }
+  // Restore the registry snapshot's deterministic-order contract after the
+  // merge (names are unique across sources: distinct prefixes).
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  return snapshot;
+}
+
+void PlanningService::WriteMetricsJson(std::ostream& out) const {
+  obs::WriteMetricsJson(MetricsSnapshot(), out);
 }
 
 int PlanningService::num_workers() const { return next_worker_id_.load(); }
@@ -459,6 +602,7 @@ void PlanningService::Shutdown() {
 void PlanningService::WorkerLoop(Shard* shard, int worker_id) {
   for (;;) {
     std::vector<Task> batch;
+    double assembly_start = 0.0;
     {
       std::unique_lock<std::mutex> lock(shard->mu);
       shard->not_empty.wait(lock, [this, shard] {
@@ -470,7 +614,23 @@ void PlanningService::WorkerLoop(Shard* shard, int worker_id) {
         if (shard->live_workers == 0) shard->workers_done.notify_all();
         return;
       }
+      if (trace_.enabled()) assembly_start = trace_.Now();
       batch = NextBatchLocked(shard);
+      if (metrics_enabled_) {
+        shard->queue_depth_gauge->Set(
+            static_cast<std::int64_t>(shard->queued()));
+      }
+    }
+    // The batch-assembly span carries the leader's trace id: it is the
+    // leader's dequeue that gathered the batch.
+    if (trace_.enabled() && batch.front().trace_id != 0) {
+      obs::Span span;
+      span.trace_id = batch.front().trace_id;
+      span.name = "batch-assembly";
+      span.detail = "size=" + std::to_string(batch.size());
+      span.start_seconds = assembly_start;
+      span.duration_seconds = trace_.Now() - assembly_start;
+      trace_.Record(std::move(span));
     }
     // A batch may have freed several queue slots at once.
     if (batch.size() > 1) {
@@ -517,6 +677,10 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
                                    int worker_id) {
   const auto pickup_time = std::chrono::steady_clock::now();
   if (batch.size() > 1) {
+    if (metrics_enabled_) {
+      counters_.batches->Add();
+      counters_.batched_requests->Add(batch.size() - 1);
+    }
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++service_stats_.batches;
     service_stats_.batched_requests += batch.size() - 1;
@@ -532,6 +696,7 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
   bool leader_hit = false;
   bool leader_derived = false;
   double precompute_seconds = 0.0;
+  double resolve_start = 0.0;
   std::exception_ptr failure;
   try {
     snapshot = requested_version == 0 ? shard->store->Latest()
@@ -540,14 +705,28 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
       throw std::invalid_argument("unknown snapshot version for dataset " +
                                   batch.front().request.dataset);
     }
-    const auto timer = std::chrono::steady_clock::now();
+    if (trace_.enabled()) resolve_start = trace_.Now();
+    const Stopwatch resolve_timer;
     precompute = ResolvePrecompute(*shard->store,
                                    batch.front().request.dataset, *snapshot,
                                    batch.front().request.options, &leader_hit,
                                    &leader_derived);
-    precompute_seconds = SecondsSince(timer);
+    precompute_seconds = resolve_timer.Seconds();
   } catch (...) {
     failure = std::current_exception();
+  }
+  // One resolution per batch, so one span: the leader's, annotated with
+  // how the precompute was obtained.
+  if (failure == nullptr && trace_.enabled() &&
+      batch.front().trace_id != 0) {
+    obs::Span span;
+    span.trace_id = batch.front().trace_id;
+    span.name = "precompute-resolve";
+    span.detail =
+        leader_hit ? "hit" : (leader_derived ? "derive" : "scratch");
+    span.start_seconds = resolve_start;
+    span.duration_seconds = precompute_seconds;
+    trace_.Record(std::move(span));
   }
   // Snapshot resolution is done (the shared_ptr keeps it alive from here,
   // or the batch failed): release the members' queued-version pins.
@@ -563,6 +742,7 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
     // Count completion before fulfilling the promise, so a caller woken by
     // the future observes the counter already advanced.
     if (failure != nullptr) {
+      if (metrics_enabled_) counters_.completed->Add();
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++service_stats_.completed;
@@ -571,6 +751,7 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
       continue;
     }
     try {
+      const bool traced = trace_.enabled() && task.trace_id != 0;
       ServiceResult result;
       result.request = task.request;
       result.request.snapshot_version = snapshot->version;  // resolved
@@ -578,9 +759,18 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
       result.stats.worker_id = worker_id;
       result.stats.batch_size = batch.size();
       result.stats.execute_sequence = execute_sequence_.fetch_add(1);
+      result.stats.trace_id = task.trace_id;
       result.stats.queue_seconds =
           std::chrono::duration<double>(pickup_time - task.submit_time)
               .count();
+      if (traced) {
+        obs::Span span;
+        span.trace_id = task.trace_id;
+        span.name = "queue-wait";
+        span.start_seconds = task.submit_trace_offset;
+        span.duration_seconds = result.stats.queue_seconds;
+        trace_.Record(std::move(span));
+      }
       // The leader (first member) carries the true resolution provenance;
       // members were fed by it without touching the cache, which is
       // indistinguishable from a hit for accounting purposes.
@@ -592,14 +782,24 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
       // Private context per request: queries share the immutable snapshot
       // and the const precompute (by shared_ptr, no copy), never the
       // mutable search scratch.
-      auto timer = std::chrono::steady_clock::now();
+      double phase_start = traced ? trace_.Now() : 0.0;
+      Stopwatch phase_timer;
       core::PlanningContext context =
           core::PlanningContext::BuildWithPrecompute(
               *snapshot->road, *snapshot->transit, task.request.options,
               precompute);
-      result.stats.context_seconds = SecondsSince(timer);
+      result.stats.context_seconds = phase_timer.Seconds();
+      if (traced) {
+        obs::Span span;
+        span.trace_id = task.trace_id;
+        span.name = "context-build";
+        span.start_seconds = phase_start;
+        span.duration_seconds = result.stats.context_seconds;
+        trace_.Record(std::move(span));
+        phase_start = trace_.Now();
+      }
 
-      timer = std::chrono::steady_clock::now();
+      phase_timer.Reset();
       switch (task.request.planner) {
         case core::Planner::kEta:
           result.plan = core::RunEta(&context, core::SearchMode::kOnline);
@@ -611,13 +811,27 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
           result.plan = core::RunVkTsp(&context);
           break;
       }
-      result.stats.plan_seconds = SecondsSince(timer);
+      result.stats.plan_seconds = phase_timer.Seconds();
+      if (traced) {
+        obs::Span span;
+        span.trace_id = task.trace_id;
+        span.name = "plan-search";
+        span.start_seconds = phase_start;
+        span.duration_seconds = result.stats.plan_seconds;
+        trace_.Record(std::move(span));
+      }
+      if (metrics_enabled_) {
+        counters_.completed->Add();
+        RecordRequestLatency(task.request.priority, result.stats,
+                             /*batch_leader=*/i == 0);
+      }
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++service_stats_.completed;
       }
       task.promise.set_value(std::move(result));
     } catch (...) {
+      if (metrics_enabled_) counters_.completed->Add();
       {
         std::lock_guard<std::mutex> lock(stats_mu_);
         ++service_stats_.completed;

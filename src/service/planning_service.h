@@ -49,6 +49,17 @@
 // keys: two services differing only in budgets produce bit-identical
 // plans.
 //
+// Observability: the service owns an obs::MetricsRegistry (counters that
+// mirror ServiceStats exactly, per-phase/per-priority latency histograms,
+// per-shard queue-depth gauges — all lock-free on the record path) and an
+// obs::TraceLog span recorder (queue-wait -> batch-assembly ->
+// precompute-resolve -> context-build -> plan-search -> commit, one trace
+// id per request, bounded ring, JSON-lines export). MetricsSnapshot()
+// merges the registry with read-time views of the precompute cache and
+// each shard's snapshot store; WriteMetricsJson serializes it. Tracing is
+// off by default and costs one branch when off; neither metrics nor
+// tracing ever changes a planning result.
+//
 // Every worker builds its own PlanningContext, so queries never share
 // mutable state: results are bit-identical to running the same requests
 // serially (the estimators are deterministic by construction). Snapshots
@@ -66,6 +77,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <ostream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -74,6 +86,8 @@
 #include "core/eta.h"
 #include "core/options.h"
 #include "core/planner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/precompute_cache.h"
 #include "service/snapshot_store.h"
 
@@ -143,6 +157,24 @@ struct ServiceOptions {
   /// From-scratch donors are always preferred when resident, so chains
   /// normally stay at depth 1; must be >= 1.
   int max_warm_start_depth = 8;
+  /// Record service metrics (counters mirroring ServiceStats, per-phase /
+  /// per-priority latency histograms, shard queue-depth gauges) into the
+  /// service's MetricsRegistry. The record path is lock-free atomics; the
+  /// hot-path overhead target is < 2% (bench_service_throughput's
+  /// "metrics overhead" section measures it). Disabling leaves every
+  /// registry instrument at zero — MetricsSnapshot() then reports only
+  /// the always-on cache / snapshot-store views. Metrics NEVER affect
+  /// planning results either way.
+  bool enable_metrics = true;
+  /// Record per-request phase spans (queue-wait, batch-assembly,
+  /// precompute-resolve, context-build, plan-search, commit) into a
+  /// bounded in-memory ring (trace_log().Dump exports JSON lines). Off by
+  /// default; when off the only cost is one branch per potential span.
+  /// Flippable at runtime via trace_log().set_enabled(). Tracing NEVER
+  /// affects planning results.
+  bool enable_tracing = false;
+  /// Span ring-buffer capacity; past it the oldest spans are overwritten.
+  std::size_t trace_capacity = 4096;
 };
 
 struct PlanRequest {
@@ -188,6 +220,10 @@ struct RequestStats {
   /// starts the request, so tests can assert drain order (interactive
   /// before sweep) without racing on wall-clock time.
   std::uint64_t execute_sequence = 0;
+  /// Trace id shared by every span this request emitted (0 when tracing
+  /// was disabled at submit time). Commit spans reuse it, so a request's
+  /// whole lifecycle joins on one id in the trace dump.
+  std::uint64_t trace_id = 0;
 };
 
 struct ServiceResult {
@@ -302,6 +338,24 @@ class PlanningService {
   };
   DatasetMemoryStats dataset_memory_stats(const std::string& dataset) const;
 
+  /// One deterministically ordered (name-sorted) view of every service
+  /// metric: the registry's counters / gauges / histograms (exactly
+  /// mirroring ServiceStats when metrics are enabled — reconciliation is
+  /// tested) plus always-on views computed at read time: `cache.*` from
+  /// the precompute cache and `dataset.<name>.*` from each shard's
+  /// snapshot store. Metric names are stable API — bench JSON, dashboards,
+  /// and tests key on them; rename only with a deprecation note.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
+  /// MetricsSnapshot() serialized as one JSON object (see
+  /// obs::WriteMetricsJson for the format).
+  void WriteMetricsJson(std::ostream& out) const;
+
+  /// The span recorder (enable/disable at runtime, Dump for JSON lines).
+  /// Initial state and capacity come from ServiceOptions.
+  obs::TraceLog& trace_log() { return trace_; }
+  const obs::TraceLog& trace_log() const { return trace_; }
+
   /// Worker threads per dataset shard (the resolved ServiceOptions value).
   int num_threads() const { return threads_per_shard_; }
   /// Total workers across all registered dataset shards.
@@ -327,6 +381,11 @@ class PlanningService {
     /// can never be pruned). Released by ExecuteBatch once the snapshot
     /// shared_ptr is resolved.
     std::uint64_t pinned_version = 0;
+    /// Span correlation (0 = tracing was off at Submit): the id every
+    /// phase span of this request carries, and where on the trace
+    /// timeline the queue-wait span starts.
+    std::uint64_t trace_id = 0;
+    double submit_trace_offset = 0.0;
   };
 
   /// One dataset's serving state: its snapshot store plus a private
@@ -354,6 +413,9 @@ class PlanningService {
     /// Cumulative retention removals for this dataset. Guarded by mu.
     std::uint64_t snapshots_pruned = 0;
     std::uint64_t lineage_trimmed = 0;
+    /// Live "service.shard.<dataset>.queue_depth" gauge (owned by the
+    /// service registry; updated under mu at enqueue/dequeue).
+    obs::Gauge* queue_depth_gauge = nullptr;
 
     std::size_t queued() const { return interactive.size() + sweep.size(); }
   };
@@ -399,10 +461,46 @@ class PlanningService {
       const NetworkSnapshot& snapshot, const core::CtBusOptions& options,
       bool* cache_hit, bool* derived);
 
+  /// The registry instruments the hot path records through, resolved once
+  /// at construction. Counter names mirror ServiceStats field-for-field;
+  /// latency histograms are indexed [phase][priority class].
+  struct PhaseHistograms {
+    obs::Histogram* queue = nullptr;
+    obs::Histogram* precompute = nullptr;  // batch leaders only
+    obs::Histogram* context = nullptr;
+    obs::Histogram* plan = nullptr;
+    obs::Histogram* total = nullptr;  // queue + resolve + context + plan
+  };
+  struct ServiceCounters {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* precomputes_from_scratch = nullptr;
+    obs::Counter* precomputes_derived = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Counter* batched_requests = nullptr;
+    obs::Counter* commits = nullptr;  // CommitNow successes (sync + async)
+    obs::Counter* async_commits = nullptr;
+    obs::Counter* snapshots_pruned = nullptr;
+    obs::Counter* lineage_trimmed = nullptr;
+  };
+
+  /// Records one completed request's phase timings (no-op when metrics
+  /// are disabled). Only batch leaders record into the precompute
+  /// histogram — members ride on the leader's resolution and would skew
+  /// it with zeros.
+  void RecordRequestLatency(Priority priority, const RequestStats& stats,
+                            bool batch_leader);
+
   const bool warm_start_precompute_;
   const int max_warm_start_depth_;
   /// Retention for datasets registered without a per-dataset policy.
   const SnapshotRetentionPolicy default_retention_;
+  const bool metrics_enabled_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceLog trace_;
+  ServiceCounters counters_;
+  PhaseHistograms latency_[2];  // [static_cast<int>(Priority)]
   PrecomputeCache cache_;
   const std::size_t queue_capacity_;
   const std::size_t max_batch_size_;

@@ -1,0 +1,219 @@
+// Histogram bucket/percentile math, registry semantics, snapshot
+// determinism under concurrent recording, and JSON serialization for the
+// obs metrics layer.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace ctbus::obs {
+namespace {
+
+TEST(CounterTest, AddsAndReads) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddAndNegative) {
+  Gauge gauge;
+  gauge.Set(10);
+  gauge.Add(-25);
+  EXPECT_EQ(gauge.Value(), -15);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram histogram;
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0.0);
+  EXPECT_EQ(snap.max, 0.0);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+  EXPECT_TRUE(snap.buckets.empty());
+}
+
+TEST(HistogramTest, SingleSampleIsExact) {
+  Histogram histogram;
+  histogram.Record(0.0123);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.0123);
+  EXPECT_DOUBLE_EQ(snap.max, 0.0123);
+  // All percentiles clamp to the exact max for a single sample.
+  EXPECT_DOUBLE_EQ(snap.p50, 0.0123);
+  EXPECT_DOUBLE_EQ(snap.p95, 0.0123);
+  EXPECT_DOUBLE_EQ(snap.p99, 0.0123);
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  EXPECT_EQ(snap.buckets[0].second, 1u);
+}
+
+TEST(HistogramTest, EdgeBuckets) {
+  Histogram::Options options;
+  options.min_value = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 4;  // bounds: 1, 2, 4, +inf
+  Histogram histogram(options);
+  histogram.Record(0.5);     // bucket 0 (below min)
+  histogram.Record(1.0);     // bucket 0 (bound inclusive)
+  histogram.Record(3.0);     // bucket 2
+  histogram.Record(1000.0);  // overflow bucket
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.max, 1000.0);
+  ASSERT_EQ(snap.buckets.size(), 3u);
+  EXPECT_DOUBLE_EQ(snap.buckets[0].first, 1.0);
+  EXPECT_EQ(snap.buckets[0].second, 2u);
+  EXPECT_DOUBLE_EQ(snap.buckets[1].first, 4.0);
+  EXPECT_EQ(snap.buckets[1].second, 1u);
+  // The overflow bucket reports the exact max as its upper bound.
+  EXPECT_DOUBLE_EQ(snap.buckets[2].first, 1000.0);
+  EXPECT_EQ(snap.buckets[2].second, 1u);
+  // Top-bucket percentile is the exact max, not +inf.
+  EXPECT_DOUBLE_EQ(snap.p99, 1000.0);
+}
+
+TEST(HistogramTest, NegativeAndNanClampToBucketZero) {
+  Histogram histogram;
+  histogram.Record(-5.0);
+  histogram.Record(std::nan(""));
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.max, 0.0);
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  EXPECT_EQ(snap.buckets[0].second, 2u);
+}
+
+TEST(HistogramTest, PercentilesAreMonotone) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Record(i * 1e-4);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_GT(snap.p50, 0.0);
+  EXPECT_LE(snap.p50, snap.p95);
+  EXPECT_LE(snap.p95, snap.p99);
+  EXPECT_LE(snap.p99, snap.max);
+  EXPECT_DOUBLE_EQ(snap.max, 0.1);
+  // The p50 bucket bound must bracket the true median (0.05) within one
+  // sqrt(2) bucket ratio.
+  EXPECT_GE(snap.p50, 0.05);
+  EXPECT_LE(snap.p50, 0.05 * 1.4142135623730951);
+  // Sum is CAS-accumulated exactly (no racing adds in this test).
+  EXPECT_NEAR(snap.sum, 1000 * 1001 / 2 * 1e-4, 1e-9);
+}
+
+TEST(HistogramTest, CountMatchesBucketSum) {
+  Histogram histogram;
+  for (int i = 0; i < 257; ++i) histogram.Record(1e-5 * (1 + i % 13));
+  const HistogramSnapshot snap = histogram.Snapshot();
+  std::uint64_t total = 0;
+  for (const auto& [bound, count] : snap.buckets) total += count;
+  EXPECT_EQ(snap.count, total);
+  EXPECT_EQ(snap.count, 257u);
+}
+
+TEST(RegistryTest, IdempotentAndKindCollisionThrows) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("x");
+  EXPECT_EQ(counter, registry.GetCounter("x"));
+  EXPECT_NE(counter, nullptr);
+  EXPECT_THROW(registry.GetGauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.GetHistogram("x"), std::invalid_argument);
+  Gauge* gauge = registry.GetGauge("y");
+  EXPECT_EQ(gauge, registry.GetGauge("y"));
+  EXPECT_THROW(registry.GetCounter("y"), std::invalid_argument);
+}
+
+TEST(RegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetCounter("m.middle")->Add(3);
+  registry.GetGauge("g.b")->Set(1);
+  registry.GetGauge("g.a")->Set(2);
+  const MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "m.middle");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+  ASSERT_EQ(snap.gauges.size(), 2u);
+  EXPECT_EQ(snap.gauges[0].first, "g.a");
+  EXPECT_EQ(snap.gauges[1].first, "g.b");
+}
+
+// Snapshots taken while recorders hammer the registry must stay internally
+// consistent (count == bucket sum) and deterministically ordered; the
+// final quiesced snapshot must be exact. Run under TSan in CI.
+TEST(RegistryTest, SnapshotDeterminismUnderConcurrentRecording) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("events");
+  Histogram* histogram = registry.GetHistogram("latency");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> recorders;
+  recorders.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        histogram->Record(1e-5 * (1 + (t * kPerThread + i) % 97));
+      }
+    });
+  }
+  for (int i = 0; i < 50; ++i) {
+    const MetricsSnapshot snap = registry.Snapshot();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    ASSERT_EQ(snap.histograms.size(), 1u);
+    std::uint64_t bucket_sum = 0;
+    for (const auto& [bound, count] : snap.histograms[0].second.buckets) {
+      bucket_sum += count;
+    }
+    EXPECT_EQ(snap.histograms[0].second.count, bucket_sum);
+  }
+  for (auto& thread : recorders) thread.join();
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters[0].second, kThreads * kPerThread);
+  EXPECT_EQ(snap.histograms[0].second.count,
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(JsonTest, SerializesSortedAndParses) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count")->Add(7);
+  registry.GetCounter("a.count")->Add(3);
+  registry.GetGauge("depth")->Set(-4);
+  registry.GetHistogram("lat")->Record(0.5);
+  std::ostringstream out;
+  WriteMetricsJson(registry.Snapshot(), out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"b.count\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": -4"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_LT(json.find("\"a.count\""), json.find("\"b.count\""));
+  // Two snapshots of the same state serialize byte-identically.
+  std::ostringstream again;
+  WriteMetricsJson(registry.Snapshot(), again);
+  EXPECT_EQ(json, again.str());
+}
+
+TEST(JsonTest, EscapesStringsAndNonFiniteDoubles) {
+  std::ostringstream out;
+  WriteJsonString(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out.str(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+  std::ostringstream nan_out;
+  WriteJsonDouble(nan_out, std::nan(""));
+  EXPECT_EQ(nan_out.str(), "null");
+}
+
+}  // namespace
+}  // namespace ctbus::obs

@@ -1,0 +1,135 @@
+// Trace ring-buffer semantics: wraparound, enable/disable gating, trace id
+// monotonicity, snapshot ordering, and the JSON-lines dump format.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ctbus::obs {
+namespace {
+
+Span MakeSpan(std::uint64_t trace_id, const std::string& name,
+              double start = 0.0, double duration = 0.0) {
+  Span span;
+  span.trace_id = trace_id;
+  span.name = name;
+  span.start_seconds = start;
+  span.duration_seconds = duration;
+  return span;
+}
+
+TEST(TraceLogTest, DisabledRecordIsANoOp) {
+  TraceLog log(/*capacity=*/8, /*enabled=*/false);
+  EXPECT_FALSE(log.enabled());
+  log.Record(MakeSpan(1, "ignored"));
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(TraceLogTest, EnableAtRuntime) {
+  TraceLog log(/*capacity=*/8, /*enabled=*/false);
+  log.set_enabled(true);
+  log.Record(MakeSpan(1, "kept"));
+  EXPECT_EQ(log.size(), 1u);
+  log.set_enabled(false);
+  log.Record(MakeSpan(2, "dropped"));
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(TraceLogTest, TraceIdsAreMonotonicNeverZero) {
+  TraceLog log;
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t id = log.NextTraceId();
+    EXPECT_GT(id, prev);
+    EXPECT_NE(id, 0u);
+    prev = id;
+  }
+}
+
+TEST(TraceLogTest, RingWraparoundKeepsNewestOldestFirst) {
+  TraceLog log(/*capacity=*/4, /*enabled=*/true);
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    log.Record(MakeSpan(i, "span-" + std::to_string(i)));
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.capacity(), 4u);
+  EXPECT_EQ(log.total_recorded(), 10u);
+  const std::vector<Span> spans = log.Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // The four newest spans survive, oldest of them first.
+  EXPECT_EQ(spans[0].trace_id, 7u);
+  EXPECT_EQ(spans[1].trace_id, 8u);
+  EXPECT_EQ(spans[2].trace_id, 9u);
+  EXPECT_EQ(spans[3].trace_id, 10u);
+}
+
+TEST(TraceLogTest, CapacityClampedToOne) {
+  TraceLog log(/*capacity=*/0, /*enabled=*/true);
+  EXPECT_EQ(log.capacity(), 1u);
+  log.Record(MakeSpan(1, "a"));
+  log.Record(MakeSpan(2, "b"));
+  const std::vector<Span> spans = log.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 2u);
+}
+
+TEST(TraceLogTest, ClearResets) {
+  TraceLog log(/*capacity=*/4, /*enabled=*/true);
+  log.Record(MakeSpan(1, "a"));
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.total_recorded(), 0u);
+  log.Record(MakeSpan(2, "b"));
+  EXPECT_EQ(log.Snapshot().size(), 1u);
+}
+
+TEST(TraceLogTest, DumpEmitsOneJsonLinePerSpan) {
+  TraceLog log(/*capacity=*/4, /*enabled=*/true);
+  Span span = MakeSpan(7, "plan-search", 0.25, 1.5);
+  span.detail = "hit";
+  log.Record(span);
+  log.Record(MakeSpan(8, "queue \"wait\""));  // quote escaping
+  std::ostringstream out;
+  log.Dump(out);
+  const std::string dump = out.str();
+  EXPECT_NE(dump.find("{\"trace\": 7, \"span\": \"plan-search\", "
+                      "\"detail\": \"hit\", \"start\": 0.25, \"dur\": 1.5}"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\\\"wait\\\""), std::string::npos);
+  // One line per span, each ending in newline.
+  EXPECT_EQ(std::count(dump.begin(), dump.end(), '\n'), 2);
+}
+
+TEST(TraceLogTest, ConcurrentRecordingLosesNothingUnderCapacity) {
+  TraceLog log(/*capacity=*/10000, /*enabled=*/true);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(MakeSpan(log.NextTraceId(), "work"));
+      }
+    });
+  }
+  for (auto& thread : recorders) thread.join();
+  EXPECT_EQ(log.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(log.total_recorded(),
+            static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+TEST(TraceLogTest, NowAdvances) {
+  TraceLog log;
+  const double t0 = log.Now();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(log.Now(), t0);
+}
+
+}  // namespace
+}  // namespace ctbus::obs
