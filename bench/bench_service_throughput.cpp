@@ -12,6 +12,11 @@
 //   4. memory         — steady-state ApproxBytes totals and eviction /
 //                       prune counts under a sweep flood with a tight
 //                       cache byte budget and keep-latest-2 retention
+//   6. front door     — the same serving layer behind the framed-TCP
+//                       server, driven by the net/loadgen record/replay
+//                       engine; emits its own BENCH_server_throughput
+//                       report and fails on checksum drift or a busted
+//                       latency budget
 //
 // Identical checksums across configurations certify that concurrency,
 // batching, sharding, and memory budgets leave results bit-identical to
@@ -31,6 +36,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "net/loadgen.h"
 #include "service/planning_service.h"
 
 namespace {
@@ -370,8 +376,90 @@ int main() {
   report.AddChecksum("metrics_off", off_sum);
   report.AddChecksum("metrics_on", on_sum);
 
+  // ---- 6. front door ---------------------------------------------------
+  // The serving layer behind the framed-TCP front door: record a mixed
+  // interactive/sweep workload over loopback (sequential, uncontended),
+  // then replay it at 8x over 2 connections. The replay contract —
+  // bit-identical response checksums, statuses, counts, and latency
+  // budgets — is asserted here exactly as `ctbus_loadgen --replay` and
+  // CI assert it, and the section writes its own report so front-door
+  // throughput is diffable independently of the library-path numbers.
+  std::printf("\n-- front door (framed TCP: record, then 8x replay) --\n");
+  ctbus::bench::BenchReport server_report("server_throughput");
+  server_report.AddDataset(city);
+  {
+    ctbus::net::LoopbackOptions loopback_options;
+    loopback_options.preset = "chicago";
+    loopback_options.preset_scale = ctbus::bench::GetScale();
+    std::string error;
+    const auto loopback =
+        ctbus::net::StartLoopbackServer(loopback_options, &error);
+    if (loopback == nullptr) {
+      std::fprintf(stderr, "FATAL: front-door server: %s\n", error.c_str());
+      return 1;
+    }
+
+    ctbus::net::WorkloadSpec spec;
+    spec.dataset = loopback->dataset;
+    spec.requests = num_requests;
+    spec.spacing_seconds = 0.005;
+    ctbus::net::TraceFile trace = ctbus::net::MakeWorkload(spec);
+    ctbus::bench::Stopwatch record_timer;
+    if (!ctbus::net::RecordTrace(loopback->port(), &trace, &error)) {
+      std::fprintf(stderr, "FATAL: front-door record: %s\n", error.c_str());
+      return 1;
+    }
+    const double record_seconds = record_timer.Seconds();
+    const double record_qps =
+        record_seconds > 0.0 ? num_requests / record_seconds : 0.0;
+
+    ctbus::net::ReplayOptions replay_options;
+    replay_options.speedup = 8.0;
+    replay_options.connections = 2;
+    const ctbus::net::ReplayReport replay =
+        ctbus::net::ReplayTrace(loopback->port(), trace, replay_options);
+
+    std::printf("%10s %10s %12s %10s %10s %10s\n", "phase", "requests",
+                "queries/s", "p50 ms", "p95 ms", "p99 ms");
+    std::printf("%10s %10d %12.2f %10s %10s %10s\n", "record", num_requests,
+                record_qps, "-", "-", "-");
+    std::printf("%10s %10llu %12.2f %10.2f %10.2f %10.2f\n", "replay 8x",
+                static_cast<unsigned long long>(replay.responses),
+                replay.replayed_per_second, replay.p50_seconds * 1000.0,
+                replay.p95_seconds * 1000.0, replay.p99_seconds * 1000.0);
+    if (!replay.passed) {
+      std::fprintf(stderr, "FATAL: front-door replay failed the contract\n");
+      for (const std::string& violation : replay.violations) {
+        std::fprintf(stderr, "  %s\n", violation.c_str());
+      }
+      return 1;
+    }
+    std::printf("replay checksums identical to the recording "
+                "(fold %016llx); budgets held.\n",
+                static_cast<unsigned long long>(replay.checksum_fold));
+
+    server_report.AddMetric("frontdoor_record_qps", record_qps, "higher");
+    server_report.AddMetric("frontdoor_replay_qps",
+                            replay.replayed_per_second, "higher");
+    server_report.AddMetric("frontdoor_replay_p50_ms",
+                            replay.p50_seconds * 1000.0, "lower");
+    server_report.AddMetric("frontdoor_replay_p95_ms",
+                            replay.p95_seconds * 1000.0, "lower");
+    server_report.AddMetric("frontdoor_replay_p99_ms",
+                            replay.p99_seconds * 1000.0, "lower");
+    // The 64-bit fold split into exactly-representable 32-bit halves, so
+    // the diff compares the fingerprint without double rounding.
+    server_report.AddChecksum(
+        "frontdoor_fold_hi",
+        static_cast<double>(replay.checksum_fold >> 32));
+    server_report.AddChecksum(
+        "frontdoor_fold_lo",
+        static_cast<double>(replay.checksum_fold & 0xffffffffu));
+  }
+
   std::printf("\nidentical checksums certify the concurrent results match "
               "the serial ones.\n");
   report.WriteIfRequested();
+  server_report.WriteIfRequested();
   return 0;
 }

@@ -1,0 +1,31 @@
+#include "net/client.h"
+
+namespace ctbus::net {
+
+bool Client::Connect(std::uint16_t port, std::string* error) {
+  socket_ = ConnectLoopback(port, error);
+  return socket_.valid();
+}
+
+bool Client::Send(const RequestFrame& request, std::string* error) {
+  return WriteFrame(&socket_, EncodeRequestFrame(request), error);
+}
+
+bool Client::Receive(ResponseFrame* response, std::string* error) {
+  FrameHeader header;
+  std::vector<std::uint8_t> payload;
+  if (!ReadFrame(&socket_, &header, &payload, error)) return false;
+  if (header.type != FrameType::kResponse) {
+    if (error != nullptr) *error = "unexpected frame type from server";
+    return false;
+  }
+  return DecodeResponsePayload(payload.data(), payload.size(), response,
+                               error);
+}
+
+bool Client::Call(const RequestFrame& request, ResponseFrame* response,
+                  std::string* error) {
+  return Send(request, error) && Receive(response, error);
+}
+
+}  // namespace ctbus::net

@@ -1,0 +1,57 @@
+// Blocking client of the framed-TCP front door. One Client owns one
+// connection; requests may be pipelined (Send N, then Receive N — the
+// server answers in request order), and Call() wraps the common
+// send-one/receive-one round trip. Every failure is reported by
+// out-parameter diagnostic; a failed socket leaves the client invalid
+// (reconnect by constructing a new one).
+//
+// Thread-safety: one thread may Send while another Receives (the
+// underlying socket supports one reader + one writer); everything else
+// is single-threaded. The load generator gives each pacing thread its
+// own Client.
+#ifndef CTBUS_NET_CLIENT_H_
+#define CTBUS_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace ctbus::net {
+
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects to the loopback front door; false with diagnostic on
+  /// failure.
+  bool Connect(std::uint16_t port, std::string* error);
+  bool connected() const { return socket_.valid(); }
+
+  /// Sends one request frame (non-blocking in the pipelined sense: the
+  /// response is collected by a later Receive).
+  bool Send(const RequestFrame& request, std::string* error);
+
+  /// Receives the next response on this connection (request order).
+  bool Receive(ResponseFrame* response, std::string* error);
+
+  /// Send + Receive. False with diagnostic on any transport or decode
+  /// failure (application-level rejects are successful Calls — inspect
+  /// response.status).
+  bool Call(const RequestFrame& request, ResponseFrame* response,
+            std::string* error);
+
+  /// Unblocks a concurrent Receive and closes the connection.
+  void Close() {
+    socket_.Shutdown();
+    socket_.Close();
+  }
+
+ private:
+  Socket socket_;
+};
+
+}  // namespace ctbus::net
+
+#endif  // CTBUS_NET_CLIENT_H_

@@ -1,0 +1,505 @@
+#include "net/frame.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace ctbus::net {
+namespace {
+
+// ------------------------------------------------------------ writing ----
+
+void AppendU8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void AppendU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xff));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendI32(std::vector<std::uint8_t>* out, std::int32_t v) {
+  AppendU32(out, static_cast<std::uint32_t>(v));
+}
+
+void AppendF64(std::vector<std::uint8_t>* out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::vector<std::uint8_t>* out, const std::string& s) {
+  AppendU16(out, static_cast<std::uint16_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void AppendIntList(std::vector<std::uint8_t>* out,
+                   const std::vector<int>& values) {
+  AppendU32(out, static_cast<std::uint32_t>(values.size()));
+  for (int v : values) AppendI32(out, static_cast<std::int32_t>(v));
+}
+
+// ------------------------------------------------------------ reading ----
+
+/// Strict bounded cursor over one payload: every Read* checks the
+/// remaining bytes and records a "field <name>: reason" diagnostic on
+/// the first failure; once failed, every later read fails too, so call
+/// sites can chain reads and check once.
+class PayloadReader {
+ public:
+  PayloadReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  std::size_t offset() const { return offset_; }
+
+  bool ReadU8(const char* field, std::uint8_t* out) {
+    if (!Require(field, 1)) return false;
+    *out = data_[offset_++];
+    return true;
+  }
+
+  bool ReadU16(const char* field, std::uint16_t* out) {
+    if (!Require(field, 2)) return false;
+    *out = static_cast<std::uint16_t>(data_[offset_] |
+                                      (data_[offset_ + 1] << 8));
+    offset_ += 2;
+    return true;
+  }
+
+  bool ReadU32(const char* field, std::uint32_t* out) {
+    if (!Require(field, 4)) return false;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool ReadU64(const char* field, std::uint64_t* out) {
+    if (!Require(field, 8)) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 8;
+    *out = v;
+    return true;
+  }
+
+  bool ReadI32(const char* field, std::int32_t* out) {
+    std::uint32_t raw = 0;
+    if (!ReadU32(field, &raw)) return false;
+    *out = static_cast<std::int32_t>(raw);
+    return true;
+  }
+
+  bool ReadF64(const char* field, double* out) {
+    std::uint64_t bits = 0;
+    if (!ReadU64(field, &bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  /// Finite-only double: NaN/Inf from the wire must never reach the
+  /// planner (tau feeds an assert-guarded cache key, w feeds Equation 3).
+  bool ReadFiniteF64(const char* field, double* out) {
+    if (!ReadF64(field, out)) return false;
+    if (!std::isfinite(*out)) return Fail(field, "non-finite value");
+    return true;
+  }
+
+  bool ReadString(const char* field, std::size_t max_bytes,
+                  std::string* out) {
+    std::uint16_t length = 0;
+    if (!ReadU16(field, &length)) return false;
+    if (length > max_bytes) return Fail(field, "length above bound");
+    if (!Require(field, length)) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + offset_), length);
+    offset_ += length;
+    return true;
+  }
+
+  bool ReadIntList(const char* field, std::size_t max_elements,
+                   std::vector<int>* out) {
+    std::uint32_t count = 0;
+    if (!ReadU32(field, &count)) return false;
+    if (count > max_elements) return Fail(field, "element count above bound");
+    // Bounded before allocation: count was validated against max_elements,
+    // and the byte requirement is re-checked against the real payload.
+    if (!Require(field, static_cast<std::size_t>(count) * 4)) return false;
+    out->clear();
+    out->reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::int32_t v = 0;
+      ReadI32(field, &v);
+      out->push_back(static_cast<int>(v));
+    }
+    return ok();
+  }
+
+  /// The whole payload must be consumed: trailing bytes mean a framing
+  /// bug (or smuggled data) and are rejected like any bad field.
+  bool ExpectEnd() {
+    if (!ok()) return false;
+    if (offset_ != size_) {
+      return Fail("payload", "trailing bytes after last field");
+    }
+    return true;
+  }
+
+  bool Fail(const char* field, const char* reason) {
+    if (error_.empty()) {
+      error_ = std::string("field ") + field + " at offset " +
+               std::to_string(offset_) + ": " + reason;
+    }
+    return false;
+  }
+
+ private:
+  bool Require(const char* field, std::size_t bytes) {
+    if (!ok()) return false;
+    if (size_ - offset_ < bytes) return Fail(field, "truncated payload");
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+  std::string error_;
+};
+
+// ----------------------------------------------- options (de)coding ----
+
+std::uint8_t PackFlags(const core::CtBusOptions& options) {
+  std::uint8_t flags = 0;
+  if (options.use_perturbation_precompute) flags |= 1u << 0;
+  if (options.best_neighbor_only) flags |= 1u << 1;
+  if (options.use_domination_table) flags |= 1u << 2;
+  if (options.seed_all_edges) flags |= 1u << 3;
+  if (options.new_edges_only) flags |= 1u << 4;
+  return flags;
+}
+
+void UnpackFlags(std::uint8_t flags, core::CtBusOptions* options) {
+  options->use_perturbation_precompute = (flags & (1u << 0)) != 0;
+  options->best_neighbor_only = (flags & (1u << 1)) != 0;
+  options->use_domination_table = (flags & (1u << 2)) != 0;
+  options->seed_all_edges = (flags & (1u << 3)) != 0;
+  options->new_edges_only = (flags & (1u << 4)) != 0;
+}
+
+void AppendEstimator(std::vector<std::uint8_t>* out,
+                     const connectivity::EstimatorOptions& estimator) {
+  AppendI32(out, estimator.probes);
+  AppendI32(out, estimator.lanczos_steps);
+  AppendU64(out, estimator.seed);
+  AppendU8(out, static_cast<std::uint8_t>(estimator.probe_kind));
+}
+
+bool ReadEstimator(PayloadReader* reader, const char* field,
+                   connectivity::EstimatorOptions* estimator) {
+  std::int32_t probes = 0;
+  std::int32_t lanczos_steps = 0;
+  std::uint8_t probe_kind = 0;
+  if (!reader->ReadI32(field, &probes) ||
+      !reader->ReadI32(field, &lanczos_steps) ||
+      !reader->ReadU64(field, &estimator->seed) ||
+      !reader->ReadU8(field, &probe_kind)) {
+    return false;
+  }
+  if (probes < 1 || probes > 100000) {
+    return reader->Fail(field, "probes out of [1, 100000]");
+  }
+  if (lanczos_steps < 1 || lanczos_steps > 10000) {
+    return reader->Fail(field, "lanczos_steps out of [1, 10000]");
+  }
+  if (probe_kind >
+      static_cast<std::uint8_t>(connectivity::ProbeKind::kRademacher)) {
+    return reader->Fail(field, "unknown probe kind");
+  }
+  estimator->probes = probes;
+  estimator->lanczos_steps = lanczos_steps;
+  estimator->probe_kind = static_cast<connectivity::ProbeKind>(probe_kind);
+  return true;
+}
+
+void AppendRequestPayload(std::vector<std::uint8_t>* out,
+                          const RequestFrame& frame) {
+  const service::PlanRequest& request = frame.request;
+  const core::CtBusOptions& options = request.options;
+  AppendU64(out, frame.request_id);
+  AppendU32(out, frame.deadline_ms);
+  AppendString(out, request.dataset);
+  AppendU8(out, static_cast<std::uint8_t>(request.priority));
+  AppendU8(out, static_cast<std::uint8_t>(request.planner));
+  AppendU64(out, request.snapshot_version);
+  AppendI32(out, options.k);
+  AppendF64(out, options.w);
+  AppendF64(out, options.tau);
+  AppendI32(out, options.max_turns);
+  AppendI32(out, options.seed_count);
+  AppendI32(out, options.max_iterations);
+  AppendEstimator(out, options.online_estimator);
+  AppendEstimator(out, options.precompute_estimator);
+  AppendU8(out, PackFlags(options));
+}
+
+void AppendDeterministicResponse(std::vector<std::uint8_t>* out,
+                                 const ResponseFrame& response) {
+  AppendU8(out, static_cast<std::uint8_t>(response.status));
+  AppendU8(out, response.found ? 1 : 0);
+  AppendU64(out, response.snapshot_version);
+  AppendIntList(out, response.edges);
+  AppendIntList(out, response.stops);
+  AppendF64(out, response.objective);
+  AppendF64(out, response.demand);
+  AppendF64(out, response.connectivity_increment);
+  AppendI32(out, response.iterations);
+  AppendString(out, response.message);
+}
+
+std::vector<std::uint8_t> WrapFrame(FrameType type,
+                                    std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  AppendU32(&frame, kMagic);
+  AppendU16(&frame, kProtocolVersion);
+  AppendU16(&frame, static_cast<std::uint16_t>(type));
+  AppendU32(&frame, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(&frame, Fnv1a32(payload.data(), payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+}  // namespace
+
+std::uint32_t Fnv1a32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t hash = 0x811c9dc5u;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x01000193u;
+  }
+  return hash;
+}
+
+std::uint64_t Fnv1a64(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kRejectedQuota:
+      return "rejected-quota";
+    case ResponseStatus::kRejectedOverload:
+      return "rejected-overload";
+    case ResponseStatus::kRejectedDeadline:
+      return "rejected-deadline";
+    case ResponseStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::uint64_t ResponseChecksum(const ResponseFrame& response) {
+  std::vector<std::uint8_t> canonical;
+  AppendDeterministicResponse(&canonical, response);
+  return Fnv1a64(canonical.data(), canonical.size());
+}
+
+std::vector<std::uint8_t> EncodeRequestFrame(const RequestFrame& request) {
+  std::vector<std::uint8_t> payload;
+  AppendRequestPayload(&payload, request);
+  return WrapFrame(FrameType::kRequest, std::move(payload));
+}
+
+std::vector<std::uint8_t> EncodeResponseFrame(const ResponseFrame& response) {
+  std::vector<std::uint8_t> payload;
+  AppendDeterministicResponse(&payload, response);
+  AppendU64(&payload, response.request_id);
+  AppendF64(&payload, response.server_seconds);
+  AppendF64(&payload, response.queue_seconds);
+  AppendU8(&payload, response.cache_hit ? 1 : 0);
+  AppendU32(&payload, response.batch_size);
+  return WrapFrame(FrameType::kResponse, std::move(payload));
+}
+
+bool DecodeFrameHeader(const std::uint8_t* data, std::size_t size,
+                       FrameHeader* header, std::string* error) {
+  PayloadReader reader(data, size);
+  std::uint16_t type = 0;
+  if (!reader.ReadU32("magic", &header->magic) ||
+      !reader.ReadU16("version", &header->version) ||
+      !reader.ReadU16("type", &type) ||
+      !reader.ReadU32("payload_bytes", &header->payload_bytes) ||
+      !reader.ReadU32("payload_checksum", &header->payload_checksum)) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  if (header->magic != kMagic) {
+    if (error != nullptr) *error = "field magic: bad magic";
+    return false;
+  }
+  if (header->version != kProtocolVersion) {
+    if (error != nullptr) {
+      *error = "field version: unsupported protocol version " +
+               std::to_string(header->version);
+    }
+    return false;
+  }
+  if (type != static_cast<std::uint16_t>(FrameType::kRequest) &&
+      type != static_cast<std::uint16_t>(FrameType::kResponse)) {
+    if (error != nullptr) {
+      *error = "field type: unknown frame type " + std::to_string(type);
+    }
+    return false;
+  }
+  header->type = static_cast<FrameType>(type);
+  if (header->payload_bytes > kMaxPayloadBytes) {
+    if (error != nullptr) {
+      *error = "field payload_bytes: declared length " +
+               std::to_string(header->payload_bytes) + " above bound " +
+               std::to_string(kMaxPayloadBytes);
+    }
+    return false;
+  }
+  return true;
+}
+
+bool DecodeRequestPayload(const std::uint8_t* data, std::size_t size,
+                          RequestFrame* request, std::string* error) {
+  PayloadReader reader(data, size);
+  service::PlanRequest& plan = request->request;
+  core::CtBusOptions& options = plan.options;
+  options = core::CtBusOptions();  // server-side defaults for off-wire knobs
+  std::uint8_t priority = 0;
+  std::uint8_t planner = 0;
+  std::uint8_t flags = 0;
+  bool ok =
+      reader.ReadU64("request_id", &request->request_id) &&
+      reader.ReadU32("deadline_ms", &request->deadline_ms) &&
+      reader.ReadString("dataset", kMaxDatasetNameBytes, &plan.dataset) &&
+      reader.ReadU8("priority", &priority) &&
+      reader.ReadU8("planner", &planner) &&
+      reader.ReadU64("snapshot_version", &plan.snapshot_version) &&
+      reader.ReadI32("k", &options.k) &&
+      reader.ReadFiniteF64("w", &options.w) &&
+      reader.ReadFiniteF64("tau", &options.tau) &&
+      reader.ReadI32("max_turns", &options.max_turns) &&
+      reader.ReadI32("seed_count", &options.seed_count) &&
+      reader.ReadI32("max_iterations", &options.max_iterations) &&
+      ReadEstimator(&reader, "online_estimator", &options.online_estimator) &&
+      ReadEstimator(&reader, "precompute_estimator",
+                    &options.precompute_estimator) &&
+      reader.ReadU8("flags", &flags) && reader.ExpectEnd();
+  if (ok) {
+    if (plan.dataset.empty()) {
+      ok = reader.Fail("dataset", "empty dataset name");
+    } else if (priority > static_cast<std::uint8_t>(
+                              service::Priority::kSweep)) {
+      ok = reader.Fail("priority", "unknown priority");
+    } else if (planner > static_cast<std::uint8_t>(core::Planner::kVkTsp)) {
+      ok = reader.Fail("planner", "unknown planner");
+    } else if (options.k < 1 || options.k > 1000000) {
+      ok = reader.Fail("k", "out of [1, 1000000]");
+    } else if (options.w < 0.0 || options.w > 1.0) {
+      ok = reader.Fail("w", "out of [0, 1]");
+    } else if (options.tau < 0.0) {
+      ok = reader.Fail("tau", "negative");
+    } else if (options.max_turns < 0) {
+      ok = reader.Fail("max_turns", "negative");
+    } else if (options.seed_count < 0) {
+      ok = reader.Fail("seed_count", "negative");
+    } else if (options.max_iterations < 1) {
+      ok = reader.Fail("max_iterations", "non-positive");
+    }
+  }
+  if (!ok) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  plan.priority = static_cast<service::Priority>(priority);
+  plan.planner = static_cast<core::Planner>(planner);
+  UnpackFlags(flags, &options);
+  return true;
+}
+
+bool DecodeResponsePayload(const std::uint8_t* data, std::size_t size,
+                           ResponseFrame* response, std::string* error) {
+  PayloadReader reader(data, size);
+  std::uint8_t status = 0;
+  std::uint8_t found = 0;
+  std::uint8_t cache_hit = 0;
+  bool ok =
+      reader.ReadU8("status", &status) && reader.ReadU8("found", &found) &&
+      reader.ReadU64("snapshot_version", &response->snapshot_version) &&
+      reader.ReadIntList("edges", kMaxRouteElements, &response->edges) &&
+      reader.ReadIntList("stops", kMaxRouteElements, &response->stops) &&
+      reader.ReadF64("objective", &response->objective) &&
+      reader.ReadF64("demand", &response->demand) &&
+      reader.ReadF64("connectivity_increment",
+                     &response->connectivity_increment) &&
+      reader.ReadI32("iterations", &response->iterations) &&
+      reader.ReadString("message", kMaxMessageBytes, &response->message) &&
+      reader.ReadU64("request_id", &response->request_id) &&
+      reader.ReadF64("server_seconds", &response->server_seconds) &&
+      reader.ReadF64("queue_seconds", &response->queue_seconds) &&
+      reader.ReadU8("cache_hit", &cache_hit) &&
+      reader.ReadU32("batch_size", &response->batch_size) &&
+      reader.ExpectEnd();
+  if (ok && status > static_cast<std::uint8_t>(ResponseStatus::kError)) {
+    ok = reader.Fail("status", "unknown status");
+  }
+  if (!ok) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  response->status = static_cast<ResponseStatus>(status);
+  response->found = found != 0;
+  response->cache_hit = cache_hit != 0;
+  return true;
+}
+
+ResponseFrame MakeOkResponse(std::uint64_t request_id,
+                             const service::ServiceResult& result) {
+  ResponseFrame response;
+  response.request_id = request_id;
+  response.status = ResponseStatus::kOk;
+  response.found = result.plan.found;
+  response.snapshot_version = result.stats.snapshot_version;
+  response.edges = result.plan.path.edges();
+  response.stops = result.plan.path.stops();
+  response.objective = result.plan.objective;
+  response.demand = result.plan.demand;
+  response.connectivity_increment = result.plan.connectivity_increment;
+  response.iterations = result.plan.iterations;
+  response.queue_seconds = result.stats.queue_seconds;
+  response.cache_hit = result.stats.precompute_cache_hit;
+  response.batch_size = static_cast<std::uint32_t>(result.stats.batch_size);
+  return response;
+}
+
+}  // namespace ctbus::net

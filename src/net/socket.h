@@ -1,0 +1,113 @@
+// Thin POSIX TCP wrappers for the front door: a connected stream socket
+// with whole-buffer send/recv (EINTR- and partial-transfer-safe, SIGPIPE
+// suppressed via MSG_NOSIGNAL) and a listening socket bound to an
+// ephemeral or fixed port. Error reporting is by out-parameter message —
+// the net layer treats every socket failure as a per-connection event,
+// never a process-level one.
+//
+// ReadFrame/WriteFrame are the only I/O primitives the server, client,
+// and load generator use: one length-prefixed frame in or out per call,
+// with the header validated (magic / version / bounded length) BEFORE
+// the payload is allocated or read, and the payload checksum verified
+// after — so a malformed or corrupted frame is rejected at this layer
+// with a diagnostic and can never reach a decoder with unbounded input.
+//
+// Thread-safety: a Socket may be used by one reader thread and one
+// writer thread concurrently (recv and send on one fd are independent);
+// Shutdown() may be called from any thread to unblock both.
+#ifndef CTBUS_NET_SOCKET_H_
+#define CTBUS_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+
+namespace ctbus::net {
+
+/// Owning wrapper of one connected TCP socket.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Sends the whole buffer; false (with diagnostic) on any failure.
+  bool SendAll(const std::uint8_t* data, std::size_t size,
+               std::string* error);
+  /// Receives exactly `size` bytes; false on EOF or failure. A clean EOF
+  /// before the first byte reports "connection closed".
+  bool RecvAll(std::uint8_t* data, std::size_t size, std::string* error);
+
+  /// Unblocks any in-flight SendAll/RecvAll on other threads; the socket
+  /// stays owned until Close()/destruction.
+  void Shutdown();
+  /// Half-close: sends FIN (the peer reads EOF) while this side keeps
+  /// receiving — how a client signals "no more requests" mid-stream.
+  void ShutdownWrite();
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to 127.0.0.1:`port`; invalid Socket (with diagnostic) on
+/// failure. The front door is loopback/LAN infrastructure — callers
+/// needing remote hosts wrap their own addressing.
+Socket ConnectLoopback(std::uint16_t port, std::string* error);
+
+/// Listening TCP socket on 127.0.0.1 (port 0 = kernel-assigned; the
+/// resolved port is readable afterwards).
+class ListenSocket {
+ public:
+  ListenSocket() = default;
+  ~ListenSocket() { Close(); }
+
+  ListenSocket(const ListenSocket&) = delete;
+  ListenSocket& operator=(const ListenSocket&) = delete;
+
+  /// Binds and listens; false (with diagnostic) on failure.
+  bool Listen(std::uint16_t port, std::string* error);
+  /// Blocks for one connection; invalid Socket on failure (including a
+  /// concurrent Close(), which is the accept loop's shutdown signal).
+  Socket Accept(std::string* error);
+  /// Resolved port (after Listen succeeded).
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Safe from any thread while Accept blocks: wakes it (accept fails)
+  /// without touching the descriptor, so no thread observes a closed or
+  /// reused fd. Call Close() only after the accept thread is joined.
+  void Shutdown();
+  /// Closes the descriptor. NOT safe concurrently with Accept — use
+  /// Shutdown() + join first.
+  void Close();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Receives one complete frame: header (validated via DecodeFrameHeader
+/// before the payload allocation) then payload (checksum verified).
+/// False with a diagnostic on EOF, socket error, malformed header, or
+/// checksum mismatch.
+bool ReadFrame(Socket* socket, FrameHeader* header,
+               std::vector<std::uint8_t>* payload, std::string* error);
+
+/// Sends one pre-encoded frame (EncodeRequestFrame/EncodeResponseFrame).
+bool WriteFrame(Socket* socket, const std::vector<std::uint8_t>& frame,
+                std::string* error);
+
+}  // namespace ctbus::net
+
+#endif  // CTBUS_NET_SOCKET_H_

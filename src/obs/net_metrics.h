@@ -1,0 +1,41 @@
+// Stable metric names of the network front door (net::Server records
+// them into its obs::MetricsRegistry). Centralized here — next to the
+// registry they land in — so the name spelling is shared by the server,
+// the tests that reconcile counters against responses, and any dashboard
+// reading the server's metrics JSON. Like the service.* names
+// (service/planning_service.h), these are stable API: rename only with
+// a deprecation note.
+//
+//   net.connections.opened / closed   counters, one per accepted socket
+//   net.connections.active            gauge, currently served sockets
+//   net.requests.received             valid request frames decoded
+//   net.requests.ok                   responses with status ok
+//   net.rejected.quota                shed: per-connection in-flight quota
+//   net.rejected.overload             shed: shard queue full (kReject)
+//   net.rejected.deadline             shed: completed past deadline_ms
+//   net.errors                        responses with status error
+//   net.frames.malformed              frames dropped by the decoder
+//   net.bytes.received / sent         frame bytes on/off the wire
+//   net.latency.server                histogram, receive -> response send
+#ifndef CTBUS_OBS_NET_METRICS_H_
+#define CTBUS_OBS_NET_METRICS_H_
+
+namespace ctbus::obs {
+
+inline constexpr char kNetConnectionsOpened[] = "net.connections.opened";
+inline constexpr char kNetConnectionsClosed[] = "net.connections.closed";
+inline constexpr char kNetConnectionsActive[] = "net.connections.active";
+inline constexpr char kNetRequestsReceived[] = "net.requests.received";
+inline constexpr char kNetRequestsOk[] = "net.requests.ok";
+inline constexpr char kNetRejectedQuota[] = "net.rejected.quota";
+inline constexpr char kNetRejectedOverload[] = "net.rejected.overload";
+inline constexpr char kNetRejectedDeadline[] = "net.rejected.deadline";
+inline constexpr char kNetErrors[] = "net.errors";
+inline constexpr char kNetFramesMalformed[] = "net.frames.malformed";
+inline constexpr char kNetBytesReceived[] = "net.bytes.received";
+inline constexpr char kNetBytesSent[] = "net.bytes.sent";
+inline constexpr char kNetLatencyServer[] = "net.latency.server";
+
+}  // namespace ctbus::obs
+
+#endif  // CTBUS_OBS_NET_METRICS_H_

@@ -1,0 +1,238 @@
+// Replay determinism: a workload recorded on the committed grid
+// fixtures replays at 1x and 8x with bit-identical checksums, statuses,
+// and counts; the golden trace under tests/data/ is the committed
+// regression gate (re-recording it must reproduce it exactly, and any
+// checksum drift must fail the replay); and trace files themselves
+// parse strictly with path:line diagnostics.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "net/loadgen.h"
+#include "net/trace_file.h"
+
+namespace ctbus::net {
+namespace {
+
+#ifndef CTBUS_TEST_DATA_DIR
+#error "CTBUS_TEST_DATA_DIR must point at the committed fixtures"
+#endif
+
+/// The golden trace's exact generation parameters. Changing any of
+/// these (or the workload generator, the wire format, the planner, or
+/// the grid fixtures) requires re-recording tests/data/golden_grid.trace
+/// — which is the point: the trace pins all of them at once.
+WorkloadSpec GoldenSpec() {
+  WorkloadSpec spec;
+  spec.dataset = "grid";
+  spec.requests = 12;
+  spec.seed = 7;
+  spec.spacing_seconds = 0.01;
+  spec.sweep_fraction = 0.5;
+  return spec;
+}
+
+std::string GoldenTracePath() {
+  return std::string(CTBUS_TEST_DATA_DIR) + "/golden_grid.trace";
+}
+
+std::unique_ptr<LoopbackServer> StartGridServer() {
+  LoopbackOptions options;
+  options.fixture_dir = CTBUS_TEST_DATA_DIR;
+  options.dataset_name = "grid";
+  std::string error;
+  auto loopback = StartLoopbackServer(options, &error);
+  EXPECT_NE(loopback, nullptr) << error;
+  return loopback;
+}
+
+TEST(NetReplay, TraceFileRoundTripsByteIdentically) {
+  auto loopback = StartGridServer();
+  ASSERT_NE(loopback, nullptr);
+  TraceFile trace = MakeWorkload(GoldenSpec());
+  std::string error;
+  ASSERT_TRUE(RecordTrace(loopback->port(), &trace, &error)) << error;
+
+  const std::string path = ::testing::TempDir() + "net_replay_roundtrip.trace";
+  ASSERT_TRUE(WriteTraceFile(path, trace, &error)) << error;
+  TraceFile reread;
+  ASSERT_TRUE(ReadTraceFile(path, &reread, &error)) << error;
+  ASSERT_EQ(reread.records.size(), trace.records.size());
+  ASSERT_EQ(reread.dataset, trace.dataset);
+  for (std::size_t i = 0; i < trace.records.size(); ++i) {
+    const TraceRecord& a = trace.records[i];
+    const TraceRecord& b = reread.records[i];
+    EXPECT_EQ(a.offset_seconds, b.offset_seconds);
+    EXPECT_EQ(a.deadline_ms, b.deadline_ms);
+    EXPECT_EQ(a.request.priority, b.request.priority);
+    EXPECT_EQ(a.request.planner, b.request.planner);
+    EXPECT_EQ(a.request.snapshot_version, b.request.snapshot_version);
+    EXPECT_EQ(a.request.options.k, b.request.options.k);
+    EXPECT_EQ(a.request.options.w, b.request.options.w);
+    EXPECT_EQ(a.request.options.tau, b.request.options.tau);
+    EXPECT_EQ(a.request.options.online_estimator.seed,
+              b.request.options.online_estimator.seed);
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.response_checksum, b.response_checksum);
+  }
+  // Serialization is canonical: writing the reread trace is
+  // byte-identical to the first write.
+  const std::string second_path = path + ".2";
+  ASSERT_TRUE(WriteTraceFile(second_path, reread, &error)) << error;
+  std::ifstream first(path), second(second_path);
+  std::string first_content((std::istreambuf_iterator<char>(first)),
+                            std::istreambuf_iterator<char>());
+  std::string second_content((std::istreambuf_iterator<char>(second)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_EQ(first_content, second_content);
+  std::remove(path.c_str());
+  std::remove(second_path.c_str());
+}
+
+TEST(NetReplay, OneXAndEightXReplaysAreBitIdentical) {
+  auto loopback = StartGridServer();
+  ASSERT_NE(loopback, nullptr);
+  TraceFile trace = MakeWorkload(GoldenSpec());
+  std::string error;
+  ASSERT_TRUE(RecordTrace(loopback->port(), &trace, &error)) << error;
+
+  ReplayOptions slow;
+  slow.speedup = 1.0;
+  slow.connections = 1;
+  const ReplayReport at_1x = ReplayTrace(loopback->port(), trace, slow);
+  EXPECT_TRUE(at_1x.passed) << (at_1x.violations.empty()
+                                    ? "no violation recorded"
+                                    : at_1x.violations.front());
+  EXPECT_EQ(at_1x.requests, trace.records.size());
+  EXPECT_EQ(at_1x.responses, trace.records.size());
+  EXPECT_EQ(at_1x.checksum_mismatches, 0u);
+  EXPECT_EQ(at_1x.status_mismatches, 0u);
+
+  ReplayOptions fast;
+  fast.speedup = 8.0;
+  fast.connections = 2;
+  const ReplayReport at_8x = ReplayTrace(loopback->port(), trace, fast);
+  EXPECT_TRUE(at_8x.passed) << (at_8x.violations.empty()
+                                    ? "no violation recorded"
+                                    : at_8x.violations.front());
+  EXPECT_EQ(at_8x.responses, at_1x.responses);
+  EXPECT_EQ(at_8x.ok_responses, at_1x.ok_responses);
+  EXPECT_EQ(at_8x.checksum_mismatches, 0u);
+  EXPECT_EQ(at_8x.status_mismatches, 0u);
+  // Same responses in aggregate, regardless of speed or fan-out.
+  EXPECT_EQ(at_8x.checksum_fold, at_1x.checksum_fold);
+}
+
+// The committed golden trace: replay must PASS against a fresh server
+// over the committed fixtures, and re-recording the pinned workload must
+// reproduce the committed outcomes exactly. Drift in either direction —
+// planner, wire format, fixtures, or workload generator — fails here.
+TEST(NetReplay, GoldenTraceReplaysAndRerecordsExactly) {
+  TraceFile golden;
+  std::string error;
+  ASSERT_TRUE(ReadTraceFile(GoldenTracePath(), &golden, &error)) << error;
+  ASSERT_EQ(golden.dataset, "grid");
+  ASSERT_EQ(golden.records.size(), 12u);
+
+  auto loopback = StartGridServer();
+  ASSERT_NE(loopback, nullptr);
+  ReplayOptions options;
+  options.speedup = 8.0;
+  const ReplayReport report = ReplayTrace(loopback->port(), golden, options);
+  EXPECT_TRUE(report.passed) << (report.violations.empty()
+                                     ? "no violation recorded"
+                                     : report.violations.front());
+  EXPECT_EQ(report.responses, golden.records.size());
+  EXPECT_EQ(report.checksum_mismatches, 0u);
+
+  TraceFile rerecorded = MakeWorkload(GoldenSpec());
+  ASSERT_TRUE(RecordTrace(loopback->port(), &rerecorded, &error)) << error;
+  ASSERT_EQ(rerecorded.records.size(), golden.records.size());
+  for (std::size_t i = 0; i < golden.records.size(); ++i) {
+    EXPECT_EQ(rerecorded.records[i].status, golden.records[i].status)
+        << "record " << i;
+    EXPECT_EQ(rerecorded.records[i].response_checksum,
+              golden.records[i].response_checksum)
+        << "record " << i;
+  }
+}
+
+TEST(NetReplay, ChecksumDriftFailsTheReplay) {
+  TraceFile golden;
+  std::string error;
+  ASSERT_TRUE(ReadTraceFile(GoldenTracePath(), &golden, &error)) << error;
+  golden.records[0].response_checksum ^= 1;
+
+  auto loopback = StartGridServer();
+  ASSERT_NE(loopback, nullptr);
+  ReplayOptions options;
+  options.speedup = 8.0;
+  const ReplayReport report = ReplayTrace(loopback->port(), golden, options);
+  EXPECT_FALSE(report.passed);
+  EXPECT_EQ(report.checksum_mismatches, 1u);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().find("checksum"), std::string::npos);
+}
+
+TEST(NetReplay, BustedLatencyBudgetFailsTheReplay) {
+  TraceFile golden;
+  std::string error;
+  ASSERT_TRUE(ReadTraceFile(GoldenTracePath(), &golden, &error)) << error;
+
+  auto loopback = StartGridServer();
+  ASSERT_NE(loopback, nullptr);
+  ReplayOptions options;
+  options.speedup = 8.0;
+  options.budgets.p50_seconds = 0.0;  // nothing is that fast
+  options.budgets.p95_seconds = 0.0;
+  options.budgets.p99_seconds = 0.0;
+  const ReplayReport report = ReplayTrace(loopback->port(), golden, options);
+  EXPECT_FALSE(report.passed);
+  // Outcomes still matched — only the budgets failed.
+  EXPECT_EQ(report.checksum_mismatches, 0u);
+  ASSERT_FALSE(report.violations.empty());
+  EXPECT_NE(report.violations.front().find("over budget"), std::string::npos);
+}
+
+TEST(NetReplay, MalformedTraceFilesRejectedWithDiagnostics) {
+  const std::string path = ::testing::TempDir() + "net_replay_bad.trace";
+  auto write_and_parse = [&path](const std::string& content) {
+    std::ofstream out(path);
+    out << content;
+    out.close();
+    TraceFile trace;
+    std::string error;
+    EXPECT_FALSE(ReadTraceFile(path, &trace, &error));
+    EXPECT_NE(error.find(path), std::string::npos) << error;
+    return error;
+  };
+
+  EXPECT_NE(write_and_parse("ctbus-trace-v2 dataset=grid records=0\n")
+                .find("unknown trace format"),
+            std::string::npos);
+  EXPECT_NE(write_and_parse("ctbus-trace-v1 records=0\n")
+                .find("missing dataset"),
+            std::string::npos);
+  EXPECT_NE(write_and_parse("ctbus-trace-v1 dataset=grid records=2\n")
+                .find("declares 2 records"),
+            std::string::npos);
+  // A record with a malformed double offset.
+  EXPECT_NE(write_and_parse("ctbus-trace-v1 dataset=grid records=1\n"
+                            "zero 0 0 1 1 4 0.3 500 3 100 100 "
+                            "12 6 0000000000000003 0 5 5 0000000000000007 0 "
+                            "6 0 0000000000000000\n")
+                .find("offset_seconds"),
+            std::string::npos);
+  // A record with trailing garbage.
+  EXPECT_NE(write_and_parse("ctbus-trace-v1 dataset=grid records=1\n"
+                            "0 0 0 1 1 4 0.3 500 3 100 100 "
+                            "12 6 0000000000000003 0 5 5 0000000000000007 0 "
+                            "6 0 0000000000000000 extra\n")
+                .find("trailing"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ctbus::net

@@ -1,0 +1,175 @@
+// ctbus_server: the framed-TCP front door (src/net) over a
+// PlanningService, serving a gen:: preset or on-disk fixture dataset on
+// 127.0.0.1. Prints "listening on 127.0.0.1:<port> dataset=<name>" once
+// ready, serves until SIGINT/SIGTERM, then prints the final net.*
+// metrics snapshot.
+//
+// Usage:
+//   ctbus_server [--port N] [--preset NAME | --fixture-dir DIR]
+//                [--dataset NAME] [--scale X] [--threads N] [--queue N]
+//                [--batch N] [--quota N] [--reject-on-overflow]
+//                [--log-requests]
+//
+// Defaults: ephemeral port, preset "midtown", 1 worker, queue 1024,
+// batch 8, quota 64, OverflowPolicy::kBlock, request log off.
+// --reject-on-overflow switches the shard queues to kReject so a full
+// queue sheds load as kRejectedOverload instead of blocking the reader.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <semaphore.h>
+#include <string>
+
+#include "io/parse.h"
+#include "net/server.h"
+#include "service/dataset_catalog.h"
+#include "service/planning_service.h"
+
+namespace {
+
+sem_t g_stop_sem;
+
+void HandleSignal(int) { sem_post(&g_stop_sem); }
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "ctbus_server: %s\n", message.c_str());
+  std::exit(2);
+}
+
+struct Args {
+  int port = 0;
+  std::string preset;
+  std::string fixture_dir;
+  std::string dataset;
+  double scale = 1.0;
+  int threads = 1;
+  int queue = 1024;
+  int batch = 8;
+  int quota = 64;
+  bool reject_on_overflow = false;
+  bool log_requests = false;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Die("flag " + flag + " needs a value");
+      return argv[++i];
+    };
+    auto int_value = [&](int min_value) {
+      const std::string token = value();
+      int parsed = 0;
+      if (!ctbus::io::ParseInt(token, &parsed) || parsed < min_value) {
+        Die("flag " + flag + ": bad value \"" + token + "\"");
+      }
+      return parsed;
+    };
+    if (flag == "--port") {
+      args.port = int_value(0);
+      if (args.port > 65535) Die("--port out of range");
+    } else if (flag == "--preset") {
+      args.preset = value();
+    } else if (flag == "--fixture-dir") {
+      args.fixture_dir = value();
+    } else if (flag == "--dataset") {
+      args.dataset = value();
+    } else if (flag == "--scale") {
+      const std::string token = value();
+      if (!ctbus::io::ParseDouble(token, &args.scale) || args.scale <= 0.0) {
+        Die("flag --scale: bad value \"" + token + "\"");
+      }
+    } else if (flag == "--threads") {
+      args.threads = int_value(1);
+    } else if (flag == "--queue") {
+      args.queue = int_value(1);
+    } else if (flag == "--batch") {
+      args.batch = int_value(1);
+    } else if (flag == "--quota") {
+      args.quota = int_value(1);
+    } else if (flag == "--reject-on-overflow") {
+      args.reject_on_overflow = true;
+    } else if (flag == "--log-requests") {
+      args.log_requests = true;
+    } else {
+      Die("unknown flag " + flag);
+    }
+  }
+  if (!args.preset.empty() && !args.fixture_dir.empty()) {
+    Die("--preset and --fixture-dir are mutually exclusive");
+  }
+  if (args.preset.empty() && args.fixture_dir.empty()) {
+    args.preset = "midtown";
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  ctbus::service::ServiceOptions service_options;
+  service_options.num_threads = args.threads;
+  service_options.queue_capacity = static_cast<std::size_t>(args.queue);
+  service_options.max_batch_size = static_cast<std::size_t>(args.batch);
+  service_options.overflow_policy =
+      args.reject_on_overflow ? ctbus::service::OverflowPolicy::kReject
+                              : ctbus::service::OverflowPolicy::kBlock;
+  ctbus::service::PlanningService service(service_options);
+
+  std::string dataset;
+  if (!args.preset.empty()) {
+    dataset = args.dataset.empty() ? args.preset : args.dataset;
+    try {
+      service.RegisterPreset(args.preset, args.scale);
+    } catch (const std::exception& e) {
+      Die(e.what());
+    }
+    if (dataset != args.preset) {
+      // RegisterPreset registers under the preset name; --dataset only
+      // renames fixture datasets.
+      dataset = args.preset;
+    }
+  } else {
+    dataset = args.dataset.empty() ? "grid" : args.dataset;
+    ctbus::service::DatasetCatalog catalog(&service);
+    ctbus::service::DatasetDescriptor descriptor;
+    descriptor.name = dataset;
+    descriptor.road_path = args.fixture_dir + "/grid_road.tsv";
+    descriptor.transit_path = args.fixture_dir + "/grid_transit.tsv";
+    descriptor.trips_path = args.fixture_dir + "/grid_trips.csv";
+    std::string error;
+    if (!catalog.Register(descriptor, &error)) Die(error);
+  }
+
+  ctbus::net::ServerOptions server_options;
+  server_options.port = static_cast<std::uint16_t>(args.port);
+  server_options.max_inflight_per_client =
+      static_cast<std::size_t>(args.quota);
+  server_options.log = args.log_requests ? &std::cerr : nullptr;
+  ctbus::net::Server server(&service, server_options);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    Die(e.what());
+  }
+
+  sem_init(&g_stop_sem, 0, 0);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  std::printf("listening on 127.0.0.1:%u dataset=%s\n",
+              static_cast<unsigned>(server.port()), dataset.c_str());
+  std::fflush(stdout);
+  while (sem_wait(&g_stop_sem) != 0) {
+  }
+
+  server.Stop();
+  std::printf("shutdown metrics: ");
+  std::fflush(stdout);
+  ctbus::obs::WriteMetricsJson(server.MetricsSnapshot(), std::cout);
+  std::cout << '\n';
+  return 0;
+}

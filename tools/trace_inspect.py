@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Inspect ctbus-trace-v1 files (net/trace_file.h) without a build.
+
+Usage:
+  tools/trace_inspect.py TRACE [more traces...] [--records]
+
+For each trace the tool validates the format strictly — the same header
+and per-record field grammar the C++ reader enforces, so a trace this
+tool accepts will load — and prints a summary: dataset, record count,
+timeline span, status / priority / planner mix, and the distinct
+response checksums (the replay contract's fingerprints). With --records
+it also prints one table row per record.
+
+Exit status: 0 = all traces valid, 1 = any malformed trace,
+2 = usage error.
+"""
+
+import argparse
+import sys
+
+FORMAT_NAME = "ctbus-trace-v1"
+
+STATUS_NAMES = {
+    0: "ok",
+    1: "rejected-quota",
+    2: "rejected-overload",
+    3: "rejected-deadline",
+    4: "error",
+}
+PRIORITY_NAMES = {0: "interactive", 1: "sweep"}
+PLANNER_NAMES = {0: "eta", 1: "eta-pre", 2: "vk-tsp"}
+
+# (field, kind) in exact line order; hex fields are 16-digit u64s.
+RECORD_FIELDS = [
+    ("offset_seconds", "float"),
+    ("deadline_ms", "int"),
+    ("priority", "int"),
+    ("planner", "int"),
+    ("snapshot_version", "int"),
+    ("k", "int"),
+    ("w", "float"),
+    ("tau", "float"),
+    ("max_turns", "int"),
+    ("seed_count", "int"),
+    ("max_iterations", "int"),
+    ("online_probes", "int"),
+    ("online_lanczos", "int"),
+    ("online_seed", "hex"),
+    ("online_kind", "int"),
+    ("pre_probes", "int"),
+    ("pre_lanczos", "int"),
+    ("pre_seed", "hex"),
+    ("pre_kind", "int"),
+    ("flags", "int"),
+    ("status", "int"),
+    ("checksum", "hex"),
+]
+
+
+class TraceError(Exception):
+    pass
+
+
+def parse_token(path, line_number, field, kind, token):
+    try:
+        if kind == "int":
+            value = int(token, 10)
+            if value < 0:
+                raise ValueError
+            return value
+        if kind == "hex":
+            if len(token) > 16 or token != token.lower():
+                raise ValueError
+            return int(token, 16)
+        value = float(token)
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError
+        return value
+    except ValueError:
+        raise TraceError(
+            f"{path}:{line_number}: field {field}: malformed {kind} "
+            f'"{token}"'
+        ) from None
+
+
+def parse_trace(path):
+    """Returns (dataset, records) where each record is a field dict."""
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise TraceError(f"{path}:1: empty trace file")
+
+    header = lines[0].split()
+    if not header or header[0] != FORMAT_NAME:
+        raise TraceError(
+            f'{path}:1: unknown trace format '
+            f'"{header[0] if header else ""}"'
+        )
+    dataset = None
+    declared = None
+    for field in header[1:]:
+        key, eq, value = field.partition("=")
+        if not eq:
+            raise TraceError(f'{path}:1: malformed header field "{field}"')
+        if key == "dataset":
+            dataset = value
+        elif key == "records":
+            declared = parse_token(path, 1, "records", "int", value)
+        else:
+            raise TraceError(f'{path}:1: unknown header key "{key}"')
+    if not dataset:
+        raise TraceError(f"{path}:1: header missing dataset=")
+
+    records = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        tokens = line.split()
+        if len(tokens) != len(RECORD_FIELDS):
+            raise TraceError(
+                f"{path}:{line_number}: expected {len(RECORD_FIELDS)} "
+                f"fields, found {len(tokens)}"
+            )
+        record = {}
+        for (field, kind), token in zip(RECORD_FIELDS, tokens):
+            record[field] = parse_token(path, line_number, field, kind, token)
+        if record["status"] not in STATUS_NAMES:
+            raise TraceError(
+                f"{path}:{line_number}: unknown status {record['status']}"
+            )
+        records.append(record)
+    if declared is not None and declared != len(records):
+        raise TraceError(
+            f"{path}: header declares {declared} records but file "
+            f"holds {len(records)}"
+        )
+    return dataset, records
+
+
+def mix(records, field, names):
+    counts = {}
+    for record in records:
+        name = names.get(record[field], str(record[field]))
+        counts[name] = counts.get(name, 0) + 1
+    return ", ".join(f"{name}={count}" for name, count in sorted(counts.items()))
+
+
+def print_summary(path, dataset, records):
+    print(f"{path}: {FORMAT_NAME} dataset={dataset} records={len(records)}")
+    if not records:
+        return
+    offsets = [record["offset_seconds"] for record in records]
+    print(f"  timeline: {min(offsets):.3f}s .. {max(offsets):.3f}s")
+    print(f"  status:   {mix(records, 'status', STATUS_NAMES)}")
+    print(f"  priority: {mix(records, 'priority', PRIORITY_NAMES)}")
+    print(f"  planner:  {mix(records, 'planner', PLANNER_NAMES)}")
+    checksums = sorted({record["checksum"] for record in records})
+    shown = ", ".join(f"{checksum:016x}" for checksum in checksums[:8])
+    more = "" if len(checksums) <= 8 else f" (+{len(checksums) - 8} more)"
+    print(f"  checksums: {len(checksums)} distinct: {shown}{more}")
+
+
+def print_records(records):
+    print(
+        f"  {'#':>3} {'offset':>8} {'prio':>11} {'planner':>8} "
+        f"{'k':>3} {'w':>5} {'status':>17} {'checksum':>16}"
+    )
+    for index, record in enumerate(records):
+        print(
+            f"  {index:>3} {record['offset_seconds']:>8.3f} "
+            f"{PRIORITY_NAMES.get(record['priority'], '?'):>11} "
+            f"{PLANNER_NAMES.get(record['planner'], '?'):>8} "
+            f"{record['k']:>3} {record['w']:>5.2f} "
+            f"{STATUS_NAMES[record['status']]:>17} "
+            f"{record['checksum']:016x}"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Inspect ctbus-trace-v1 files."
+    )
+    parser.add_argument("traces", nargs="+", metavar="TRACE")
+    parser.add_argument(
+        "--records", action="store_true", help="print one row per record"
+    )
+    args = parser.parse_args()
+
+    failed = False
+    for path in args.traces:
+        try:
+            dataset, records = parse_trace(path)
+        except OSError as error:
+            print(f"{path}: {error}", file=sys.stderr)
+            failed = True
+            continue
+        except TraceError as error:
+            print(f"MALFORMED {error}", file=sys.stderr)
+            failed = True
+            continue
+        print_summary(path, dataset, records)
+        if args.records:
+            print_records(records)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
