@@ -1,0 +1,157 @@
+// Estimator kernel microbench: adjacency-list matvec vs the frozen CSR
+// kernel, per-probe serial Lanczos quadrature vs the fused ApplyBatch path
+// (ISSUE 8's tentpole). Reports GFLOP-equivalent throughput (2 * nnz
+// flops per matvec) and bit-identity checksums — the batched path must
+// reproduce the serial results exactly, so a drifting checksum here means
+// the determinism contract broke, not that a tolerance moved.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "gen/datasets.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/hutchinson.h"
+#include "linalg/rng.h"
+#include "linalg/sparse_matrix.h"
+
+namespace {
+
+using ctbus::bench::Stopwatch;
+
+double Gflops(double matvecs, double nnz, double seconds) {
+  return seconds > 0.0 ? matvecs * 2.0 * nnz / seconds / 1e9 : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  ctbus::bench::PrintHeader(
+      "estimator matvec kernel (adjacency list vs frozen CSR, serial vs "
+      "batched probes)",
+      "Section 5.1: the Lanczos matvec dominates trace estimation; the "
+      "batch path shares one matrix traversal across all probes");
+  const double scale = ctbus::bench::GetScale();
+  const ctbus::gen::Dataset city = ctbus::gen::MakeChicagoLike(scale);
+  ctbus::bench::PrintDataset(city);
+  std::printf("\n");
+
+  ctbus::bench::BenchReport report("matvec");
+  report.AddDataset(city);
+
+  const ctbus::linalg::SymmetricSparseMatrix adjacency =
+      city.transit.AdjacencyMatrix();
+  const ctbus::linalg::CsrMatrix csr = adjacency.Freeze();
+  const double nnz = static_cast<double>(csr.num_values());
+  const int n = adjacency.dim();
+
+  // The precompute estimator's shape: 8 pinned probes, 8 Lanczos steps.
+  // Rounds are sized off nnz so each section does a fixed amount of work
+  // regardless of CTBUS_SCALE; small transit graphs get many repetitions.
+  const int probes = 8;
+  const int steps = 8;
+  const int rounds = std::max(
+      20, static_cast<int>(4e6 / std::max<double>(1.0, nnz * probes)));
+  const int est_rounds = std::max(5, rounds / 32);
+  ctbus::linalg::Rng rng(11);
+  const auto probe_vectors =
+      ctbus::linalg::MakeGaussianProbes(n, probes, &rng);
+
+  // Raw matvec: one traversal per probe vs one traversal for all lanes.
+  {
+    std::vector<double> y(n);
+    double sink = 0.0;
+    const Stopwatch adj_timer;
+    for (int r = 0; r < rounds; ++r) {
+      for (const auto& v : probe_vectors) {
+        adjacency.Apply(v, &y);
+        sink += y[0];
+      }
+    }
+    const double adj_seconds = adj_timer.Seconds();
+
+    const Stopwatch csr_timer;
+    for (int r = 0; r < rounds; ++r) {
+      for (const auto& v : probe_vectors) {
+        csr.Apply(v, &y);
+        sink += y[0];
+      }
+    }
+    const double csr_seconds = csr_timer.Seconds();
+
+    std::vector<double> x_soa(static_cast<std::size_t>(n) * probes);
+    for (int i = 0; i < n; ++i) {
+      for (int b = 0; b < probes; ++b) x_soa[i * probes + b] = probe_vectors[b][i];
+    }
+    std::vector<double> y_soa(x_soa.size());
+    const Stopwatch batch_timer;
+    for (int r = 0; r < rounds; ++r) {
+      csr.ApplyBatch(x_soa.data(), probes, y_soa.data());
+      sink += y_soa[0];
+    }
+    const double batch_seconds = batch_timer.Seconds();
+
+    const double matvecs = static_cast<double>(rounds) * probes;
+    std::printf("-- raw matvec (%d rounds x %d probes, nnz=%.0f) --\n",
+                rounds, probes, nnz);
+    std::printf("adjacency list: %.4fs  %.3f GFLOP/s\n", adj_seconds,
+                Gflops(matvecs, nnz, adj_seconds));
+    std::printf("CSR serial:     %.4fs  %.3f GFLOP/s  speedup=%.2fx\n",
+                csr_seconds, Gflops(matvecs, nnz, csr_seconds),
+                csr_seconds > 0.0 ? adj_seconds / csr_seconds : 0.0);
+    std::printf("CSR batched:    %.4fs  %.3f GFLOP/s  speedup=%.2fx  "
+                "(sink=%.6g)\n\n",
+                batch_seconds, Gflops(matvecs, nnz, batch_seconds),
+                batch_seconds > 0.0 ? adj_seconds / batch_seconds : 0.0,
+                sink);
+    report.AddMetric("apply_adjacency_gflops",
+                     Gflops(matvecs, nnz, adj_seconds), "higher");
+    report.AddMetric("apply_csr_gflops", Gflops(matvecs, nnz, csr_seconds),
+                     "higher");
+    report.AddMetric("apply_csr_batched_gflops",
+                     Gflops(matvecs, nnz, batch_seconds), "higher");
+  }
+
+  // Full trace estimate: per-probe serial quadrature vs the fused batch.
+  {
+    double serial_sum = 0.0;
+    const Stopwatch serial_timer;
+    for (int r = 0; r < est_rounds; ++r) {
+      serial_sum =
+          ctbus::linalg::EstimateTraceExpWithProbes(adjacency, probe_vectors,
+                                                    steps);
+    }
+    const double serial_seconds = serial_timer.Seconds();
+
+    double batched_sum = 0.0;
+    const Stopwatch batched_timer;
+    for (int r = 0; r < est_rounds; ++r) {
+      batched_sum =
+          ctbus::linalg::EstimateTraceExpBatched(csr, probe_vectors, steps);
+    }
+    const double batched_seconds = batched_timer.Seconds();
+
+    const bool identical = serial_sum == batched_sum;
+    std::printf("-- trace estimate (probes=%d, steps=%d, %d rounds) --\n",
+                probes, steps, est_rounds);
+    std::printf("serial per-probe: %.4fs\n", serial_seconds);
+    std::printf("fused batch:      %.4fs  speedup=%.2fx  "
+                "bit-identical=%s\n\n",
+                batched_seconds,
+                batched_seconds > 0.0 ? serial_seconds / batched_seconds : 0.0,
+                identical ? "yes" : "NO");
+    report.AddMetric("estimate_serial_seconds", serial_seconds, "lower");
+    report.AddMetric("estimate_batched_seconds", batched_seconds, "lower");
+    report.AddMetric(
+        "estimate_batched_speedup",
+        batched_seconds > 0.0 ? serial_seconds / batched_seconds : 0.0,
+        "higher");
+    report.AddMetric("estimate_bit_identical", identical ? 1.0 : 0.0,
+                     "higher");
+    report.AddChecksum("trace_estimate", serial_sum);
+    report.AddChecksum("trace_estimate_batched", batched_sum);
+  }
+
+  report.WriteIfRequested();
+  return 0;
+}

@@ -3,14 +3,27 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 namespace ctbus::connectivity {
 
 namespace {
 
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
 double TopEigenvalueOrZero(const std::vector<double>& top, int i) {
   if (i < static_cast<int>(top.size())) return top[i];
   return 0.0;
+}
+
+// log(e^a + e^b) without overflow: shift by the max so every exponent is
+// <= 0. Handles a or b == -inf (an absent term).
+double LogSumExp2(double a, double b) {
+  if (a == kNegInf) return b;
+  if (b == kNegInf) return a;
+  const double hi = std::max(a, b);
+  const double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
 }
 
 }  // namespace
@@ -27,9 +40,15 @@ std::vector<double> PathGraphEigenvalues(int k) {
 double EstradaUpperBound(int num_vertices, int num_edges, int k) {
   assert(num_vertices >= 1);
   assert(num_edges >= 0 && k >= 0);
-  const double m = static_cast<double>(num_edges + k);
-  return std::log(1.0 + (std::exp(std::sqrt(2.0 * m)) - 1.0) /
-                            static_cast<double>(num_vertices));
+  const double m = static_cast<double>(num_edges) + static_cast<double>(k);
+  const double s = std::sqrt(2.0 * m);
+  // ln(1 + (e^s - 1)/n) = ln(n - 1 + e^s) - ln(n), evaluated in log space:
+  // the naive std::exp(s) overflows to +inf once s > ~709 (|E| + k above
+  // ~250k edges — well inside city scale), exactly the regime where the
+  // bound is needed.
+  const double n = static_cast<double>(num_vertices);
+  const double log_nm1 = num_vertices > 1 ? std::log(n - 1.0) : kNegInf;
+  return LogSumExp2(log_nm1, s) - std::log(n);
 }
 
 double GeneralUpperBound(double lambda_g,
@@ -39,15 +58,41 @@ double GeneralUpperBound(double lambda_g,
   assert(n >= 1);
   // tr(e^{A'}) <= tr(e^A) - sum_{i=1}^{2k} e^{lambda_i}
   //              + e^{lambda_1} (2k - 1 + e^{sqrt(2k)});
-  // divide by n and take the log (see the Lemma 3 proof).
+  // divide by n and take the log (see the Lemma 3 proof). Everything is
+  // evaluated shifted by the largest exponent so the terms stay finite
+  // when lambda_g or lambda_1 exceed ~709 (city-scale graphs): in linear
+  // space the old code produced inf - inf = NaN there.
   const double lambda_1 = TopEigenvalueOrZero(top_eigenvalues, 0);
-  double correction = 0.0;
+  // log of the additive term e^{lambda_1} (2k - 1 + e^{sqrt(2k)}):
+  // 2k - 1 + e^{sqrt(2k)} itself can overflow for large k, so it is also
+  // assembled as a log-sum-exp.
+  const double log_add =
+      lambda_1 +
+      LogSumExp2(std::log(2.0 * k - 1.0), std::sqrt(2.0 * k));
+  // Shift everything by the largest exponent in play.
+  double shift = std::max(lambda_g, log_add);
   for (int i = 0; i < 2 * k; ++i) {
-    correction -= std::exp(TopEigenvalueOrZero(top_eigenvalues, i));
+    shift = std::max(shift, TopEigenvalueOrZero(top_eigenvalues, i));
   }
-  correction +=
-      std::exp(lambda_1) * (2.0 * k - 1.0 + std::exp(std::sqrt(2.0 * k)));
-  return std::log(std::exp(lambda_g) + correction / static_cast<double>(n));
+  // S = e^{lambda_g - shift} + (e^{log_add - shift}
+  //     - sum e^{lambda_i - shift}) / n; result = shift + ln(S).
+  double correction = std::exp(log_add - shift);
+  for (int i = 0; i < 2 * k; ++i) {
+    correction -= std::exp(TopEigenvalueOrZero(top_eigenvalues, i) - shift);
+  }
+  const double s = std::exp(lambda_g - shift) +
+                   correction / static_cast<double>(n);
+  if (!(s > 0.0)) {
+    // Mathematically correction >= 0 (the additive term dominates the
+    // subtracted eigenvalue sum: 2k - 1 + e^{sqrt(2k)} >= 2k and
+    // lambda_1 >= lambda_i), so s >= e^{lambda_g - shift} > 0. Reaching
+    // here means garbage inputs (e.g. an unsorted eigenvalue list) or
+    // catastrophic cancellation; the old code returned log of a
+    // non-positive number (NaN). lambda(G + anything) >= lambda(G) makes
+    // lambda_g itself the tightest defensible fallback.
+    return lambda_g;
+  }
+  return shift + std::log(s);
 }
 
 double PathUpperBound(double lambda_g,
@@ -57,12 +102,21 @@ double PathUpperBound(double lambda_g,
   assert(n >= 1);
   const std::vector<double> sigma = PathGraphEigenvalues(k);
   const int m = (k + 1) / 2;  // number of positive path-graph eigenvalues
-  double correction = 0.0;
+  // ln(e^{lambda_g} + sum_i (e^{sigma_i} - 1) e^{lambda_i} / n): every
+  // term is positive (the first m path eigenvalues are positive), so this
+  // is a plain log-sum-exp over
+  //   lambda_g  and  ln(expm1(sigma_i)) + lambda_i - ln(n),
+  // which stays finite at city-scale lambda values where the old linear
+  // -space sum overflowed.
+  const double log_n = std::log(static_cast<double>(n));
+  double acc = lambda_g;
   for (int i = 0; i < m; ++i) {
-    correction += (std::exp(sigma[i]) - 1.0) *
-                  std::exp(TopEigenvalueOrZero(top_eigenvalues, i));
+    const double term =
+        std::log(std::expm1(sigma[i])) + TopEigenvalueOrZero(top_eigenvalues, i) -
+        log_n;
+    acc = LogSumExp2(acc, term);
   }
-  return std::log(std::exp(lambda_g) + correction / static_cast<double>(n));
+  return acc;
 }
 
 }  // namespace ctbus::connectivity

@@ -5,6 +5,12 @@
 //   * the path bound of Lemma 4 (k edges forming a simple path).
 // All bounds are expressed in terms of lambda(G_r) and the top eigenvalues
 // of the current adjacency matrix, which Lanczos provides cheaply.
+//
+// Every bound is evaluated in log space (log-sum-exp around the dominant
+// exponent), so the results stay finite and correct when lambda_g or
+// sqrt(2(|E_r| + k)) exceeds ~709 — the city-scale regime where a naive
+// std::exp overflows to +inf and any pruning built on these bounds would
+// silently stop working.
 #ifndef CTBUS_CONNECTIVITY_BOUNDS_H_
 #define CTBUS_CONNECTIVITY_BOUNDS_H_
 
@@ -25,7 +31,10 @@ double EstradaUpperBound(int num_vertices, int num_edges, int k);
 /// `lambda_g` is lambda(G_r); `top_eigenvalues` holds at least the 2k
 /// largest eigenvalues of G_r's adjacency matrix, descending; `n` is
 /// |V_r|. If fewer than 2k eigenvalues are supplied the missing ones are
-/// treated as 0 (which keeps the bound valid but looser).
+/// treated as 0 (which keeps the bound valid but looser). If the
+/// log-sum-exp argument comes out non-positive (possible only for garbage
+/// inputs such as an unsorted eigenvalue list — mathematically the
+/// correction term is nonnegative), returns lambda_g instead of NaN.
 double GeneralUpperBound(double lambda_g,
                          const std::vector<double>& top_eigenvalues, int k,
                          int n);

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "linalg/dense_eigen.h"
 #include "linalg/dense_matrix.h"
@@ -34,8 +35,13 @@ double NaturalConnectivityEstimate(const linalg::SymmetricSparseMatrix& a,
 ConnectivityEstimator::ConnectivityEstimator(int dim,
                                              const EstimatorOptions& options)
     : dim_(dim), lanczos_steps_(options.lanczos_steps) {
-  assert(options.probes >= 1);
-  assert(options.lanczos_steps >= 1);
+  if (options.probes < 1) {
+    throw std::invalid_argument("ConnectivityEstimator: probes must be >= 1");
+  }
+  if (options.lanczos_steps < 1) {
+    throw std::invalid_argument(
+        "ConnectivityEstimator: lanczos_steps must be >= 1");
+  }
   linalg::Rng rng(options.seed);
   if (options.probe_kind == ProbeKind::kRademacher) {
     probes_.assign(options.probes, std::vector<double>(dim));
@@ -50,13 +56,29 @@ double ConnectivityEstimator::EstimateTraceExp(const linalg::MatVec& a) const {
   return linalg::EstimateTraceExpWithProbes(a, probes_, lanczos_steps_);
 }
 
-double ConnectivityEstimator::Estimate(const linalg::MatVec& a) const {
-  if (dim_ == 0) return -std::numeric_limits<double>::infinity();
-  const double trace = EstimateTraceExp(a);
+double ConnectivityEstimator::EstimateTraceExp(
+    const linalg::SymmetricSparseMatrix& a) const {
+  assert(a.dim() == dim_);
+  scratch_.AssignFrom(a);
+  return linalg::EstimateTraceExpBatched(scratch_, probes_, lanczos_steps_);
+}
+
+double ConnectivityEstimator::LogOverDim(double trace) const {
   // The stochastic estimate of a positive trace can in principle come out
   // non-positive for adversarial probe draws; clamp to a tiny value so the
   // log stays defined.
   return std::log(std::max(trace, 1e-300) / static_cast<double>(dim_));
+}
+
+double ConnectivityEstimator::Estimate(const linalg::MatVec& a) const {
+  if (dim_ == 0) return -std::numeric_limits<double>::infinity();
+  return LogOverDim(EstimateTraceExp(a));
+}
+
+double ConnectivityEstimator::Estimate(
+    const linalg::SymmetricSparseMatrix& a) const {
+  if (dim_ == 0) return -std::numeric_limits<double>::infinity();
+  return LogOverDim(EstimateTraceExp(a));
 }
 
 }  // namespace ctbus::connectivity

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "linalg/csr_matrix.h"
 #include "linalg/matvec.h"
 #include "linalg/sparse_matrix.h"
 
@@ -45,8 +46,15 @@ double NaturalConnectivityEstimate(const linalg::SymmetricSparseMatrix& a,
                                    const EstimatorOptions& options);
 
 /// Reusable estimator with a fixed probe set for a fixed dimension.
+///
+/// Not thread-safe: the sparse-matrix overloads reuse an internal CSR
+/// scratch buffer. The precompute engine already builds one estimator per
+/// shard, which is exactly the right granularity.
 class ConnectivityEstimator {
  public:
+  /// Throws std::invalid_argument unless options.probes >= 1 and
+  /// options.lanczos_steps >= 1 (these used to be debug-only asserts; a
+  /// release build would silently divide by zero probes).
   ConnectivityEstimator(int dim, const EstimatorOptions& options);
 
   /// Estimates lambda(A). `a` must have dimension dim().
@@ -55,22 +63,44 @@ class ConnectivityEstimator {
   /// Estimates tr(e^A) without the log/normalization.
   double EstimateTraceExp(const linalg::MatVec& a) const;
 
+  /// Fast path for the concrete adjacency matrix: freezes `a` into a
+  /// reused CSR scratch (linalg::CsrMatrix) and runs all probes through
+  /// the fused batched quadrature. Bit-identical to the MatVec overload —
+  /// Freeze preserves entry order and each probe lane keeps its own FP
+  /// accumulation order — just faster: one matrix traversal per Lanczos
+  /// step feeds every probe.
+  double Estimate(const linalg::SymmetricSparseMatrix& a) const;
+
+  /// tr(e^A) via the same CSR + batched-probe fast path.
+  double EstimateTraceExp(const linalg::SymmetricSparseMatrix& a) const;
+
   int dim() const { return dim_; }
   int probes() const { return static_cast<int>(probes_.size()); }
   int lanczos_steps() const { return lanczos_steps_; }
 
+  /// The pinned probe vectors (common random numbers across matrices).
+  const std::vector<std::vector<double>>& probe_vectors() const {
+    return probes_;
+  }
+
   /// Approximate resident footprint in bytes — dominated by the pinned
   /// probe vectors (probes() x dim() doubles). Deterministic, O(1).
   std::size_t ApproxBytes() const {
-    return sizeof(ConnectivityEstimator) +
+    return sizeof(ConnectivityEstimator) + scratch_.ApproxBytes() +
            probes_.size() * (sizeof(std::vector<double>) +
                              static_cast<std::size_t>(dim_) * sizeof(double));
   }
 
  private:
+  double LogOverDim(double trace) const;
+
   int dim_;
   int lanczos_steps_;
   std::vector<std::vector<double>> probes_;
+  // CSR scratch reused across Estimate(SymmetricSparseMatrix) calls so the
+  // per-candidate freeze does not reallocate. Mutable because freezing is
+  // an implementation detail of a logically-const estimate.
+  mutable linalg::CsrMatrix scratch_;
 };
 
 }  // namespace ctbus::connectivity

@@ -62,6 +62,26 @@ struct CtBusOptions {
   /// (service/precompute_cache.h).
   int eta_threads = 1;
 
+  /// Prune the Delta(e) precompute loop with the Lemma 3/4-style
+  /// per-candidate screen (connectivity/candidate_pruning.h): candidates
+  /// whose bounded increment cannot reach the prune_keep_rank-th largest
+  /// estimated increment are skipped, and the bound is stored in place of
+  /// the estimate (flagged in Precompute::pruned). Surviving candidates'
+  /// estimates are bit-identical to an unpruned run; pruned entries hold a
+  /// (larger) upper bound, so the stored table itself differs — which is
+  /// why this flag and prune_keep_rank ARE part of the precompute cache
+  /// key, unlike the thread knobs. Off by default: the golden-trace gate
+  /// replays byte-exact planner checksums. Stochastic path only (the
+  /// perturbation model is already O(m) per edge). See docs/PRECOMPUTE.md.
+  bool prune_candidates = false;
+
+  /// With prune_candidates: how many top candidates (by screen bound, and
+  /// independently by demand) are always estimated, and the rank whose
+  /// estimated value forms the pruning cutoff. Larger = safer + slower.
+  /// Deliberately independent of k so the precompute stays sweepable
+  /// across k / w / Tn / sn.
+  int prune_keep_rank = 128;
+
   /// Use the first-order perturbation model for Delta(e) pre-computation
   /// instead of per-edge stochastic trace estimation: one top-eigenpair
   /// Lanczos run, then O(m) per candidate edge. Implements the paper's

@@ -40,6 +40,12 @@ struct PrecomputeStats {
   int num_increments_recomputed = 0;
   /// Delta(e) values carried over verbatim from the donor precompute.
   int num_increments_carried = 0;
+  /// With CtBusOptions::prune_candidates: candidates actually estimated
+  /// (survivors of the screen, plus the always-estimated keep sets) vs
+  /// candidates whose stored value is the screen's upper bound instead.
+  /// Both 0 when pruning is off.
+  int num_increments_estimated = 0;
+  int num_increments_pruned = 0;
   /// Shards actually used for the Delta(e) loop (after clamping
   /// CtBusOptions::precompute_threads to the amount of work).
   int threads_used = 1;
@@ -70,14 +76,25 @@ struct SnapshotDelta {
 struct Precompute {
   EdgeUniverse universe;
   std::vector<double> increments;
+  /// Per universe edge, 1 if increments[e] holds the candidate screen's
+  /// upper bound instead of an estimate (CtBusOptions::prune_candidates).
+  /// Empty when pruning was off — every stored value is then an estimate
+  /// (or 0 for existing edges).
+  std::vector<char> pruned;
   PrecomputeStats stats;
+
+  /// True if increments[e] is a pruning bound rather than an estimate.
+  bool IsPruned(int e) const {
+    return !pruned.empty() && pruned[static_cast<std::size_t>(e)] != 0;
+  }
 
   /// Approximate resident footprint in bytes (universe + Delta(e) table).
   /// This is the unit the serving layer's byte-budgeted PrecomputeCache
   /// charges per entry. Deterministic; O(universe edges).
   std::size_t ApproxBytes() const {
     return sizeof(Precompute) - sizeof(EdgeUniverse) +
-           universe.ApproxBytes() + increments.size() * sizeof(double);
+           universe.ApproxBytes() + increments.size() * sizeof(double) +
+           pruned.size() * sizeof(char);
   }
 };
 

@@ -1,0 +1,76 @@
+// Frozen CSR (compressed sparse row) kernel for the estimator hot path.
+//
+// SymmetricSparseMatrix is optimized for the add/remove edge cycles of the
+// CT-Bus search; its per-row std::vector storage costs one pointer chase
+// per row on every matvec. CsrMatrix is the frozen counterpart: three
+// contiguous arrays (row_ptr / col / value) built by
+// SymmetricSparseMatrix::Freeze(), traversed by a blocked, unrolled Apply
+// and a multi-RHS ApplyBatch that feeds every Hutchinson probe from ONE
+// matrix traversal (the Lanczos matvec is memory-bandwidth-bound, so
+// sharing the traversal across probes is the dominant win).
+//
+// Determinism contract: Freeze preserves the per-row entry order of the
+// source matrix, Apply accumulates each row in that order through a single
+// dependency chain, and ApplyBatch keeps each lane's accumulation in its
+// own register — so CSR results are bit-identical to the adjacency-list
+// Apply, lane by lane. This is what lets the batched estimator path swap
+// in under the serving layer's bit-identity guarantees.
+#ifndef CTBUS_LINALG_CSR_MATRIX_H_
+#define CTBUS_LINALG_CSR_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matvec.h"
+
+namespace ctbus::linalg {
+
+class SymmetricSparseMatrix;
+
+class CsrMatrix : public MatVec {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds a CSR copy of `a`, preserving per-row entry order.
+  static CsrMatrix FromSparse(const SymmetricSparseMatrix& a);
+
+  /// Re-freezes `a` into this matrix, reusing existing capacity (the
+  /// estimator fast path freezes once per Estimate call, so the arrays are
+  /// recycled instead of reallocated).
+  void AssignFrom(const SymmetricSparseMatrix& a);
+
+  int dim() const override { return n_; }
+
+  /// Stored (directed) entries: each symmetric pair appears twice.
+  std::int64_t num_values() const {
+    return static_cast<std::int64_t>(col_.size());
+  }
+
+  /// y = A x, rows accumulated in stored order (single dependency chain,
+  /// unrolled by 4 — no reassociation, so bit-identical to the
+  /// adjacency-list Apply).
+  void Apply(const std::vector<double>& x,
+             std::vector<double>* y) const override;
+
+  /// Y = A X for `batch` SoA-interleaved right-hand sides (see
+  /// MatVec::ApplyBatch for the layout). One traversal of the matrix feeds
+  /// all lanes; each lane accumulates independently in stored entry order.
+  void ApplyBatch(const double* x, int batch, double* y) const override;
+
+  /// Approximate resident footprint in bytes. Deterministic, O(1).
+  std::size_t ApproxBytes() const {
+    return sizeof(CsrMatrix) + row_ptr_.size() * sizeof(std::int64_t) +
+           col_.size() * sizeof(int) + value_.size() * sizeof(double);
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<std::int64_t> row_ptr_;  // size n_ + 1
+  std::vector<int> col_;
+  std::vector<double> value_;
+};
+
+}  // namespace ctbus::linalg
+
+#endif  // CTBUS_LINALG_CSR_MATRIX_H_

@@ -20,15 +20,28 @@
 namespace ctbus::linalg {
 
 /// Draws `probes` Gaussian probe vectors of dimension `dim`.
+/// Throws std::invalid_argument if probes < 1.
 std::vector<std::vector<double>> MakeGaussianProbes(int dim, int probes,
                                                     Rng* rng);
 
 /// Estimates tr(exp(A)) with `probes` fresh Gaussian probes and
 /// `steps`-iteration Lanczos quadrature per probe.
+/// Throws std::invalid_argument if probes < 1 (an empty average would be a
+/// silent 0/0 NaN that poisons every cached Precompute entry built from it).
 double EstimateTraceExp(const MatVec& a, int probes, int steps, Rng* rng);
 
 /// Same estimator but with caller-supplied probes (common random numbers).
+/// Throws std::invalid_argument if `probes` is empty (same 0/0 hazard).
 double EstimateTraceExpWithProbes(
+    const MatVec& a, const std::vector<std::vector<double>>& probes,
+    int steps);
+
+/// Bit-identical to EstimateTraceExpWithProbes, but runs every probe
+/// through one LanczosExpQuadratureBatch call so each Lanczos step makes a
+/// single fused traversal of the matrix (see MatVec::ApplyBatch) instead
+/// of one traversal per probe. Throws std::invalid_argument on empty
+/// `probes`.
+double EstimateTraceExpBatched(
     const MatVec& a, const std::vector<std::vector<double>>& probes,
     int steps);
 

@@ -3,8 +3,37 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "linalg/csr_matrix.h"
 
 namespace ctbus::linalg {
+namespace {
+
+// Always-on precondition check shared by Set/Add/Remove. These used to be
+// asserts, which compile out under NDEBUG: a release-mode Set(u, u, w)
+// stored a diagonal entry exactly once (breaking the store-twice
+// invariant), after which Remove(u, u) popped an unrelated entry and
+// num_entries() drifted — silent corruption that ends up inside cached
+// Precompute tables. The io/parse layers already throw on malformed
+// input; matrix mutation follows the same discipline.
+void ValidateOffDiagonal(const char* op, int u, int v, int dim) {
+  if (u == v) {
+    throw std::invalid_argument(
+        std::string("SymmetricSparseMatrix::") + op + ": diagonal entry (" +
+        std::to_string(u) + ", " + std::to_string(v) +
+        ") violates the zero-diagonal invariant");
+  }
+  if (u < 0 || u >= dim || v < 0 || v >= dim) {
+    throw std::out_of_range(std::string("SymmetricSparseMatrix::") + op +
+                            ": index (" + std::to_string(u) + ", " +
+                            std::to_string(v) + ") outside [0, " +
+                            std::to_string(dim) + ")");
+  }
+}
+
+}  // namespace
 
 int SymmetricSparseMatrix::FindInRow(int row, int col) const {
   const auto& entries = rows_[row];
@@ -15,8 +44,7 @@ int SymmetricSparseMatrix::FindInRow(int row, int col) const {
 }
 
 void SymmetricSparseMatrix::Set(int u, int v, double value) {
-  assert(u != v);
-  assert(u >= 0 && u < dim() && v >= 0 && v < dim());
+  ValidateOffDiagonal("Set", u, v, dim());
   const int iu = FindInRow(u, v);
   if (iu >= 0) {
     rows_[u][iu].value = value;
@@ -29,6 +57,7 @@ void SymmetricSparseMatrix::Set(int u, int v, double value) {
 }
 
 void SymmetricSparseMatrix::Add(int u, int v, double delta) {
+  ValidateOffDiagonal("Add", u, v, dim());
   const int iu = FindInRow(u, v);
   if (iu < 0) {
     Set(u, v, delta);
@@ -39,6 +68,7 @@ void SymmetricSparseMatrix::Add(int u, int v, double delta) {
 }
 
 bool SymmetricSparseMatrix::Remove(int u, int v) {
+  ValidateOffDiagonal("Remove", u, v, dim());
   const int iu = FindInRow(u, v);
   if (iu < 0) return false;
   rows_[u][iu] = rows_[u].back();
@@ -69,6 +99,10 @@ void SymmetricSparseMatrix::Apply(const std::vector<double>& x,
     for (const Entry& e : rows_[i]) acc += e.value * x[e.col];
     (*y)[i] = acc;
   }
+}
+
+CsrMatrix SymmetricSparseMatrix::Freeze() const {
+  return CsrMatrix::FromSparse(*this);
 }
 
 double SymmetricSparseMatrix::SpectralNormUpperBound() const {

@@ -15,6 +15,8 @@
 
 namespace ctbus::linalg {
 
+class CsrMatrix;
+
 /// Symmetric matrix with zero diagonal (a weighted undirected adjacency
 /// matrix). Entries are stored twice, once per incident row.
 class SymmetricSparseMatrix : public MatVec {
@@ -33,13 +35,20 @@ class SymmetricSparseMatrix : public MatVec {
   std::int64_t num_entries() const { return num_entries_; }
 
   /// Sets A[u][v] = A[v][u] = value. Overwrites an existing entry.
-  /// Requires u != v (zero diagonal) and both in [0, dim()).
+  /// Throws std::invalid_argument if u == v (a diagonal entry would
+  /// silently break the zero-diagonal invariant that Remove and
+  /// num_entries() rely on) and std::out_of_range if either index is
+  /// outside [0, dim()). Validation is always on — asserts compile out in
+  /// release builds, and a corrupted matrix poisons every cached
+  /// Precompute table built from it.
   void Set(int u, int v, double value);
 
-  /// Adds `delta` to A[u][v] (creating the entry if absent).
+  /// Adds `delta` to A[u][v] (creating the entry if absent). Same
+  /// always-on precondition validation as Set.
   void Add(int u, int v, double delta);
 
   /// Removes the (u, v) entry if present; returns true if it existed.
+  /// Same always-on precondition validation as Set.
   bool Remove(int u, int v);
 
   /// Returns A[u][v] (0.0 if no stored entry).
@@ -57,6 +66,11 @@ class SymmetricSparseMatrix : public MatVec {
   /// y = A x.
   void Apply(const std::vector<double>& x,
              std::vector<double>* y) const override;
+
+  /// Freezes the current contents into a contiguous CSR matrix for the
+  /// estimator hot path. Per-row entry order is preserved, so CSR matvec
+  /// results are bit-identical to Apply on this matrix.
+  CsrMatrix Freeze() const;
 
   /// Cheap upper bound on the spectral norm: max over rows of the row sum of
   /// absolute values (the infinity norm, which dominates ||A||_2 for

@@ -175,6 +175,100 @@ TEST(BoundsTest, MissingEigenvaluesTreatedAsZeroStillValid) {
   EXPECT_GE(bound_no_info, lambda_g);
 }
 
+// The pre-log-space evaluations, kept verbatim as counterfactual
+// references: they are exact while every exponent stays under ~709 and
+// overflow to inf (or inf - inf = NaN) past it.
+double LinearSpaceEstrada(int n, int m, int k) {
+  const double s = std::sqrt(2.0 * (static_cast<double>(m) + k));
+  return std::log((n - 1.0 + std::exp(s)) / n);
+}
+
+double LinearSpaceGeneral(double lambda_g, const std::vector<double>& top,
+                          int k, int n) {
+  double trace = n * std::exp(lambda_g);
+  const double lambda_1 = top.empty() ? 0.0 : top[0];
+  trace += std::exp(lambda_1) * (2.0 * k - 1.0 + std::exp(std::sqrt(2.0 * k)));
+  for (int i = 0; i < 2 * k; ++i) {
+    trace -= std::exp(i < static_cast<int>(top.size()) ? top[i] : 0.0);
+  }
+  return std::log(trace / n);
+}
+
+double LinearSpacePath(double lambda_g, const std::vector<double>& top,
+                       int k, int n) {
+  const auto sigma = PathGraphEigenvalues(k);
+  double sum = std::exp(lambda_g);
+  for (int i = 0; i < (k + 1) / 2; ++i) {
+    const double lambda_i = i < static_cast<int>(top.size()) ? top[i] : 0.0;
+    sum += (std::exp(sigma[i]) - 1.0) * std::exp(lambda_i) / n;
+  }
+  return std::log(sum);
+}
+
+TEST(BoundsOverflowTest, MatchesLinearSpaceEvaluationAtSmallScale) {
+  // Where the linear-space formulas are representable, the log-space
+  // rewrite must agree to near machine precision — it is the same math.
+  linalg::Rng rng(31);
+  const auto a = RandomGraph(40, 4.0, &rng);
+  const int n = a.dim();
+  const int m = static_cast<int>(a.num_entries());
+  const double lambda_g = NaturalConnectivityExact(a);
+  for (int k : {1, 3, 8}) {
+    const auto top = TopEigs(a, 2 * k);
+    EXPECT_NEAR(EstradaUpperBound(n, m, k), LinearSpaceEstrada(n, m, k),
+                1e-12 * std::abs(LinearSpaceEstrada(n, m, k)));
+    EXPECT_NEAR(GeneralUpperBound(lambda_g, top, k, n),
+                LinearSpaceGeneral(lambda_g, top, k, n), 1e-12);
+    EXPECT_NEAR(PathUpperBound(lambda_g, top, k, n),
+                LinearSpacePath(lambda_g, top, k, n), 1e-12);
+  }
+}
+
+TEST(BoundsOverflowTest, StaysFiniteWhereLinearSpaceOverflows) {
+  // City scale: |E| ~ 5M edges puts sqrt(2m) ~ 3162 >> 709, and a hub
+  // vertex can push lambda_1 (and with it lambda_g) into the hundreds.
+  // The old evaluation returns inf (Estrada, path) or inf - inf = NaN
+  // (general); the rewrite must return ordinary finite doubles that still
+  // dominate lambda_g.
+  const int n = 2'000'000;
+  const int m = 5'000'000;
+  const int k = 40;
+  ASSERT_TRUE(std::isinf(LinearSpaceEstrada(n, m, k)));
+  const double estrada = EstradaUpperBound(n, m, k);
+  EXPECT_TRUE(std::isfinite(estrada));
+  // ln((n - 1 + e^s)/n) ~ s - ln n for s = sqrt(2(m + k)) >> ln n.
+  const double s = std::sqrt(2.0 * (m + static_cast<double>(k)));
+  EXPECT_NEAR(estrada, s - std::log(static_cast<double>(n)), 1e-6);
+
+  const double lambda_g = 800.0;
+  std::vector<double> top;
+  for (int i = 0; i < 2 * k; ++i) top.push_back(810.0 - i);
+  ASSERT_FALSE(std::isfinite(LinearSpaceGeneral(lambda_g, top, k, n)));
+  const double general = GeneralUpperBound(lambda_g, top, k, n);
+  EXPECT_TRUE(std::isfinite(general));
+  EXPECT_GE(general, lambda_g);
+
+  ASSERT_TRUE(std::isinf(LinearSpacePath(lambda_g, top, k, n)));
+  const double path = PathUpperBound(lambda_g, top, k, n);
+  EXPECT_TRUE(std::isfinite(path));
+  EXPECT_GE(path, lambda_g);
+  // The Table 3 ordering must survive the change of evaluation.
+  EXPECT_GE(general, path - 1e-9);
+}
+
+TEST(BoundsOverflowTest, GeneralBoundFallsBackToLambdaGOnGarbageInput) {
+  // An eigenvalue list that is inconsistent (sums to more trace than the
+  // additive term supplies) would make the old code take log of a
+  // non-positive number (NaN). The rewrite returns lambda_g — the
+  // tightest defensible value, since adding edges never decreases it.
+  const double lambda_g = -100.0;
+  // Unsorted: lambda_1 = 0 scales the additive term, but the subtracted
+  // "top" eigenvalues include a 10, so the corrected trace goes negative.
+  const std::vector<double> top = {0.0, 10.0};
+  const double bound = GeneralUpperBound(lambda_g, top, /*k=*/1, /*n=*/1);
+  EXPECT_EQ(bound, lambda_g);
+}
+
 class PathBoundSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(PathBoundSweep, DominanceAcrossK) {

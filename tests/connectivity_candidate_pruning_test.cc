@@ -1,0 +1,124 @@
+#include "connectivity/candidate_pruning.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "connectivity/natural_connectivity.h"
+#include "linalg/dense_eigen.h"
+#include "linalg/dense_matrix.h"
+#include "linalg/rng.h"
+#include "linalg/sparse_matrix.h"
+
+namespace ctbus::connectivity {
+namespace {
+
+linalg::SymmetricSparseMatrix RandomGraph(int n, double avg_degree,
+                                          linalg::Rng* rng) {
+  linalg::SymmetricSparseMatrix a(n);
+  const int edges = static_cast<int>(n * avg_degree / 2.0);
+  for (int i = 0; i < edges; ++i) {
+    const int u = static_cast<int>(rng->NextIndex(n));
+    const int v = static_cast<int>(rng->NextIndex(n));
+    if (u != v) a.Set(u, v, 1.0);
+  }
+  return a;
+}
+
+std::vector<std::pair<int, int>> AbsentEdges(
+    const linalg::SymmetricSparseMatrix& a) {
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < a.dim(); ++u) {
+    for (int v = u + 1; v < a.dim(); ++v) {
+      if (!a.Contains(u, v)) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+TEST(CandidateScreenTest, BoundDominatesTrueIncrement) {
+  // Golden-Thompson with (near-)exact communicabilities: the screen bound
+  // must dominate the exact Delta(e) for every absent edge. base_lambda is
+  // the exact connectivity here so the only slack is quadrature error.
+  linalg::Rng rng(11);
+  for (int trial = 0; trial < 4; ++trial) {
+    auto a = RandomGraph(25, 3.0, &rng);
+    const double lambda_g = NaturalConnectivityExact(a);
+    const auto screen =
+        CandidateScreen::Build(a, lambda_g, /*lanczos_steps=*/12, 77);
+    for (const auto& [u, v] : AbsentEdges(a)) {
+      a.Set(u, v, 1.0);
+      const double exact_increment = NaturalConnectivityExact(a) - lambda_g;
+      a.Remove(u, v);
+      EXPECT_GE(screen.EdgeBound(u, v), exact_increment - 1e-8)
+          << "edge (" << u << ", " << v << ") trial " << trial;
+    }
+  }
+}
+
+TEST(CandidateScreenTest, BatchedBoundsBitIdenticalToSerial) {
+  // EdgeBounds must reproduce EdgeBound exactly, including across the
+  // 64-lane chunk boundary of the batched quadratures.
+  linalg::Rng rng(12);
+  const auto a = RandomGraph(40, 3.0, &rng);
+  const auto screen = CandidateScreen::Build(
+      a, NaturalConnectivityExact(a), /*lanczos_steps=*/8, 77);
+  auto edges = AbsentEdges(a);
+  ASSERT_GT(edges.size(), 64u);  // force at least two chunks
+  const auto bounds = screen.EdgeBounds(edges);
+  ASSERT_EQ(bounds.size(), edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_EQ(bounds[i], screen.EdgeBound(edges[i].first, edges[i].second));
+  }
+}
+
+TEST(CandidateScreenTest, BoundClampedByUniformCap) {
+  linalg::Rng rng(13);
+  const auto a = RandomGraph(30, 4.0, &rng);
+  const auto screen = CandidateScreen::Build(
+      a, NaturalConnectivityExact(a), /*lanczos_steps=*/8, 77);
+  EXPECT_GE(screen.UniformCap(), 0.0);
+  for (const auto& [u, v] : AbsentEdges(a)) {
+    EXPECT_LE(screen.EdgeBound(u, v), screen.UniformCap());
+  }
+}
+
+TEST(CandidateScreenTest, DiagonalCommunicabilityMatchesDense) {
+  linalg::Rng rng(14);
+  const auto a = RandomGraph(20, 3.0, &rng);
+  const auto eig = linalg::SymmetricEigen(linalg::DenseMatrix::FromSparse(a),
+                                          /*compute_vectors=*/true);
+  const auto screen = CandidateScreen::Build(
+      a, NaturalConnectivityExact(a), /*lanczos_steps=*/16, 77);
+  for (int u = 0; u < a.dim(); ++u) {
+    double muu = 0.0;
+    for (int j = 0; j < a.dim(); ++j) {
+      const double z = eig.eigenvectors.At(u, j);
+      muu += std::exp(eig.eigenvalues[j]) * z * z;
+    }
+    EXPECT_NEAR(screen.DiagonalCommunicability(u), muu, 1e-8 * muu + 1e-10);
+  }
+}
+
+TEST(CandidateScreenTest, DeterministicForFixedSeed) {
+  linalg::Rng rng(15);
+  const auto a = RandomGraph(35, 4.0, &rng);
+  const double lambda_g = NaturalConnectivityExact(a);
+  const auto s1 = CandidateScreen::Build(a, lambda_g, 8, 42);
+  const auto s2 = CandidateScreen::Build(a, lambda_g, 8, 42);
+  EXPECT_EQ(s1.UniformCap(), s2.UniformCap());
+  for (const auto& [u, v] : AbsentEdges(a)) {
+    EXPECT_EQ(s1.EdgeBound(u, v), s2.EdgeBound(u, v));
+  }
+}
+
+TEST(CandidateScreenTest, EmptyGraphBuilds) {
+  linalg::SymmetricSparseMatrix a(0);
+  const auto screen = CandidateScreen::Build(a, 0.0, 8, 1);
+  EXPECT_EQ(screen.UniformCap(), 0.0);
+}
+
+}  // namespace
+}  // namespace ctbus::connectivity

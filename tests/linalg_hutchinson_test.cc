@@ -1,6 +1,7 @@
 #include "linalg/hutchinson.h"
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -127,6 +128,32 @@ TEST(HutchinsonTest, CommonRandomNumbersReduceIncrementVariance) {
     indep_sq_err += indep_err * indep_err;
   }
   EXPECT_LT(crn_sq_err, indep_sq_err);
+}
+
+TEST(HutchinsonTest, RejectsNonPositiveProbeCount) {
+  // probes = 0 used to fall through to a 0/0 average (NaN) that poisoned
+  // every downstream connectivity value; it is now a documented error.
+  Rng rng(3);
+  EXPECT_THROW(MakeGaussianProbes(10, 0, &rng), std::invalid_argument);
+  EXPECT_THROW(MakeGaussianProbes(10, -3, &rng), std::invalid_argument);
+  const SymmetricSparseMatrix a(10);
+  EXPECT_THROW(EstimateTraceExp(a, 0, 5, &rng), std::invalid_argument);
+  EXPECT_THROW(EstimateTraceExpWithProbes(a, {}, 5), std::invalid_argument);
+  EXPECT_THROW(EstimateTraceExpBatched(a, {}, 5), std::invalid_argument);
+}
+
+TEST(HutchinsonTest, BatchedEstimateBitIdenticalToSerial) {
+  // The fused-ApplyBatch path must reproduce the serial per-probe path
+  // exactly — it backs the estimator swap under the serving layer's
+  // bit-identity guarantees.
+  Rng rng(46);
+  const auto a = RandomGraph(70, 4.0, &rng);
+  for (int probes : {1, 8, 40}) {
+    Rng probe_rng(900 + probes);
+    const auto vs = MakeGaussianProbes(a.dim(), probes, &probe_rng);
+    EXPECT_EQ(EstimateTraceExpBatched(a, vs, 10),
+              EstimateTraceExpWithProbes(a, vs, 10));
+  }
 }
 
 class HutchinsonSweepTest : public ::testing::TestWithParam<int> {};

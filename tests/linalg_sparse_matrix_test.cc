@@ -1,5 +1,6 @@
 #include "linalg/sparse_matrix.h"
 
+#include <stdexcept>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -108,6 +109,32 @@ TEST(SparseMatrixTest, SpectralNormUpperBoundDominates) {
   m.Set(0, 1, 1.0);
   m.Set(1, 2, 1.0);
   EXPECT_DOUBLE_EQ(m.SpectralNormUpperBound(), 2.0);
+}
+
+TEST(SparseMatrixTest, RejectsDiagonalEntriesInAnyBuildMode) {
+  // These used to be plain asserts, which compile out under -DNDEBUG (the
+  // release tier) and let a diagonal Set silently corrupt the symmetric
+  // invariant. The preconditions are now always-on throws, so this test
+  // passes in every build mode.
+  SymmetricSparseMatrix m(4);
+  EXPECT_THROW(m.Set(2, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.Add(0, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.Remove(3, 3), std::invalid_argument);
+  EXPECT_EQ(m.num_entries(), 0u);
+}
+
+TEST(SparseMatrixTest, RejectsOutOfRangeIndices) {
+  SymmetricSparseMatrix m(4);
+  EXPECT_THROW(m.Set(0, 4, 1.0), std::out_of_range);
+  EXPECT_THROW(m.Set(-1, 2, 1.0), std::out_of_range);
+  EXPECT_THROW(m.Add(4, 0, 1.0), std::out_of_range);
+  EXPECT_THROW(m.Remove(0, 7), std::out_of_range);
+  EXPECT_EQ(m.num_entries(), 0u);
+  // A failed mutation must leave prior state untouched.
+  m.Set(0, 1, 2.0);
+  EXPECT_THROW(m.Set(0, 9, 1.0), std::out_of_range);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_EQ(m.num_entries(), 1u);
 }
 
 TEST(SparseMatrixTest, DenseFromSparseRoundTrip) {

@@ -57,13 +57,17 @@ def diff_reports(baseline, current, threshold):
         old = float(base_metrics[key]["value"])
         new = float(cur_metrics[key]["value"])
         better = cur_metrics[key].get("better", "neutral")
-        change = (new - old) / old if old != 0 else (0.0 if new == 0 else
-                                                     float("inf"))
+        change = (new - old) / abs(old) if old != 0 else (0.0 if new == 0 else
+                                                          float("inf"))
+        # The margin scales with |old| so metrics that can go negative
+        # (e.g. an overhead percentage) keep the threshold on the correct
+        # side of the baseline.
+        margin = threshold * abs(old)
         regressed = False
         if better == "lower":
-            regressed = new > old * (1.0 + threshold)
+            regressed = new > old + margin
         elif better == "higher":
-            regressed = new < old * (1.0 - threshold)
+            regressed = new < old - margin
         tag = "REGRESSION" if regressed else "ok"
         lines.append(f"  {name}/{key}: {old:.6g} -> {new:.6g} "
                      f"({change:+.1%}, better={better}) {tag}")
@@ -112,6 +116,7 @@ def self_check():
             "latency": {"value": 1.0, "better": "lower"},
             "qps": {"value": 100.0, "better": "higher"},
             "count": {"value": 5.0, "better": "neutral"},
+            "overhead_pct": {"value": -0.5, "better": "lower"},
         },
         "checksums": {"sum": 2.5},
     }
@@ -135,6 +140,11 @@ def self_check():
     checks.append(("qps gain passes", not fails))
     _, fails = diff_reports(base, variant(count=50.0), 0.10)
     checks.append(("neutral metric never fails", not fails))
+    _, fails = diff_reports(base, variant(overhead_pct=-0.5), 0.10)
+    checks.append(("unchanged negative metric passes", not fails))
+    _, fails = diff_reports(base, variant(overhead_pct=-0.3), 0.10)
+    checks.append(("worsened negative lower-better metric flagged",
+                   len(fails) == 1))
     cur = json.loads(json.dumps(base))
     cur["checksums"]["sum"] = 2.5000001
     _, fails = diff_reports(base, cur, 0.10)
