@@ -17,13 +17,14 @@
 #ifndef CTBUS_CORE_PARALLEL_FOR_H_
 #define CTBUS_CORE_PARALLEL_FOR_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace ctbus::core {
 
@@ -63,10 +64,10 @@ class WorkerPool {
 
   ~WorkerPool() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     for (std::thread& t : threads_) t.join();
   }
 
@@ -78,7 +79,8 @@ class WorkerPool {
   /// See the class comment. `num_threads <= 1` or `n <= 1` degenerates to
   /// a plain inline loop with no synchronization at all.
   void Run(int n,
-           const std::function<void(int shard, int begin, int end)>& body) {
+           const std::function<void(int shard, int begin, int end)>& body)
+      CTBUS_EXCLUDES(mu_) {
     if (n <= 0) return;
     const int shards = std::min(num_threads_, n);
     if (shards == 1) {
@@ -86,7 +88,7 @@ class WorkerPool {
       return;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       body_ = &body;
       n_ = n;
       shards_ = shards;
@@ -95,12 +97,12 @@ class WorkerPool {
       error_ = nullptr;
       ++epoch_;
     }
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
     RunShard(/*shard=*/0, n, shards, body);
     std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      done_cv_.wait(lock, [this] { return pending_ == 0; });
+      MutexLock lock(mu_);
+      while (pending_ != 0) done_cv_.Wait(mu_);
       body_ = nullptr;
       error = error_;
       error_ = nullptr;
@@ -117,12 +119,13 @@ class WorkerPool {
   /// shard id) exception. Does not touch pending_ — callers account for
   /// completion themselves.
   void RunShard(int shard, int n, int shards,
-                const std::function<void(int, int, int)>& body) {
+                const std::function<void(int, int, int)>& body)
+      CTBUS_EXCLUDES(mu_) {
     try {
       body(shard, ShardBegin(shard, n, shards),
            ShardBegin(shard + 1, n, shards));
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (shard < error_shard_) {
         error_shard_ = shard;
         error_ = std::current_exception();
@@ -130,15 +133,15 @@ class WorkerPool {
     }
   }
 
-  void WorkerLoop(int slot) {
+  void WorkerLoop(int slot) CTBUS_EXCLUDES(mu_) {
     std::uint64_t seen_epoch = 0;
     while (true) {
       int n = 0;
       int shards = 0;
       const std::function<void(int, int, int)>* body = nullptr;
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+        MutexLock lock(mu_);
+        while (!stop_ && epoch_ == seen_epoch) work_cv_.Wait(mu_);
         if (stop_) return;
         seen_epoch = epoch_;
         n = n_;
@@ -150,8 +153,8 @@ class WorkerPool {
       if (slot >= shards) continue;
       RunShard(slot, n, shards, *body);
       {
-        std::lock_guard<std::mutex> lock(mu_);
-        if (--pending_ == 0) done_cv_.notify_all();
+        MutexLock lock(mu_);
+        if (--pending_ == 0) done_cv_.NotifyAll();
       }
     }
   }
@@ -159,17 +162,18 @@ class WorkerPool {
   const int num_threads_;
   std::vector<std::thread> threads_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  bool stop_ = false;                 // guarded by mu_
-  std::uint64_t epoch_ = 0;           // guarded by mu_; bumps per Run
-  int n_ = 0;                         // guarded by mu_
-  int shards_ = 0;                    // guarded by mu_
-  int pending_ = 0;                   // guarded by mu_
-  int error_shard_ = 0;               // guarded by mu_
-  std::exception_ptr error_;          // guarded by mu_
-  const std::function<void(int, int, int)>* body_ = nullptr;  // guarded by mu_
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  bool stop_ CTBUS_GUARDED_BY(mu_) = false;
+  std::uint64_t epoch_ CTBUS_GUARDED_BY(mu_) = 0;  // bumps per Run
+  int n_ CTBUS_GUARDED_BY(mu_) = 0;
+  int shards_ CTBUS_GUARDED_BY(mu_) = 0;
+  int pending_ CTBUS_GUARDED_BY(mu_) = 0;
+  int error_shard_ CTBUS_GUARDED_BY(mu_) = 0;
+  std::exception_ptr error_ CTBUS_GUARDED_BY(mu_);
+  const std::function<void(int, int, int)>* body_ CTBUS_GUARDED_BY(mu_) =
+      nullptr;
 };
 
 /// One-shot fork-join over a throwaway WorkerPool: identical partition,

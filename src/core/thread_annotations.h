@@ -1,0 +1,78 @@
+// Clang thread-safety-analysis attribute macros for the CT-Bus tree.
+//
+// Wraps the `thread_safety_attributes` family so annotations compile to
+// nothing on GCC/MSVC and become enforceable contracts under
+// `clang++ -Wthread-safety -Werror=thread-safety` (CI job
+// `thread-safety`, or locally via `-DCTBUS_THREAD_SAFETY=ON`).
+//
+// Usage conventions in this repo:
+//   - Protected members carry CTBUS_GUARDED_BY(mu_) on the declaration.
+//   - Private *Locked() helpers carry CTBUS_REQUIRES(mu_) — callers must
+//     already hold the mutex.
+//   - Public entry points that take a lock internally carry
+//     CTBUS_EXCLUDES(mu_) so re-entrant acquisition (self-deadlock) is a
+//     compile error; cross-object lock order (shard->mu before
+//     SnapshotStore::mu_) is encoded the same way on the acquiring side.
+//   - Plain std::mutex does not carry capability attributes, so annotated
+//     code uses core::Mutex / core::MutexLock / core::CondVar from
+//     src/core/mutex.h instead.
+#ifndef CTBUS_CORE_THREAD_ANNOTATIONS_H_
+#define CTBUS_CORE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define CTBUS_THREAD_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CTBUS_THREAD_ATTRIBUTE__(x)  // no-op
+#endif
+
+// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define CTBUS_CAPABILITY(x) CTBUS_THREAD_ATTRIBUTE__(capability(x))
+
+// Marks an RAII type whose lifetime acquires/releases a capability.
+#define CTBUS_SCOPED_CAPABILITY CTBUS_THREAD_ATTRIBUTE__(scoped_lockable)
+
+// Data member may only be read/written while holding `x`.
+#define CTBUS_GUARDED_BY(x) CTBUS_THREAD_ATTRIBUTE__(guarded_by(x))
+
+// Pointer member: the *pointee* may only be accessed while holding `x`.
+#define CTBUS_PT_GUARDED_BY(x) CTBUS_THREAD_ATTRIBUTE__(pt_guarded_by(x))
+
+// Caller must hold `...` (exclusively) before calling.
+#define CTBUS_REQUIRES(...) \
+  CTBUS_THREAD_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+// Caller must NOT hold `...`; the function acquires it internally (or a
+// lock-order contract forbids holding it here).
+#define CTBUS_EXCLUDES(...) CTBUS_THREAD_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+// Function acquires the capability and holds it on return.
+#define CTBUS_ACQUIRE(...) \
+  CTBUS_THREAD_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability held on entry.
+#define CTBUS_RELEASE(...) \
+  CTBUS_THREAD_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `ret`.
+#define CTBUS_TRY_ACQUIRE(ret, ...) \
+  CTBUS_THREAD_ATTRIBUTE__(try_acquire_capability(ret, __VA_ARGS__))
+
+// Declares static lock-order edges (checked under -Wthread-safety-beta).
+#define CTBUS_ACQUIRED_BEFORE(...) \
+  CTBUS_THREAD_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define CTBUS_ACQUIRED_AFTER(...) \
+  CTBUS_THREAD_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (trusted by the analysis).
+#define CTBUS_ASSERT_CAPABILITY(x) \
+  CTBUS_THREAD_ATTRIBUTE__(assert_capability(x))
+
+// Function returns a reference to the capability guarding its result.
+#define CTBUS_RETURN_CAPABILITY(x) CTBUS_THREAD_ATTRIBUTE__(lock_returned(x))
+
+// Escape hatch: disables analysis inside the function body. Every use
+// must carry a comment explaining why the protocol is not expressible.
+#define CTBUS_NO_THREAD_SAFETY_ANALYSIS \
+  CTBUS_THREAD_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // CTBUS_CORE_THREAD_ANNOTATIONS_H_

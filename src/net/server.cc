@@ -55,7 +55,7 @@ void Server::Stop() {
   listener_.Close();
   std::vector<std::unique_ptr<Connection>> connections;
   {
-    std::lock_guard<std::mutex> lock(connections_mu_);
+    core::MutexLock lock(connections_mu_);
     connections.swap(connections_);
   }
   for (auto& connection : connections) {
@@ -92,7 +92,7 @@ void Server::AcceptLoop() {
     connection->socket = std::move(socket);
     Connection* raw = connection.get();
     {
-      std::lock_guard<std::mutex> lock(connections_mu_);
+      core::MutexLock lock(connections_mu_);
       connection->id = ++next_connection_id_;
       connections_.push_back(std::move(connection));
     }
@@ -117,7 +117,7 @@ void Server::ReaderLoop(Connection* connection) {
       if (!clean) {
         instruments_.frames_malformed->Add();
         if (options_.log != nullptr) {
-          std::lock_guard<std::mutex> lock(log_mu_);
+          core::MutexLock lock(log_mu_);
           *options_.log << "{\"conn\": " << connection->id
                         << ", \"event\": \"malformed-frame\", \"error\": ";
           obs::WriteJsonString(*options_.log, error);
@@ -137,7 +137,7 @@ void Server::ReaderLoop(Connection* connection) {
       }
       instruments_.frames_malformed->Add();
       if (options_.log != nullptr) {
-        std::lock_guard<std::mutex> lock(log_mu_);
+        core::MutexLock lock(log_mu_);
         *options_.log << "{\"conn\": " << connection->id
                       << ", \"event\": \"malformed-request\", \"error\": ";
         obs::WriteJsonString(*options_.log, error);
@@ -154,7 +154,7 @@ void Server::ReaderLoop(Connection* connection) {
 
     bool over_quota = false;
     {
-      std::lock_guard<std::mutex> lock(connection->mu);
+      core::MutexLock lock(connection->mu);
       over_quota = connection->inflight >= options_.max_inflight_per_client;
       if (!over_quota) {
         ++connection->inflight;
@@ -192,16 +192,16 @@ void Server::ReaderLoop(Connection* connection) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(connection->mu);
+      core::MutexLock lock(connection->mu);
       connection->pending.push_back(std::move(pending));
     }
-    connection->cv.notify_one();
+    connection->cv.NotifyOne();
   }
   {
-    std::lock_guard<std::mutex> lock(connection->mu);
+    core::MutexLock lock(connection->mu);
     connection->reader_done = true;
   }
-  connection->cv.notify_one();
+  connection->cv.NotifyOne();
 }
 
 ResponseFrame Server::ResolvePending(Pending* pending) {
@@ -260,10 +260,10 @@ void Server::WriterLoop(Connection* connection) {
   while (true) {
     Pending pending;
     {
-      std::unique_lock<std::mutex> lock(connection->mu);
-      connection->cv.wait(lock, [connection] {
-        return !connection->pending.empty() || connection->reader_done;
-      });
+      core::MutexLock lock(connection->mu);
+      while (connection->pending.empty() && !connection->reader_done) {
+        connection->cv.Wait(connection->mu);
+      }
       if (connection->pending.empty()) break;  // reader done + drained
       pending = std::move(connection->pending.front());
       connection->pending.pop_front();
@@ -279,7 +279,7 @@ void Server::WriterLoop(Connection* connection) {
     std::string error;
     const bool sent = WriteFrame(&connection->socket, frame, &error);
     if (pending.counted) {
-      std::lock_guard<std::mutex> lock(connection->mu);
+      core::MutexLock lock(connection->mu);
       --connection->inflight;  // quota slot held until the response left
     }
     if (!sent) {
@@ -302,7 +302,7 @@ void Server::WriterLoop(Connection* connection) {
 void Server::LogRequest(const Connection& connection,
                         const ResponseFrame& response, double seconds) {
   if (options_.log == nullptr) return;
-  std::lock_guard<std::mutex> lock(log_mu_);
+  core::MutexLock lock(log_mu_);
   std::ostream& out = *options_.log;
   out << "{\"conn\": " << connection.id
       << ", \"request\": " << response.request_id << ", \"status\": \""

@@ -46,17 +46,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "obs/metrics.h"
@@ -126,24 +126,24 @@ class Server {
     Socket socket;
     std::thread reader;
     std::thread writer;
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<Pending> pending;  // guarded by mu
+    core::Mutex mu;
+    core::CondVar cv;
+    std::deque<Pending> pending CTBUS_GUARDED_BY(mu);
     /// Requests decoded but not yet responded to (the quota unit): spans
     /// deque residency AND the writer's in-progress resolution, so the
     /// quota verdict does not depend on writer scheduling.
-    std::size_t inflight = 0;  // guarded by mu
-    bool reader_done = false;  // guarded by mu
+    std::size_t inflight CTBUS_GUARDED_BY(mu) = 0;
+    bool reader_done CTBUS_GUARDED_BY(mu) = false;
   };
 
-  void AcceptLoop();
-  void ReaderLoop(Connection* connection);
-  void WriterLoop(Connection* connection);
+  void AcceptLoop() CTBUS_EXCLUDES(connections_mu_);
+  void ReaderLoop(Connection* connection) CTBUS_EXCLUDES(connection->mu);
+  void WriterLoop(Connection* connection) CTBUS_EXCLUDES(connection->mu);
   /// Turns one pending verdict into a wire response (waiting on the
   /// future and applying the deadline check for submitted requests).
   ResponseFrame ResolvePending(Pending* pending);
   void LogRequest(const Connection& connection, const ResponseFrame& response,
-                  double seconds);
+                  double seconds) CTBUS_EXCLUDES(log_mu_);
 
   service::PlanningService* service_;
   const ServerOptions options_;
@@ -170,13 +170,17 @@ class Server {
   ListenSocket listener_;
   std::thread accept_thread_;
   std::atomic<bool> stopping_{false};
+  /// Main-thread only (Start/Stop are not thread-safe against each other
+  /// by contract), so unguarded.
   bool started_ = false;
 
-  std::mutex connections_mu_;
-  std::vector<std::unique_ptr<Connection>> connections_;
-  std::uint64_t next_connection_id_ = 0;
+  mutable core::Mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_
+      CTBUS_GUARDED_BY(connections_mu_);
+  std::uint64_t next_connection_id_ CTBUS_GUARDED_BY(connections_mu_) = 0;
 
-  std::mutex log_mu_;
+  /// Serializes writes to *options_.log (the stream itself is unowned).
+  core::Mutex log_mu_;
 };
 
 }  // namespace ctbus::net

@@ -67,6 +67,13 @@ Socket ConnectLoopback(std::uint16_t port, std::string* error);
 
 /// Listening TCP socket on 127.0.0.1 (port 0 = kernel-assigned; the
 /// resolved port is readable afterwards).
+///
+/// Deliberately carries no CTBUS_GUARDED_BY annotations: fd_ is protected
+/// by a call protocol, not a mutex — Shutdown() is the only cross-thread
+/// entry point (it never writes fd_), and Close() is sequenced after the
+/// accept thread joins. The protocol is the contract; the comments on
+/// Shutdown/Close state it, and net_server_test's stop-while-accepting
+/// coverage plus the TSan CI job enforce it.
 class ListenSocket {
  public:
   ListenSocket() = default;

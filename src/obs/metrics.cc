@@ -121,7 +121,7 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (gauges_.count(name) > 0 || histograms_.count(name) > 0) {
     throw std::invalid_argument("metric name already used by another kind: " +
                                 name);
@@ -132,7 +132,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (counters_.count(name) > 0 || histograms_.count(name) > 0) {
     throw std::invalid_argument("metric name already used by another kind: " +
                                 name);
@@ -144,7 +144,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const Histogram::Options& options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (counters_.count(name) > 0 || gauges_.count(name) > 0) {
     throw std::invalid_argument("metric name already used by another kind: " +
                                 name);
@@ -156,7 +156,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   snapshot.counters.reserve(counters_.size());
   for (const auto& [name, counter] : counters_) {
     snapshot.counters.emplace_back(name, counter->Value());

@@ -37,11 +37,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace ctbus::obs {
 
@@ -143,22 +145,25 @@ class MetricsRegistry {
   /// calls return the same pointer (valid for the registry's lifetime).
   /// A name identifies at most one instrument kind; reusing a counter
   /// name for a gauge/histogram throws std::invalid_argument.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) CTBUS_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) CTBUS_EXCLUDES(mu_);
   Histogram* GetHistogram(
       const std::string& name,
-      const Histogram::Options& options = Histogram::Options());
+      const Histogram::Options& options = Histogram::Options())
+      CTBUS_EXCLUDES(mu_);
 
   /// Name-sorted snapshot, safe during concurrent recording.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const CTBUS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable core::Mutex mu_;
   // std::map keeps iteration name-sorted, which is what makes Snapshot's
   // ordering deterministic without a per-snapshot sort.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CTBUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ CTBUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CTBUS_GUARDED_BY(mu_);
 };
 
 /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.

@@ -12,7 +12,7 @@ TraceLog::TraceLog(std::size_t capacity, bool enabled)
 
 void TraceLog::Record(Span span) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(span));
   } else {
@@ -22,7 +22,7 @@ void TraceLog::Record(Span span) {
 }
 
 std::vector<Span> TraceLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (total_recorded_ <= capacity_) return ring_;
   // Wrapped: the oldest resident span sits at the next overwrite slot.
   std::vector<Span> spans;
@@ -48,18 +48,18 @@ void TraceLog::Dump(std::ostream& out) const {
 }
 
 void TraceLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   ring_.clear();
   total_recorded_ = 0;
 }
 
 std::size_t TraceLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return ring_.size();
 }
 
 std::uint64_t TraceLog::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return total_recorded_;
 }
 

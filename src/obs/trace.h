@@ -23,11 +23,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "core/timing.h"
 
 namespace ctbus::obs {
@@ -72,30 +73,30 @@ class TraceLog {
   /// Appends a span (overwriting the oldest past capacity). No-op while
   /// disabled, so an unguarded call site is still correct, just slower
   /// than a guarded one.
-  void Record(Span span);
+  void Record(Span span) CTBUS_EXCLUDES(mu_);
 
   /// Resident spans, oldest first.
-  std::vector<Span> Snapshot() const;
+  std::vector<Span> Snapshot() const CTBUS_EXCLUDES(mu_);
 
   /// JSON-lines export of Snapshot(); see the file header for the format.
-  void Dump(std::ostream& out) const;
+  void Dump(std::ostream& out) const CTBUS_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() CTBUS_EXCLUDES(mu_);
 
   std::size_t capacity() const { return capacity_; }
   /// Resident spans (<= capacity).
-  std::size_t size() const;
+  std::size_t size() const CTBUS_EXCLUDES(mu_);
   /// Spans ever recorded, including overwritten ones.
-  std::uint64_t total_recorded() const;
+  std::uint64_t total_recorded() const CTBUS_EXCLUDES(mu_);
 
  private:
   const std::size_t capacity_;
   std::atomic<bool> enabled_;
   std::atomic<std::uint64_t> next_trace_id_{0};
   core::Stopwatch epoch_;
-  mutable std::mutex mu_;
-  std::vector<Span> ring_;            // guarded by mu_
-  std::uint64_t total_recorded_ = 0;  // guarded by mu_
+  mutable core::Mutex mu_;
+  std::vector<Span> ring_ CTBUS_GUARDED_BY(mu_);
+  std::uint64_t total_recorded_ CTBUS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ctbus::obs

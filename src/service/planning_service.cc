@@ -81,6 +81,7 @@ PlanningService::PlanningService(const ServiceOptions& options)
     if (threads <= 0) threads = 1;
   }
   threads_per_shard_ = threads;
+  core::MutexLock lock(commit_mu_);
   commit_worker_ = std::thread([this] { CommitLoop(); });
 }
 
@@ -104,20 +105,26 @@ void PlanningService::RegisterDataset(
     shard->queue_depth_gauge =
         metrics_.GetGauge("service.shard." + name + ".queue_depth");
   }
-  std::lock_guard<std::mutex> lock(datasets_mu_);
+  core::MutexLock lock(datasets_mu_);
   if (shutting_down_.load()) {
     throw std::runtime_error("RegisterDataset after Shutdown");
   }
   if (shards_.count(name) > 0) {
     throw std::invalid_argument("RegisterDataset: duplicate name " + name);
   }
-  shard->live_workers = threads_per_shard_;
-  shard->workers.reserve(threads_per_shard_);
   Shard* raw = shard.get();
-  for (int i = 0; i < threads_per_shard_; ++i) {
-    const int worker_id = next_worker_id_.fetch_add(1);
-    shard->workers.emplace_back(
-        [this, raw, worker_id] { WorkerLoop(raw, worker_id); });
+  {
+    // The shard is not published yet, but the freshly spawned workers
+    // already reference it; hold its mutex so the spawn bookkeeping is
+    // ordered before any worker's first dequeue.
+    core::MutexLock shard_lock(shard->mu);
+    shard->live_workers = threads_per_shard_;
+    shard->workers.reserve(threads_per_shard_);
+    for (int i = 0; i < threads_per_shard_; ++i) {
+      const int worker_id = next_worker_id_.fetch_add(1);
+      shard->workers.emplace_back(
+          [this, raw, worker_id] { WorkerLoop(raw, worker_id); });
+    }
   }
   shards_.emplace(name, std::move(shard));
 }
@@ -128,12 +135,12 @@ void PlanningService::RegisterPreset(const std::string& name, double scale) {
 }
 
 bool PlanningService::HasDataset(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(datasets_mu_);
+  core::MutexLock lock(datasets_mu_);
   return shards_.count(name) > 0;
 }
 
 std::vector<std::string> PlanningService::DatasetNames() const {
-  std::lock_guard<std::mutex> lock(datasets_mu_);
+  core::MutexLock lock(datasets_mu_);
   std::vector<std::string> names;
   names.reserve(shards_.size());
   for (const auto& [name, shard] : shards_) names.push_back(name);
@@ -142,7 +149,7 @@ std::vector<std::string> PlanningService::DatasetNames() const {
 
 std::shared_ptr<PlanningService::Shard> PlanningService::FindShard(
     const std::string& dataset) const {
-  std::lock_guard<std::mutex> lock(datasets_mu_);
+  core::MutexLock lock(datasets_mu_);
   const auto it = shards_.find(dataset);
   if (it == shards_.end()) {
     throw std::invalid_argument("unknown dataset: " + dataset);
@@ -170,15 +177,15 @@ void PlanningService::Start() {
   if (!paused_.exchange(false)) return;
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    std::lock_guard<std::mutex> lock(datasets_mu_);
+    core::MutexLock lock(datasets_mu_);
     for (const auto& [name, shard] : shards_) shards.push_back(shard);
   }
   for (const auto& shard : shards) {
     // Empty critical section: a worker that read paused_ == true inside
     // its wait predicate either holds mu (we wait for it) or is about to
     // re-check after our notify. Never signal a cv without this handshake.
-    { std::lock_guard<std::mutex> lock(shard->mu); }
-    shard->not_empty.notify_all();
+    { core::MutexLock lock(shard->mu); }
+    shard->not_empty.NotifyAll();
   }
 }
 
@@ -198,27 +205,27 @@ std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
   // Count the submission before the task becomes visible to workers, so
   // completed can never be observed ahead of submitted.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ++service_stats_.submitted;
   }
   {
-    std::unique_lock<std::mutex> lock(shard->mu);
+    core::MutexLock lock(shard->mu);
     if (overflow_policy_ == OverflowPolicy::kReject &&
         shard->queued() >= queue_capacity_ && !shutting_down_.load()) {
-      lock.unlock();
+      lock.Unlock();
       if (metrics_enabled_) counters_.rejected->Add();
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      core::MutexLock stats_lock(stats_mu_);
       --service_stats_.submitted;
       ++service_stats_.rejected;
       throw std::runtime_error("PlanningService: shard queue full for " +
                                task.request.dataset);
     }
-    shard->not_full.wait(lock, [this, &shard] {
-      return shutting_down_.load() || shard->queued() < queue_capacity_;
-    });
+    while (!shutting_down_.load() && shard->queued() >= queue_capacity_) {
+      shard->not_full.Wait(shard->mu);
+    }
     if (shutting_down_.load()) {
-      lock.unlock();
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      lock.Unlock();
+      core::MutexLock stats_lock(stats_mu_);
       --service_stats_.submitted;
       throw std::runtime_error("PlanningService: Submit after Shutdown");
     }
@@ -244,7 +251,7 @@ std::future<ServiceResult> PlanningService::Submit(PlanRequest request) {
   // it — which is what lets it reconcile exactly with ServiceStats (whose
   // decrement-on-failure pattern a monotonic counter cannot mirror).
   if (metrics_enabled_) counters_.submitted->Add();
-  shard->not_empty.notify_one();
+  shard->not_empty.NotifyOne();
   return future;
 }
 
@@ -265,19 +272,19 @@ std::future<std::uint64_t> PlanningService::CommitAsync(ServiceResult result) {
   task.shard = FindShard(task.result.request.dataset);
   task.pinned_version = task.result.stats.snapshot_version;
   if (task.pinned_version != 0) {
-    std::lock_guard<std::mutex> lock(task.shard->mu);
+    core::MutexLock lock(task.shard->mu);
     ++task.shard->version_pins[task.pinned_version];
   }
   std::future<std::uint64_t> future = task.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(commit_mu_);
+    core::MutexLock lock(commit_mu_);
     if (commit_shutdown_) {
       UnpinVersion(task.shard.get(), task.pinned_version);
       throw std::runtime_error("PlanningService: CommitAsync after Shutdown");
     }
     commit_queue_.push_back(std::move(task));
   }
-  commit_cv_.notify_one();
+  commit_cv_.NotifyOne();
   return future;
 }
 
@@ -334,10 +341,10 @@ void PlanningService::CommitLoop() {
   for (;;) {
     CommitTask task;
     {
-      std::unique_lock<std::mutex> lock(commit_mu_);
-      commit_cv_.wait(lock, [this] {
-        return commit_shutdown_ || !commit_queue_.empty();
-      });
+      core::MutexLock lock(commit_mu_);
+      while (!commit_shutdown_ && commit_queue_.empty()) {
+        commit_cv_.Wait(commit_mu_);
+      }
       if (commit_queue_.empty()) return;  // shutting down and drained
       task = std::move(commit_queue_.front());
       commit_queue_.pop_front();
@@ -347,7 +354,7 @@ void PlanningService::CommitLoop() {
       UnpinVersion(task.shard.get(), task.pinned_version);
       if (metrics_enabled_) counters_.async_commits->Add();
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        core::MutexLock lock(stats_mu_);
         ++service_stats_.async_commits;
       }
       task.promise.set_value(version);
@@ -368,7 +375,7 @@ void PlanningService::UnpinVersionLocked(Shard* shard,
 
 void PlanningService::UnpinVersion(Shard* shard, std::uint64_t version) {
   if (shard == nullptr || version == 0) return;
-  std::lock_guard<std::mutex> lock(shard->mu);
+  core::MutexLock lock(shard->mu);
   UnpinVersionLocked(shard, version);
 }
 
@@ -395,7 +402,7 @@ void PlanningService::ApplyRetention(const std::string& dataset,
   }
   SnapshotStore::RetentionResult result;
   {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    core::MutexLock lock(shard->mu);
     protected_versions.reserve(protected_versions.size() +
                                shard->version_pins.size());
     for (const auto& [version, pins] : shard->version_pins) {
@@ -410,7 +417,7 @@ void PlanningService::ApplyRetention(const std::string& dataset,
     counters_.snapshots_pruned->Add(result.versions_pruned);
     counters_.lineage_trimmed->Add(result.lineage_trimmed);
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  core::MutexLock lock(stats_mu_);
   service_stats_.snapshots_pruned += result.versions_pruned;
   service_stats_.lineage_trimmed += result.lineage_trimmed;
 }
@@ -464,7 +471,7 @@ PrecomputeCache::PrecomputePtr PlanningService::ResolvePrecompute(
                    : counters_.precomputes_from_scratch)
           ->Add();
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     if (was_derived) {
       ++service_stats_.precomputes_derived;
     } else {
@@ -475,7 +482,7 @@ PrecomputeCache::PrecomputePtr PlanningService::ResolvePrecompute(
 }
 
 PlanningService::ServiceStats PlanningService::service_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  core::MutexLock lock(stats_mu_);
   return service_stats_;
 }
 
@@ -486,7 +493,7 @@ PlanningService::DatasetMemoryStats PlanningService::dataset_memory_stats(
   stats.resident_versions = shard->store->num_versions();
   stats.snapshot_bytes = shard->store->ApproxBytes();
   stats.lineage_records = shard->store->num_lineage_records();
-  std::lock_guard<std::mutex> lock(shard->mu);
+  core::MutexLock lock(shard->mu);
   stats.pinned_versions = shard->version_pins.size();
   stats.snapshots_pruned = shard->snapshots_pruned;
   stats.lineage_trimmed = shard->lineage_trimmed;
@@ -562,7 +569,7 @@ void PlanningService::Shutdown() {
   shutting_down_.store(true);
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    std::lock_guard<std::mutex> lock(datasets_mu_);
+    core::MutexLock lock(datasets_mu_);
     for (const auto& [name, shard] : shards_) shards.push_back(shard);
   }
   for (const auto& shard : shards) {
@@ -571,31 +578,30 @@ void PlanningService::Shutdown() {
     // possibly empty — set instead of double-joining the same threads.
     std::vector<std::thread> claimed;
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      core::MutexLock lock(shard->mu);
       claimed.swap(shard->workers);
     }
-    shard->not_empty.notify_all();
-    shard->not_full.notify_all();
+    shard->not_empty.NotifyAll();
+    shard->not_full.NotifyAll();
     for (std::thread& worker : claimed) {
       if (worker.joinable()) worker.join();
     }
     // A caller that claimed no threads (another Shutdown got there first)
     // must still not return until every worker has left WorkerLoop —
     // otherwise the destructor could tear members down under a live worker.
-    std::unique_lock<std::mutex> lock(shard->mu);
-    shard->workers_done.wait(lock,
-                             [&shard] { return shard->live_workers == 0; });
+    core::MutexLock lock(shard->mu);
+    while (shard->live_workers != 0) shard->workers_done.Wait(shard->mu);
   }
   // Drain the commit pipeline after the plan queues: workers are gone, so
   // no new CommitAsync producer is racing the drain from inside the
   // service (external callers now get a throw).
   std::thread commit_claimed;
   {
-    std::lock_guard<std::mutex> lock(commit_mu_);
+    core::MutexLock lock(commit_mu_);
     commit_shutdown_ = true;
     commit_claimed.swap(commit_worker_);
   }
-  commit_cv_.notify_all();
+  commit_cv_.NotifyAll();
   if (commit_claimed.joinable()) commit_claimed.join();
 }
 
@@ -604,14 +610,14 @@ void PlanningService::WorkerLoop(Shard* shard, int worker_id) {
     std::vector<Task> batch;
     double assembly_start = 0.0;
     {
-      std::unique_lock<std::mutex> lock(shard->mu);
-      shard->not_empty.wait(lock, [this, shard] {
-        return shutting_down_.load() ||
-               (!paused_.load() && shard->queued() > 0);
-      });
+      core::MutexLock lock(shard->mu);
+      while (!shutting_down_.load() &&
+             (paused_.load() || shard->queued() == 0)) {
+        shard->not_empty.Wait(shard->mu);
+      }
       if (shard->queued() == 0) {  // shutting down and drained
         --shard->live_workers;
-        if (shard->live_workers == 0) shard->workers_done.notify_all();
+        if (shard->live_workers == 0) shard->workers_done.NotifyAll();
         return;
       }
       if (trace_.enabled()) assembly_start = trace_.Now();
@@ -634,9 +640,9 @@ void PlanningService::WorkerLoop(Shard* shard, int worker_id) {
     }
     // A batch may have freed several queue slots at once.
     if (batch.size() > 1) {
-      shard->not_full.notify_all();
+      shard->not_full.NotifyAll();
     } else {
-      shard->not_full.notify_one();
+      shard->not_full.NotifyOne();
     }
     ExecuteBatch(shard, std::move(batch), worker_id);
   }
@@ -681,7 +687,7 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
       counters_.batches->Add();
       counters_.batched_requests->Add(batch.size() - 1);
     }
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    core::MutexLock lock(stats_mu_);
     ++service_stats_.batches;
     service_stats_.batched_requests += batch.size() - 1;
   }
@@ -731,7 +737,7 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
   // Snapshot resolution is done (the shared_ptr keeps it alive from here,
   // or the batch failed): release the members' queued-version pins.
   {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    core::MutexLock lock(shard->mu);
     for (const Task& task : batch) {
       UnpinVersionLocked(shard, task.pinned_version);
     }
@@ -744,7 +750,7 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
     if (failure != nullptr) {
       if (metrics_enabled_) counters_.completed->Add();
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        core::MutexLock lock(stats_mu_);
         ++service_stats_.completed;
       }
       task.promise.set_exception(failure);
@@ -826,14 +832,14 @@ void PlanningService::ExecuteBatch(Shard* shard, std::vector<Task> batch,
                              /*batch_leader=*/i == 0);
       }
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        core::MutexLock lock(stats_mu_);
         ++service_stats_.completed;
       }
       task.promise.set_value(std::move(result));
     } catch (...) {
       if (metrics_enabled_) counters_.completed->Add();
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        core::MutexLock lock(stats_mu_);
         ++service_stats_.completed;
       }
       task.promise.set_exception(std::current_exception());

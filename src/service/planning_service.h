@@ -71,12 +71,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
@@ -84,6 +82,8 @@
 #include <vector>
 
 #include "core/eta.h"
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "core/options.h"
 #include "core/planner.h"
 #include "obs/metrics.h"
@@ -114,17 +114,21 @@ struct ServiceOptions {
   /// Worker pool size *per dataset shard*. Every RegisterDataset call
   /// spawns this many dedicated workers for that dataset. 0 means
   /// std::thread::hardware_concurrency().
+  /// ctbus-lint: key-exempt(service topology knob; requests are keyed per dataset+options, not per pool size)
   int num_threads = 1;
   /// Bounded request queue per shard (interactive + sweep combined);
   /// overflow_policy decides what Submit does at capacity.
+  /// ctbus-lint: key-exempt(admission control, never reaches the planner)
   std::size_t queue_capacity = 256;
   /// Precompute cache entries (0 disables caching).
+  /// ctbus-lint: key-exempt(cache sizing changes hit rate, not entry identity)
   std::size_t cache_capacity = 16;
   /// Byte budget for the precompute cache: summed
   /// core::Precompute::ApproxBytes of resident ready entries (0 =
   /// unlimited). The entry-count capacity stays as a secondary limit;
   /// in-flight entries are never evicted, and a single entry larger than
   /// the whole budget is still admitted (see service/precompute_cache.h).
+  /// ctbus-lint: key-exempt(cache sizing changes hit rate, not entry identity)
   std::size_t cache_max_bytes = 0;
   /// Snapshot retention applied to a dataset's SnapshotStore after every
   /// Commit / CommitAsync (defaults keep everything — prior behavior).
@@ -132,30 +136,36 @@ struct ServiceOptions {
   /// planning results: pinned and cache-resident versions are protected,
   /// and a request against a genuinely pruned version fails the same way
   /// an unknown version always has.
+  /// ctbus-lint: key-exempt(retention prunes history; protected versions guarantee result-neutrality)
   SnapshotRetentionPolicy retention;
   /// Shared across shards; see OverflowPolicy.
+  /// ctbus-lint: key-exempt(admission control, never reaches the planner)
   OverflowPolicy overflow_policy = OverflowPolicy::kBlock;
   /// Upper bound on how many same-key sweep requests one worker executes
   /// per dequeue (1 disables batching). Interactive requests are never
   /// batched: they are latency-critical, and concurrent same-key misses
   /// are already deduplicated inside PrecomputeCache.
+  /// ctbus-lint: key-exempt(batching groups same-key requests; it cannot mix keys by construction)
   std::size_t max_batch_size = 8;
   /// Construct the service with every shard's workers parked: queued
   /// requests only start executing after Start(). Lets tests (and bulk
   /// loaders) enqueue a deterministic backlog, then observe strict
   /// priority/batch drain order.
+  /// ctbus-lint: key-exempt(lifecycle toggle, no effect on results)
   bool start_paused = false;
   /// On a precompute-cache miss, derive the precompute from a resident
   /// ancestor version (PlanningContext::DerivePrecompute) instead of
   /// recomputing from scratch, when the snapshot store can produce the
   /// delta. Disable to force every miss down the from-scratch path (A/B
   /// measurement, paranoia).
+  /// ctbus-lint: key-exempt(derive-vs-scratch produces the same precompute for deterministic estimators; stochastic carry error is bounded by max_warm_start_depth)
   bool warm_start_precompute = true;
   /// Bound on the stochastic path's carry-error compounding: a donor whose
   /// derivation chain is already this deep is not derived from again (the
   /// service falls back to an older shallower donor, or from scratch).
   /// From-scratch donors are always preferred when resident, so chains
   /// normally stay at depth 1; must be >= 1.
+  /// ctbus-lint: key-exempt(derivation-chain bound, not a precompute input)
   int max_warm_start_depth = 8;
   /// Record service metrics (counters mirroring ServiceStats, per-phase /
   /// per-priority latency histograms, shard queue-depth gauges) into the
@@ -165,6 +175,7 @@ struct ServiceOptions {
   /// registry instrument at zero — MetricsSnapshot() then reports only
   /// the always-on cache / snapshot-store views. Metrics NEVER affect
   /// planning results either way.
+  /// ctbus-lint: key-exempt(observability toggle, result-neutral by contract)
   bool enable_metrics = true;
   /// Record per-request phase spans (queue-wait, batch-assembly,
   /// precompute-resolve, context-build, plan-search, commit) into a
@@ -172,8 +183,10 @@ struct ServiceOptions {
   /// default; when off the only cost is one branch per potential span.
   /// Flippable at runtime via trace_log().set_enabled(). Tracing NEVER
   /// affects planning results.
+  /// ctbus-lint: key-exempt(observability toggle, result-neutral by contract)
   bool enable_tracing = false;
   /// Span ring-buffer capacity; past it the oldest spans are overwritten.
+  /// ctbus-lint: key-exempt(observability sizing, result-neutral by contract)
   std::size_t trace_capacity = 4096;
 };
 
@@ -257,8 +270,8 @@ class PlanningService {
   /// Registers a gen:: preset by registry name (see gen::DatasetNames()).
   void RegisterPreset(const std::string& name, double scale = 1.0);
 
-  bool HasDataset(const std::string& name) const;
-  std::vector<std::string> DatasetNames() const;
+  bool HasDataset(const std::string& name) const CTBUS_EXCLUDES(datasets_mu_);
+  std::vector<std::string> DatasetNames() const CTBUS_EXCLUDES(datasets_mu_);
 
   std::uint64_t LatestVersion(const std::string& dataset) const;
   SnapshotPtr Snapshot(const std::string& dataset,
@@ -321,7 +334,7 @@ class PlanningService {
     std::uint64_t snapshots_pruned = 0;
     std::uint64_t lineage_trimmed = 0;
   };
-  ServiceStats service_stats() const;
+  ServiceStats service_stats() const CTBUS_EXCLUDES(stats_mu_);
 
   /// Per-dataset memory accounting, read under the shard's lock.
   struct DatasetMemoryStats {
@@ -398,26 +411,29 @@ class PlanningService {
     std::shared_ptr<SnapshotStore> store;
     /// Retention enforced after each commit to this dataset.
     SnapshotRetentionPolicy retention;
-    std::mutex mu;
-    std::condition_variable not_empty;
-    std::condition_variable not_full;
-    std::condition_variable workers_done;
-    std::deque<Task> interactive;  // drained before sweep
-    std::deque<Task> sweep;        // batched by precompute key
-    int live_workers = 0;  // guarded by mu
-    std::vector<std::thread> workers;
+    core::Mutex mu;
+    core::CondVar not_empty;
+    core::CondVar not_full;
+    core::CondVar workers_done;
+    std::deque<Task> interactive CTBUS_GUARDED_BY(mu);  // drained first
+    std::deque<Task> sweep CTBUS_GUARDED_BY(mu);  // batched by key
+    int live_workers CTBUS_GUARDED_BY(mu) = 0;
+    std::vector<std::thread> workers CTBUS_GUARDED_BY(mu);
     /// version -> pin count for queued explicit-version requests and
     /// pending async commits; pinned versions survive retention passes.
-    /// Guarded by mu.
-    std::unordered_map<std::uint64_t, int> version_pins;
-    /// Cumulative retention removals for this dataset. Guarded by mu.
-    std::uint64_t snapshots_pruned = 0;
-    std::uint64_t lineage_trimmed = 0;
-    /// Live "service.shard.<dataset>.queue_depth" gauge (owned by the
-    /// service registry; updated under mu at enqueue/dequeue).
+    std::unordered_map<std::uint64_t, int> version_pins CTBUS_GUARDED_BY(mu);
+    /// Cumulative retention removals for this dataset.
+    std::uint64_t snapshots_pruned CTBUS_GUARDED_BY(mu) = 0;
+    std::uint64_t lineage_trimmed CTBUS_GUARDED_BY(mu) = 0;
+    /// Live "service.shard.<dataset>.queue_depth" gauge. Written once at
+    /// RegisterDataset before the shard is published, const afterwards
+    /// (the Gauge itself records through relaxed atomics), so the pointer
+    /// needs no guard.
     obs::Gauge* queue_depth_gauge = nullptr;
 
-    std::size_t queued() const { return interactive.size() + sweep.size(); }
+    std::size_t queued() const CTBUS_REQUIRES(mu) {
+      return interactive.size() + sweep.size();
+    }
   };
 
   struct CommitTask {
@@ -431,28 +447,38 @@ class PlanningService {
     std::uint64_t pinned_version = 0;
   };
 
-  void WorkerLoop(Shard* shard, int worker_id);
-  void CommitLoop();
+  void WorkerLoop(Shard* shard, int worker_id) CTBUS_EXCLUDES(shard->mu);
+  void CommitLoop() CTBUS_EXCLUDES(commit_mu_);
   /// Dequeues the next batch from `shard` (caller holds shard->mu):
   /// the front interactive task alone, or the front sweep task plus every
   /// queued sweep task sharing its batch key (up to max_batch_size_).
-  std::vector<Task> NextBatchLocked(Shard* shard);
+  std::vector<Task> NextBatchLocked(Shard* shard) CTBUS_REQUIRES(shard->mu);
   /// Resolves snapshot + precompute once, then plans every task of the
   /// batch with a private context, fulfilling each task's promise.
-  void ExecuteBatch(Shard* shard, std::vector<Task> batch, int worker_id);
+  void ExecuteBatch(Shard* shard, std::vector<Task> batch, int worker_id)
+      CTBUS_EXCLUDES(shard->mu);
   std::uint64_t CommitNow(const ServiceResult& result);
-  std::shared_ptr<SnapshotStore> Store(const std::string& dataset) const;
-  std::shared_ptr<Shard> FindShard(const std::string& dataset) const;
+  std::shared_ptr<SnapshotStore> Store(const std::string& dataset) const
+      CTBUS_EXCLUDES(datasets_mu_);
+  std::shared_ptr<Shard> FindShard(const std::string& dataset) const
+      CTBUS_EXCLUDES(datasets_mu_);
 
   /// Decrements `version`'s pin count on `shard` (no-op for version 0).
-  void UnpinVersion(Shard* shard, std::uint64_t version);
+  void UnpinVersion(Shard* shard, std::uint64_t version)
+      CTBUS_EXCLUDES(shard->mu);
   /// Same, with shard->mu already held by the caller.
-  void UnpinVersionLocked(Shard* shard, std::uint64_t version);
+  void UnpinVersionLocked(Shard* shard, std::uint64_t version)
+      CTBUS_REQUIRES(shard->mu);
   /// Runs the shard's retention policy over its snapshot store,
   /// protecting pinned versions and every version with a resident
   /// precompute-cache entry for `dataset`. Called after each commit;
-  /// no-op when the policy is unlimited.
-  void ApplyRetention(const std::string& dataset, Shard* shard);
+  /// no-op when the policy is unlimited. Lock order: takes shard->mu and
+  /// holds it ACROSS the store's ApplyRetention (shard -> store); the
+  /// CTBUS_EXCLUDES here plus the EXCLUDES on every SnapshotStore entry
+  /// point make the inverse order (store lock held while taking
+  /// shard->mu) inexpressible without a compile error.
+  void ApplyRetention(const std::string& dataset, Shard* shard)
+      CTBUS_EXCLUDES(shard->mu);
 
   /// Cache lookup with warm start: on a miss, tries to derive from the
   /// nearest resident ancestor version before computing from scratch.
@@ -517,20 +543,21 @@ class PlanningService {
   /// Set by Shutdown (under every shard's mu) to drain-and-join.
   std::atomic<bool> shutting_down_{false};
 
-  mutable std::mutex datasets_mu_;
-  std::unordered_map<std::string, std::shared_ptr<Shard>> shards_;
+  mutable core::Mutex datasets_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Shard>> shards_
+      CTBUS_GUARDED_BY(datasets_mu_);
 
   std::atomic<std::uint64_t> execute_sequence_{0};
   std::atomic<int> next_worker_id_{0};
 
-  std::mutex commit_mu_;
-  std::condition_variable commit_cv_;
-  std::deque<CommitTask> commit_queue_;
-  bool commit_shutdown_ = false;  // guarded by commit_mu_
-  std::thread commit_worker_;
+  core::Mutex commit_mu_;
+  core::CondVar commit_cv_;
+  std::deque<CommitTask> commit_queue_ CTBUS_GUARDED_BY(commit_mu_);
+  bool commit_shutdown_ CTBUS_GUARDED_BY(commit_mu_) = false;
+  std::thread commit_worker_ CTBUS_GUARDED_BY(commit_mu_);
 
-  mutable std::mutex stats_mu_;
-  ServiceStats service_stats_;
+  mutable core::Mutex stats_mu_;
+  ServiceStats service_stats_ CTBUS_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace ctbus::service

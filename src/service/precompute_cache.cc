@@ -73,7 +73,7 @@ PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
     const PrecomputeKey& key, const ComputeFn& compute, bool* was_hit) {
   if (capacity_ == 0) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(mu_);
       ++stats_.misses;
     }
     if (was_hit != nullptr) *was_hit = false;
@@ -83,13 +83,13 @@ PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
   std::promise<PrecomputePtr> promise;
   std::uint64_t generation = 0;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       std::shared_future<PrecomputePtr> future = it->second.future;
-      lock.unlock();
+      lock.Unlock();
       if (was_hit != nullptr) *was_hit = true;
       return future.get();  // ready, or being computed by another caller
     }
@@ -105,7 +105,7 @@ PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
     PrecomputePtr result =
         std::make_shared<const core::Precompute>(compute());
     promise.set_value(result);
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end() && it->second.generation == generation) {
       it->second.ready = true;
@@ -116,7 +116,7 @@ PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
     return result;
   } catch (...) {
     promise.set_exception(std::current_exception());
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end() && it->second.generation == generation) {
       lru_.erase(it->second.lru_it);
@@ -154,7 +154,7 @@ std::vector<std::pair<std::uint64_t, PrecomputeCache::PrecomputePtr>>
 PrecomputeCache::ReadySiblings(const PrecomputeKey& key) const {
   std::vector<std::pair<std::uint64_t, PrecomputePtr>> siblings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     for (const auto& [resident_key, entry] : entries_) {
       if (!entry.ready) continue;
       if (resident_key.snapshot_version == key.snapshot_version) continue;
@@ -171,42 +171,42 @@ PrecomputeCache::ReadySiblings(const PrecomputeKey& key) const {
 }
 
 bool PrecomputeCache::Contains(const PrecomputeKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return entries_.count(key) > 0;
 }
 
 PrecomputeCache::PrecomputePtr PrecomputeCache::Peek(
     const PrecomputeKey& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end() || !it->second.ready) return nullptr;
   return it->second.future.get();  // ready => never blocks
 }
 
 std::vector<PrecomputeKey> PrecomputeCache::KeysByRecency() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return {lru_.begin(), lru_.end()};
 }
 
 void PrecomputeCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   entries_.clear();
   lru_.clear();
   resident_bytes_ = 0;
 }
 
 std::size_t PrecomputeCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::size_t PrecomputeCache::resident_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return resident_bytes_;
 }
 
 PrecomputeCache::Stats PrecomputeCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   Stats stats = stats_;
   stats.resident_bytes = resident_bytes_;
   return stats;

@@ -36,13 +36,14 @@
 #include <future>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/mutex.h"
 #include "core/options.h"
 #include "core/planning_context.h"
+#include "core/thread_annotations.h"
 
 namespace ctbus::service {
 
@@ -117,7 +118,7 @@ class PrecomputeCache {
   /// or another caller, never while unrelated keys compute.
   PrecomputePtr GetOrCompute(const PrecomputeKey& key,
                              const ComputeFn& compute,
-                             bool* was_hit = nullptr);
+                             bool* was_hit = nullptr) CTBUS_EXCLUDES(mu_);
 
   /// Warm-start donor lookup: every *ready* resident entry whose key
   /// matches `key` on all fields except snapshot_version, returned as
@@ -126,29 +127,29 @@ class PrecomputeCache {
   /// entries and `key`'s own version are excluded. Does not touch LRU
   /// order — deriving from a donor is not a use of the donor's entry.
   std::vector<std::pair<std::uint64_t, PrecomputePtr>> ReadySiblings(
-      const PrecomputeKey& key) const;
+      const PrecomputeKey& key) const CTBUS_EXCLUDES(mu_);
 
   /// True if `key` is resident (does not touch LRU order).
-  bool Contains(const PrecomputeKey& key) const;
+  bool Contains(const PrecomputeKey& key) const CTBUS_EXCLUDES(mu_);
 
   /// The ready value for `key` if resident, else nullptr (in-flight
   /// entries also return nullptr — Peek never blocks). Does not touch
   /// LRU order or hit/miss stats. The serving layer's commit path uses
   /// this to map a result's edge ids through its planned-in universe even
   /// after the planned-against snapshot version was pruned by retention.
-  PrecomputePtr Peek(const PrecomputeKey& key) const;
+  PrecomputePtr Peek(const PrecomputeKey& key) const CTBUS_EXCLUDES(mu_);
 
   /// Resident keys, most recently used first. For tests and introspection.
-  std::vector<PrecomputeKey> KeysByRecency() const;
+  std::vector<PrecomputeKey> KeysByRecency() const CTBUS_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() CTBUS_EXCLUDES(mu_);
 
-  std::size_t size() const;
+  std::size_t size() const CTBUS_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
   std::size_t max_bytes() const { return max_bytes_; }
   /// Summed ApproxBytes of resident ready entries.
-  std::size_t resident_bytes() const;
-  Stats stats() const;
+  std::size_t resident_bytes() const CTBUS_EXCLUDES(mu_);
+  Stats stats() const CTBUS_EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -168,16 +169,19 @@ class PrecomputeCache {
   /// Evicts ready entries from the LRU tail until within the entry-count
   /// capacity AND the byte budget (or only in-flight entries and the MRU
   /// entry remain). Caller holds mu_.
-  void EvictReadyLocked();
+  void EvictReadyLocked() CTBUS_REQUIRES(mu_);
 
   const std::size_t capacity_;
   const std::size_t max_bytes_;
-  mutable std::mutex mu_;
-  std::list<PrecomputeKey> lru_;  // front = most recently used
-  std::unordered_map<PrecomputeKey, Entry, PrecomputeKeyHash> entries_;
-  std::uint64_t next_generation_ = 0;
-  std::size_t resident_bytes_ = 0;  // summed Entry::bytes of ready entries
-  Stats stats_;
+  mutable core::Mutex mu_;
+  // front = most recently used
+  std::list<PrecomputeKey> lru_ CTBUS_GUARDED_BY(mu_);
+  std::unordered_map<PrecomputeKey, Entry, PrecomputeKeyHash> entries_
+      CTBUS_GUARDED_BY(mu_);
+  std::uint64_t next_generation_ CTBUS_GUARDED_BY(mu_) = 0;
+  /// Summed Entry::bytes of ready entries.
+  std::size_t resident_bytes_ CTBUS_GUARDED_BY(mu_) = 0;
+  Stats stats_ CTBUS_GUARDED_BY(mu_);
 };
 
 }  // namespace ctbus::service

@@ -22,28 +22,28 @@ SnapshotStore::SnapshotStore(graph::RoadNetwork road,
 }
 
 SnapshotPtr SnapshotStore::Latest() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return latest_;
 }
 
 SnapshotPtr SnapshotStore::Get(std::uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   const auto it = versions_.find(version);
   return it == versions_.end() ? nullptr : it->second;
 }
 
 std::uint64_t SnapshotStore::latest_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return latest_->version;
 }
 
 std::size_t SnapshotStore::num_versions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return versions_.size();
 }
 
 std::vector<std::uint64_t> SnapshotStore::Versions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   std::vector<std::uint64_t> versions;
   versions.reserve(versions_.size());
   for (const auto& [version, snapshot] : versions_) versions.push_back(version);
@@ -56,7 +56,7 @@ std::uint64_t SnapshotStore::CommitRoute(const core::PlanResult& result,
   if (!result.found) {
     throw std::invalid_argument("CommitRoute: result has no route");
   }
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  core::MutexLock commit_lock(commit_mu_);
   SnapshotPtr base =
       base_version == 0 ? Latest() : Get(base_version);
   if (base == nullptr) {
@@ -97,14 +97,14 @@ std::uint64_t SnapshotStore::CommitRoute(const core::PlanResult& result,
 }
 
 std::uint64_t SnapshotStore::ParentVersion(std::uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   const auto it = lineage_.find(version);
   return it == lineage_.end() ? 0 : it->second.parent_version;
 }
 
 std::optional<core::SnapshotDelta> SnapshotStore::DeltaBetween(
     std::uint64_t from_version, std::uint64_t to_version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   core::SnapshotDelta composed;
   std::uint64_t cursor = to_version;
   while (cursor != from_version) {
@@ -130,7 +130,7 @@ std::optional<core::SnapshotDelta> SnapshotStore::DeltaBetween(
 }
 
 void SnapshotStore::Prune(std::size_t keep_latest) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   // keep_latest == 0 would erase every version including the latest,
   // leaving Get(latest_version()) == nullptr while Latest() still hands
   // out the snapshot. The latest version is always retained.
@@ -144,7 +144,7 @@ void SnapshotStore::Prune(std::size_t keep_latest) {
 SnapshotStore::RetentionResult SnapshotStore::ApplyRetention(
     const SnapshotRetentionPolicy& policy,
     const std::vector<std::uint64_t>& protected_versions) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   RetentionResult result;
   const std::unordered_set<std::uint64_t> protected_set(
       protected_versions.begin(), protected_versions.end());
@@ -186,12 +186,12 @@ SnapshotStore::RetentionResult SnapshotStore::ApplyRetention(
 }
 
 std::size_t SnapshotStore::ApproxBytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return resident_bytes_;
 }
 
 std::size_t SnapshotStore::num_lineage_records() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return lineage_.size();
 }
 
@@ -209,7 +209,7 @@ std::uint64_t SnapshotStore::Publish(graph::RoadNetwork road,
   // exactly once per version.
   snapshot->approx_bytes =
       snapshot->road->ApproxBytes() + snapshot->transit->ApproxBytes();
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   snapshot->version = next_version_++;
   latest_ = SnapshotPtr(std::move(snapshot));
   versions_[latest_->version] = latest_;

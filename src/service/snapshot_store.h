@@ -31,11 +31,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "core/edge_universe.h"
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "core/eta.h"
 #include "core/planning_context.h"
 #include "graph/road_network.h"
@@ -78,18 +79,18 @@ class SnapshotStore {
   SnapshotStore& operator=(const SnapshotStore&) = delete;
 
   /// The most recently committed version.
-  SnapshotPtr Latest() const;
+  SnapshotPtr Latest() const CTBUS_EXCLUDES(mu_);
 
   /// A specific version, or nullptr if it was never published (or pruned).
-  SnapshotPtr Get(std::uint64_t version) const;
+  SnapshotPtr Get(std::uint64_t version) const CTBUS_EXCLUDES(mu_);
 
-  std::uint64_t latest_version() const;
-  std::size_t num_versions() const;
+  std::uint64_t latest_version() const CTBUS_EXCLUDES(mu_);
+  std::size_t num_versions() const CTBUS_EXCLUDES(mu_);
 
   /// Resident (not pruned) version ids, ascending. For stress-test
   /// replays and operational introspection; pruned versions held alive by
   /// in-flight queries do not appear.
-  std::vector<std::uint64_t> Versions() const;
+  std::vector<std::uint64_t> Versions() const CTBUS_EXCLUDES(mu_);
 
   /// Applies a planned route on top of `base_version` (0 = latest) with
   /// CtBusPlanner::CommitRoute semantics: realize the route's edges in the
@@ -102,11 +103,13 @@ class SnapshotStore {
   /// readers are never blocked by a commit in progress.
   std::uint64_t CommitRoute(const core::PlanResult& result,
                             const core::EdgeUniverse& universe,
-                            std::uint64_t base_version = 0);
+                            std::uint64_t base_version = 0)
+      CTBUS_EXCLUDES(commit_mu_, mu_);
 
   /// The version `version` was committed on top of, or 0 for the seed
   /// version (and for versions this store never published).
-  std::uint64_t ParentVersion(std::uint64_t version) const;
+  std::uint64_t ParentVersion(std::uint64_t version) const
+      CTBUS_EXCLUDES(mu_);
 
   /// The composed edge-diff from `from_version` to `to_version`: the stop
   /// pairs whose transit edges were activated, the stops they touch, and
@@ -122,14 +125,15 @@ class SnapshotStore {
   /// DerivePrecompute needs only the *new* snapshot's networks plus the
   /// delta, never the donor's networks.
   std::optional<core::SnapshotDelta> DeltaBetween(
-      std::uint64_t from_version, std::uint64_t to_version) const;
+      std::uint64_t from_version, std::uint64_t to_version) const
+      CTBUS_EXCLUDES(mu_);
 
   /// Drops all but the `keep_latest` newest versions from the index.
   /// `keep_latest` is clamped to >= 1: the latest version is never pruned,
   /// so Get(latest_version()) and Latest() always agree. In-flight queries
   /// holding dropped snapshots keep them alive. Lineage records (parent
   /// links + deltas) are kept — see DeltaBetween.
-  void Prune(std::size_t keep_latest);
+  void Prune(std::size_t keep_latest) CTBUS_EXCLUDES(mu_);
 
   /// What one ApplyRetention pass removed.
   struct RetentionResult {
@@ -154,13 +158,14 @@ class SnapshotStore {
   /// but never sever a declared donor's lineage mid-derive.
   RetentionResult ApplyRetention(
       const SnapshotRetentionPolicy& policy,
-      const std::vector<std::uint64_t>& protected_versions = {});
+      const std::vector<std::uint64_t>& protected_versions = {})
+      CTBUS_EXCLUDES(mu_);
 
   /// Summed ApproxBytes of the resident (not pruned) versions. O(1).
-  std::size_t ApproxBytes() const;
+  std::size_t ApproxBytes() const CTBUS_EXCLUDES(mu_);
 
   /// Resident lineage records (for tests and introspection).
-  std::size_t num_lineage_records() const;
+  std::size_t num_lineage_records() const CTBUS_EXCLUDES(mu_);
 
  private:
   /// One commit's worth of lineage: the parent version and the edge-diff
@@ -172,15 +177,22 @@ class SnapshotStore {
 
   std::uint64_t Publish(graph::RoadNetwork road, graph::TransitNetwork transit,
                         std::uint64_t parent_version,
-                        core::SnapshotDelta delta);
+                        core::SnapshotDelta delta) CTBUS_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::mutex commit_mu_;  // serializes CommitRoute end-to-end
-  std::uint64_t next_version_ = 1;
-  std::map<std::uint64_t, SnapshotPtr> versions_;
-  std::map<std::uint64_t, Lineage> lineage_;  // keyed by child version
-  SnapshotPtr latest_;
-  std::size_t resident_bytes_ = 0;  // summed approx_bytes of versions_
+  mutable core::Mutex mu_;
+  /// Serializes CommitRoute end-to-end. Lock order: commit_mu_ before mu_
+  /// (CommitRoute reads the base under mu_, then publishes under mu_,
+  /// while holding commit_mu_ throughout); nothing takes commit_mu_ while
+  /// holding mu_. Both sit BELOW PlanningService's Shard::mu in the global
+  /// order — see PlanningService::ApplyRetention.
+  core::Mutex commit_mu_ CTBUS_ACQUIRED_BEFORE(mu_);
+  std::uint64_t next_version_ CTBUS_GUARDED_BY(mu_) = 1;
+  std::map<std::uint64_t, SnapshotPtr> versions_ CTBUS_GUARDED_BY(mu_);
+  /// Keyed by child version.
+  std::map<std::uint64_t, Lineage> lineage_ CTBUS_GUARDED_BY(mu_);
+  SnapshotPtr latest_ CTBUS_GUARDED_BY(mu_);
+  /// Summed approx_bytes of versions_.
+  std::size_t resident_bytes_ CTBUS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace ctbus::service
