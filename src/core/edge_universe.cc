@@ -126,6 +126,22 @@ EdgeUniverse EdgeUniverse::DeriveFrom(const EdgeUniverse& prev,
   return universe;
 }
 
+EdgeUniverse EdgeUniverse::FromEdges(std::vector<PlannableEdge> edges,
+                                     int num_stops) {
+  EdgeUniverse universe;
+  universe.incident_.resize(num_stops);
+  universe.edges_ = std::move(edges);
+  for (int id = 0; id < universe.num_edges(); ++id) {
+    const PlannableEdge& edge = universe.edges_[id];
+    assert(edge.u >= 0 && edge.u < num_stops);
+    assert(edge.v >= 0 && edge.v < num_stops);
+    universe.incident_[edge.u].push_back(id);
+    universe.incident_[edge.v].push_back(id);
+    if (edge.is_new) ++universe.num_new_edges_;
+  }
+  return universe;
+}
+
 std::size_t EdgeUniverse::ApproxBytes() const {
   std::size_t bytes = sizeof(EdgeUniverse) +
                       edges_.size() * sizeof(PlannableEdge) +

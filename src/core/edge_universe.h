@@ -67,10 +67,22 @@ class EdgeUniverse {
                                  const graph::RoadNetwork& road,
                                  const graph::TransitNetwork& transit);
 
+  /// Reassembles a universe from already-realized edges (the binary
+  /// snapshot load path): rebuilds the incidence index and the new-edge
+  /// count exactly as Build does — per edge in id order, u's list before
+  /// v's — so the result is bit-identical to the universe the edges were
+  /// exported from. Every endpoint must lie in [0, num_stops).
+  static EdgeUniverse FromEdges(std::vector<PlannableEdge> edges,
+                                int num_stops);
+
   int num_edges() const { return static_cast<int>(edges_.size()); }
   int num_new_edges() const { return num_new_edges_; }
   int num_existing_edges() const { return num_edges() - num_new_edges_; }
   const PlannableEdge& edge(int e) const { return edges_[e]; }
+
+  /// Number of stops the incidence index covers (the transit network's
+  /// stop count at build time).
+  int num_stops() const { return static_cast<int>(incident_.size()); }
 
   /// Universe edges incident to `stop`.
   const std::vector<int>& IncidentEdges(int stop) const {

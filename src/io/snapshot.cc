@@ -1,0 +1,1131 @@
+#include "io/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+namespace ctbus::io {
+namespace {
+
+// Section tags, chosen so the on-disk bytes read as ASCII.
+constexpr std::uint32_t kTagRoad = 0x44414F52u;        // "ROAD"
+constexpr std::uint32_t kTagTransit = 0x534E5254u;     // "TRNS"
+constexpr std::uint32_t kTagPrecompute = 0x43455250u;  // "PREC"
+constexpr std::uint32_t kTagDemand = 0x444E4D44u;      // "DMND"
+constexpr std::uint32_t kTagSpillKey = 0x59454B53u;    // "SKEY"
+
+/// Longest dataset name accepted in a spill-key section.
+constexpr std::size_t kMaxDatasetName = 4096;
+
+std::string TagToAscii(std::uint32_t tag) {
+  std::string s;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+    s.push_back(c >= 0x20 && c < 0x7f ? c : '?');
+  }
+  return s;
+}
+
+// ------------------------------------------------------------ writing ----
+
+void AppendU8(std::vector<std::uint8_t>* out, std::uint8_t v) {
+  out->push_back(v);
+}
+
+void AppendU16(std::vector<std::uint8_t>* out, std::uint16_t v) {
+  out->push_back(static_cast<std::uint8_t>(v & 0xff));
+  out->push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void AppendU32(std::vector<std::uint8_t>* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendU64(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void AppendI32(std::vector<std::uint8_t>* out, std::int32_t v) {
+  AppendU32(out, static_cast<std::uint32_t>(v));
+}
+
+void AppendI64(std::vector<std::uint8_t>* out, std::int64_t v) {
+  AppendU64(out, static_cast<std::uint64_t>(v));
+}
+
+void AppendF64(std::vector<std::uint8_t>* out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::vector<std::uint8_t>* out, const std::string& s) {
+  AppendU16(out, static_cast<std::uint16_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void AppendIntList(std::vector<std::uint8_t>* out,
+                   const std::vector<int>& values) {
+  AppendU32(out, static_cast<std::uint32_t>(values.size()));
+  for (int v : values) AppendI32(out, static_cast<std::int32_t>(v));
+}
+
+// ------------------------------------------------------------ reading ----
+
+/// Strict bounded cursor over one section payload (net/frame.cc's
+/// PayloadReader with a section-name prefix): every Read* checks the
+/// remaining bytes, list counts are validated against the bytes actually
+/// present BEFORE any allocation, and the first failure is recorded as
+/// "<prefix>field <name> at offset <n>: <reason>"; later reads fail too,
+/// so call sites chain reads and check once.
+class SnapshotReader {
+ public:
+  SnapshotReader(const std::uint8_t* data, std::size_t size,
+                 std::string prefix)
+      : data_(data), size_(size), prefix_(std::move(prefix)) {}
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  bool ReadU8(const char* field, std::uint8_t* out) {
+    if (!Require(field, 1)) return false;
+    *out = data_[offset_++];
+    return true;
+  }
+
+  bool ReadU32(const char* field, std::uint32_t* out) {
+    if (!Require(field, 4)) return false;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool ReadU64(const char* field, std::uint64_t* out) {
+    if (!Require(field, 8)) return false;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[offset_ + i]) << (8 * i);
+    }
+    offset_ += 8;
+    *out = v;
+    return true;
+  }
+
+  bool ReadI32(const char* field, std::int32_t* out) {
+    std::uint32_t raw = 0;
+    if (!ReadU32(field, &raw)) return false;
+    *out = static_cast<std::int32_t>(raw);
+    return true;
+  }
+
+  bool ReadI64(const char* field, std::int64_t* out) {
+    std::uint64_t raw = 0;
+    if (!ReadU64(field, &raw)) return false;
+    *out = static_cast<std::int64_t>(raw);
+    return true;
+  }
+
+  bool ReadF64(const char* field, double* out) {
+    std::uint64_t bits = 0;
+    if (!ReadU64(field, &bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  /// Finite-only double: NaN/Inf from disk must never reach the planner
+  /// (lengths feed Dijkstra orderings, increments feed objective math).
+  bool ReadFiniteF64(const char* field, double* out) {
+    if (!ReadF64(field, out)) return false;
+    if (!std::isfinite(*out)) return Fail(field, "non-finite value");
+    return true;
+  }
+
+  bool ReadBool(const char* field, bool* out) {
+    std::uint8_t v = 0;
+    if (!ReadU8(field, &v)) return false;
+    if (v > 1) return Fail(field, "flag byte not 0 or 1");
+    *out = v != 0;
+    return true;
+  }
+
+  bool ReadString(const char* field, std::size_t max_bytes,
+                  std::string* out) {
+    std::uint16_t length16 = 0;
+    if (!Require(field, 2)) return false;
+    length16 = static_cast<std::uint16_t>(data_[offset_] |
+                                          (data_[offset_ + 1] << 8));
+    offset_ += 2;
+    if (length16 > max_bytes) return Fail(field, "length above bound");
+    if (!Require(field, length16)) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + offset_), length16);
+    offset_ += length16;
+    return true;
+  }
+
+  /// Reads a u32 element count for elements of `element_bytes` each,
+  /// validating the byte requirement against the real payload BEFORE the
+  /// caller allocates: a declared count the payload cannot possibly hold
+  /// fails here, so a corrupt length can never drive an allocation.
+  bool ReadCount(const char* field, std::size_t element_bytes,
+                 std::uint32_t* out) {
+    if (!ReadU32(field, out)) return false;
+    if (!Require(field, static_cast<std::size_t>(*out) * element_bytes)) {
+      return false;
+    }
+    return true;
+  }
+
+  bool ReadIntList(const char* field, std::vector<int>* out) {
+    std::uint32_t count = 0;
+    if (!ReadCount(field, 4, &count)) return false;
+    out->clear();
+    out->reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      std::int32_t v = 0;
+      ReadI32(field, &v);
+      out->push_back(static_cast<int>(v));
+    }
+    return ok();
+  }
+
+  /// The whole payload must be consumed: trailing bytes mean a framing
+  /// bug (or smuggled data) and are rejected like any bad field.
+  bool ExpectEnd() {
+    if (!ok()) return false;
+    if (offset_ != size_) {
+      return Fail("payload", "trailing bytes after last field");
+    }
+    return true;
+  }
+
+  bool Fail(const char* field, const std::string& reason) {
+    if (error_.empty()) {
+      error_ = prefix_ + "field " + field + " at offset " +
+               std::to_string(offset_) + ": " + reason;
+    }
+    return false;
+  }
+
+ private:
+  bool Require(const char* field, std::size_t bytes) {
+    if (!ok()) return false;
+    if (size_ - offset_ < bytes) return Fail(field, "truncated payload");
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::string prefix_;
+  std::size_t offset_ = 0;
+  std::string error_;
+};
+
+// -------------------------------------------------------- object bodies ----
+// Encode*/Decode* pairs over an ongoing buffer/reader, shared by the
+// standalone object API and the section payloads of the containers.
+
+void EncodeGraphBody(const graph::Graph& graph,
+                     std::vector<std::uint8_t>* out) {
+  AppendU32(out, static_cast<std::uint32_t>(graph.num_vertices()));
+  for (int v = 0; v < graph.num_vertices(); ++v) {
+    AppendF64(out, graph.position(v).x);
+    AppendF64(out, graph.position(v).y);
+  }
+  AppendU32(out, static_cast<std::uint32_t>(graph.num_edges()));
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const auto& edge = graph.edge(e);
+    AppendI32(out, edge.u);
+    AppendI32(out, edge.v);
+    AppendF64(out, edge.length);
+  }
+}
+
+bool DecodeGraphBody(SnapshotReader* reader, graph::Graph* out) {
+  std::uint32_t num_vertices = 0;
+  if (!reader->ReadCount("num_vertices", 16, &num_vertices)) return false;
+  graph::Graph graph;
+  for (std::uint32_t v = 0; v < num_vertices; ++v) {
+    graph::Point p;
+    if (!reader->ReadFiniteF64("vertex_x", &p.x)) return false;
+    if (!reader->ReadFiniteF64("vertex_y", &p.y)) return false;
+    graph.AddVertex(p);
+  }
+  std::uint32_t num_edges = 0;
+  if (!reader->ReadCount("num_edges", 16, &num_edges)) return false;
+  for (std::uint32_t e = 0; e < num_edges; ++e) {
+    std::int32_t u = 0;
+    std::int32_t v = 0;
+    double length = 0.0;
+    if (!reader->ReadI32("edge_u", &u)) return false;
+    if (!reader->ReadI32("edge_v", &v)) return false;
+    if (!reader->ReadFiniteF64("edge_length", &length)) return false;
+    if (u < 0 || u >= graph.num_vertices() || v < 0 ||
+        v >= graph.num_vertices()) {
+      return reader->Fail("edge_endpoints", "vertex id out of range");
+    }
+    if (length < 0.0) return reader->Fail("edge_length", "negative length");
+    if (graph.AddEdge(u, v, length) < 0) {
+      return reader->Fail("edge_endpoints", "duplicate or self-loop edge");
+    }
+  }
+  *out = std::move(graph);
+  return true;
+}
+
+void EncodeRoadBody(const graph::RoadNetwork& road,
+                    std::vector<std::uint8_t>* out) {
+  EncodeGraphBody(road.graph(), out);
+  AppendU32(out, static_cast<std::uint32_t>(road.graph().num_edges()));
+  for (int e = 0; e < road.graph().num_edges(); ++e) {
+    AppendI64(out, road.trip_count(e));
+  }
+}
+
+bool DecodeRoadBody(SnapshotReader* reader, graph::RoadNetwork* out) {
+  graph::Graph graph;
+  if (!DecodeGraphBody(reader, &graph)) return false;
+  std::uint32_t num_counts = 0;
+  if (!reader->ReadCount("num_trip_counts", 8, &num_counts)) return false;
+  if (static_cast<int>(num_counts) != graph.num_edges()) {
+    return reader->Fail("num_trip_counts",
+                        "trip-count table does not match edge count");
+  }
+  graph::RoadNetwork road(std::move(graph));
+  for (std::uint32_t e = 0; e < num_counts; ++e) {
+    std::int64_t count = 0;
+    if (!reader->ReadI64("trip_count", &count)) return false;
+    if (count < 0) return reader->Fail("trip_count", "negative trip count");
+    if (count != 0) road.AddTripCount(static_cast<int>(e), count);
+  }
+  *out = std::move(road);
+  return true;
+}
+
+void EncodeTransitBody(const graph::TransitNetwork& transit,
+                       std::vector<std::uint8_t>* out) {
+  AppendU32(out, static_cast<std::uint32_t>(transit.num_stops()));
+  for (int s = 0; s < transit.num_stops(); ++s) {
+    const auto& stop = transit.stop(s);
+    AppendI32(out, stop.road_vertex);
+    AppendF64(out, stop.position.x);
+    AppendF64(out, stop.position.y);
+  }
+  // Every edge, active or not: inactive edges are bookkeeping a commit /
+  // RemoveRoute cycle legitimately leaves behind, and the universe's
+  // existing-edge section indexes by transit edge id — dropping them
+  // would renumber. Per-edge route lists are NOT stored: replaying the
+  // routes below rebuilds them bit-identically.
+  AppendU32(out, static_cast<std::uint32_t>(transit.num_edges()));
+  for (int e = 0; e < transit.num_edges(); ++e) {
+    const auto& edge = transit.edge(e);
+    AppendI32(out, edge.u);
+    AppendI32(out, edge.v);
+    AppendF64(out, edge.length);
+    AppendIntList(out, edge.road_edges);
+  }
+  AppendU32(out, static_cast<std::uint32_t>(transit.num_routes()));
+  for (int r = 0; r < transit.num_routes(); ++r) {
+    const auto& route = transit.route(r);
+    AppendU8(out, route.active ? 1 : 0);
+    AppendIntList(out, route.stops);
+  }
+}
+
+bool DecodeTransitBody(SnapshotReader* reader, graph::TransitNetwork* out) {
+  std::uint32_t num_stops = 0;
+  if (!reader->ReadCount("num_stops", 20, &num_stops)) return false;
+  graph::TransitNetwork transit;
+  for (std::uint32_t s = 0; s < num_stops; ++s) {
+    std::int32_t road_vertex = 0;
+    graph::Point p;
+    if (!reader->ReadI32("stop_road_vertex", &road_vertex)) return false;
+    if (!reader->ReadFiniteF64("stop_x", &p.x)) return false;
+    if (!reader->ReadFiniteF64("stop_y", &p.y)) return false;
+    if (road_vertex < 0) {
+      return reader->Fail("stop_road_vertex", "negative road vertex");
+    }
+    transit.AddStop(road_vertex, p);
+  }
+  std::uint32_t num_edges = 0;
+  if (!reader->ReadCount("num_edges", 20, &num_edges)) return false;
+  for (std::uint32_t e = 0; e < num_edges; ++e) {
+    std::int32_t u = 0;
+    std::int32_t v = 0;
+    double length = 0.0;
+    std::vector<int> road_edges;
+    if (!reader->ReadI32("transit_edge_u", &u)) return false;
+    if (!reader->ReadI32("transit_edge_v", &v)) return false;
+    if (!reader->ReadFiniteF64("transit_edge_length", &length)) return false;
+    if (!reader->ReadIntList("transit_edge_road_edges", &road_edges)) {
+      return false;
+    }
+    if (u < 0 || u >= transit.num_stops() || v < 0 ||
+        v >= transit.num_stops() || u == v) {
+      return reader->Fail("transit_edge_endpoints",
+                          "stop id out of range or self-loop");
+    }
+    if (length < 0.0) {
+      return reader->Fail("transit_edge_length", "negative length");
+    }
+    for (int re : road_edges) {
+      if (re < 0) {
+        return reader->Fail("transit_edge_road_edges",
+                            "negative road edge id");
+      }
+    }
+    if (transit.AddEdge(u, v, length, std::move(road_edges)) !=
+        static_cast<int>(e)) {
+      return reader->Fail("transit_edge_endpoints", "duplicate transit edge");
+    }
+  }
+  // Routes replay through the public API in id order: AddRoute appends
+  // each route id to its edges' route lists in ascending order, and
+  // removing the inactive ones afterwards erases exactly those ids — the
+  // same ascending-active-subset every history of AddRoute/RemoveRoute
+  // calls leaves behind, so the rebuilt lists are bit-identical.
+  std::uint32_t num_routes = 0;
+  if (!reader->ReadCount("num_routes", 5, &num_routes)) return false;
+  std::vector<bool> route_active;
+  route_active.reserve(num_routes);
+  for (std::uint32_t r = 0; r < num_routes; ++r) {
+    bool active = false;
+    std::vector<int> stops;
+    if (!reader->ReadBool("route_active", &active)) return false;
+    if (!reader->ReadIntList("route_stops", &stops)) return false;
+    if (stops.size() < 2) {
+      return reader->Fail("route_stops", "a route needs at least two stops");
+    }
+    for (std::size_t i = 0; i < stops.size(); ++i) {
+      if (stops[i] < 0 || stops[i] >= transit.num_stops()) {
+        return reader->Fail("route_stops", "stop id out of range");
+      }
+      if (i > 0 &&
+          !transit.AnyEdgeBetween(stops[i - 1], stops[i]).has_value()) {
+        return reader->Fail("route_stops",
+                            "consecutive stops have no transit edge");
+      }
+    }
+    transit.AddRoute(stops);
+    route_active.push_back(active);
+  }
+  for (std::uint32_t r = 0; r < num_routes; ++r) {
+    if (!route_active[r]) transit.RemoveRoute(static_cast<int>(r));
+  }
+  *out = std::move(transit);
+  return true;
+}
+
+void EncodeUniverseBody(const core::EdgeUniverse& universe,
+                        std::vector<std::uint8_t>* out) {
+  AppendU32(out, static_cast<std::uint32_t>(universe.num_stops()));
+  AppendU32(out, static_cast<std::uint32_t>(universe.num_edges()));
+  for (int e = 0; e < universe.num_edges(); ++e) {
+    const auto& edge = universe.edge(e);
+    AppendI32(out, edge.u);
+    AppendI32(out, edge.v);
+    AppendU8(out, edge.is_new ? 1 : 0);
+    AppendF64(out, edge.length);
+    AppendF64(out, edge.straight_distance);
+    AppendF64(out, edge.demand);
+    AppendI32(out, edge.transit_edge);
+    AppendIntList(out, edge.road_edges);
+  }
+}
+
+bool DecodeUniverseBody(SnapshotReader* reader, core::EdgeUniverse* out) {
+  std::uint32_t num_stops = 0;
+  if (!reader->ReadCount("universe_num_stops", 0, &num_stops)) return false;
+  std::uint32_t num_edges = 0;
+  // 41 bytes per edge minimum (fixed fields + empty road-edge list).
+  if (!reader->ReadCount("universe_num_edges", 41, &num_edges)) return false;
+  // num_stops only sizes the incidence index; bound it by the payload the
+  // file actually shipped (a stop without edges costs nothing to encode,
+  // so the bound is deliberately generous but still allocation-safe).
+  if (num_stops > 2 * num_edges + 1024u * 1024u) {
+    return reader->Fail("universe_num_stops", "stop count above bound");
+  }
+  std::vector<core::PlannableEdge> edges;
+  edges.reserve(num_edges);
+  for (std::uint32_t e = 0; e < num_edges; ++e) {
+    core::PlannableEdge edge;
+    std::int32_t u = 0;
+    std::int32_t v = 0;
+    std::uint8_t is_new = 0;
+    std::int32_t transit_edge = 0;
+    if (!reader->ReadI32("universe_edge_u", &u)) return false;
+    if (!reader->ReadI32("universe_edge_v", &v)) return false;
+    if (!reader->ReadU8("universe_edge_is_new", &is_new)) return false;
+    if (!reader->ReadFiniteF64("universe_edge_length", &edge.length)) {
+      return false;
+    }
+    if (!reader->ReadFiniteF64("universe_edge_straight",
+                               &edge.straight_distance)) {
+      return false;
+    }
+    if (!reader->ReadFiniteF64("universe_edge_demand", &edge.demand)) {
+      return false;
+    }
+    if (!reader->ReadI32("universe_edge_transit_edge", &transit_edge)) {
+      return false;
+    }
+    if (!reader->ReadIntList("universe_edge_road_edges", &edge.road_edges)) {
+      return false;
+    }
+    if (is_new > 1) {
+      return reader->Fail("universe_edge_is_new", "flag byte not 0 or 1");
+    }
+    if (u < 0 || u >= static_cast<std::int32_t>(num_stops) || v < 0 ||
+        v >= static_cast<std::int32_t>(num_stops) || u == v) {
+      return reader->Fail("universe_edge_endpoints",
+                          "stop id out of range or self-loop");
+    }
+    edge.is_new = is_new != 0;
+    if (edge.is_new ? transit_edge != -1 : transit_edge < 0) {
+      return reader->Fail("universe_edge_transit_edge",
+                          "inconsistent with is_new flag");
+    }
+    for (int re : edge.road_edges) {
+      if (re < 0) {
+        return reader->Fail("universe_edge_road_edges",
+                            "negative road edge id");
+      }
+    }
+    edge.u = u;
+    edge.v = v;
+    edge.transit_edge = transit_edge;
+    edges.push_back(std::move(edge));
+  }
+  *out = core::EdgeUniverse::FromEdges(std::move(edges),
+                                       static_cast<int>(num_stops));
+  return true;
+}
+
+void EncodePrecomputeBody(const core::Precompute& precompute,
+                          std::vector<std::uint8_t>* out) {
+  EncodeUniverseBody(precompute.universe, out);
+  AppendU32(out, static_cast<std::uint32_t>(precompute.increments.size()));
+  for (double inc : precompute.increments) AppendF64(out, inc);
+  AppendU8(out, precompute.pruned.empty() ? 0 : 1);
+  if (!precompute.pruned.empty()) {
+    for (char p : precompute.pruned) {
+      AppendU8(out, static_cast<std::uint8_t>(p));
+    }
+  }
+  const auto& stats = precompute.stats;
+  AppendF64(out, stats.universe_seconds);
+  AppendF64(out, stats.increments_seconds);
+  AppendI32(out, stats.num_new_edges);
+  AppendU8(out, stats.derived ? 1 : 0);
+  AppendI32(out, stats.derivation_depth);
+  AppendI32(out, stats.num_increments_recomputed);
+  AppendI32(out, stats.num_increments_carried);
+  AppendI32(out, stats.num_increments_estimated);
+  AppendI32(out, stats.num_increments_pruned);
+  AppendI32(out, stats.threads_used);
+}
+
+bool DecodePrecomputeBody(SnapshotReader* reader, core::Precompute* out) {
+  core::Precompute precompute;
+  if (!DecodeUniverseBody(reader, &precompute.universe)) return false;
+  std::uint32_t num_increments = 0;
+  if (!reader->ReadCount("num_increments", 8, &num_increments)) return false;
+  if (static_cast<int>(num_increments) != precompute.universe.num_edges()) {
+    return reader->Fail("num_increments",
+                        "increment table does not match universe edge count");
+  }
+  precompute.increments.reserve(num_increments);
+  for (std::uint32_t i = 0; i < num_increments; ++i) {
+    double inc = 0.0;
+    if (!reader->ReadFiniteF64("increment", &inc)) return false;
+    precompute.increments.push_back(inc);
+  }
+  bool has_pruned = false;
+  if (!reader->ReadBool("has_pruned", &has_pruned)) return false;
+  if (has_pruned) {
+    // The pruned table, when present, must cover every universe edge —
+    // the count rides on the universe's, already byte-bounded above.
+    precompute.pruned.reserve(num_increments);
+    for (std::uint32_t i = 0; i < num_increments; ++i) {
+      std::uint8_t p = 0;
+      if (!reader->ReadU8("pruned_bit", &p)) return false;
+      if (p > 1) return reader->Fail("pruned_bit", "flag byte not 0 or 1");
+      precompute.pruned.push_back(static_cast<char>(p));
+    }
+  }
+  auto& stats = precompute.stats;
+  if (!reader->ReadFiniteF64("stats_universe_seconds",
+                             &stats.universe_seconds) ||
+      !reader->ReadFiniteF64("stats_increments_seconds",
+                             &stats.increments_seconds) ||
+      !reader->ReadI32("stats_num_new_edges", &stats.num_new_edges) ||
+      !reader->ReadBool("stats_derived", &stats.derived) ||
+      !reader->ReadI32("stats_derivation_depth", &stats.derivation_depth) ||
+      !reader->ReadI32("stats_recomputed",
+                       &stats.num_increments_recomputed) ||
+      !reader->ReadI32("stats_carried", &stats.num_increments_carried) ||
+      !reader->ReadI32("stats_estimated",
+                       &stats.num_increments_estimated) ||
+      !reader->ReadI32("stats_pruned", &stats.num_increments_pruned) ||
+      !reader->ReadI32("stats_threads_used", &stats.threads_used)) {
+    return false;
+  }
+  if (stats.num_new_edges != precompute.universe.num_new_edges()) {
+    return reader->Fail("stats_num_new_edges",
+                        "does not match universe new-edge count");
+  }
+  *out = std::move(precompute);
+  return true;
+}
+
+void EncodeRankedListBody(const demand::RankedList& list,
+                          std::vector<std::uint8_t>* out) {
+  // Scores only: the ranking (order, ranks, prefix sums) is a pure
+  // function of them, rebuilt deterministically by the constructor.
+  AppendU32(out, static_cast<std::uint32_t>(list.size()));
+  for (int e = 0; e < list.size(); ++e) AppendF64(out, list.ValueOf(e));
+}
+
+bool DecodeRankedListBody(SnapshotReader* reader, demand::RankedList* out) {
+  std::uint32_t count = 0;
+  if (!reader->ReadCount("num_scores", 8, &count)) return false;
+  std::vector<double> scores;
+  scores.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    double score = 0.0;
+    if (!reader->ReadFiniteF64("score", &score)) return false;
+    scores.push_back(score);
+  }
+  *out = demand::RankedList(std::move(scores));
+  return true;
+}
+
+void EncodeProvenanceBody(const PrecomputeProvenance& provenance,
+                          std::vector<std::uint8_t>* out) {
+  AppendF64(out, provenance.tau);
+  AppendI32(out, provenance.probes);
+  AppendI32(out, provenance.lanczos_steps);
+  AppendU64(out, provenance.seed);
+  AppendI32(out, provenance.probe_kind);
+  AppendU8(out, provenance.use_perturbation ? 1 : 0);
+  AppendU8(out, provenance.prune_candidates ? 1 : 0);
+  AppendI32(out, provenance.prune_keep_rank);
+}
+
+bool DecodeProvenanceBody(SnapshotReader* reader,
+                          PrecomputeProvenance* out) {
+  PrecomputeProvenance p;
+  if (!reader->ReadFiniteF64("provenance_tau", &p.tau) ||
+      !reader->ReadI32("provenance_probes", &p.probes) ||
+      !reader->ReadI32("provenance_lanczos_steps", &p.lanczos_steps) ||
+      !reader->ReadU64("provenance_seed", &p.seed) ||
+      !reader->ReadI32("provenance_probe_kind", &p.probe_kind) ||
+      !reader->ReadBool("provenance_use_perturbation",
+                        &p.use_perturbation) ||
+      !reader->ReadBool("provenance_prune_candidates",
+                        &p.prune_candidates) ||
+      !reader->ReadI32("provenance_prune_keep_rank", &p.prune_keep_rank)) {
+    return false;
+  }
+  *out = p;
+  return true;
+}
+
+// ----------------------------------------------------------- container ----
+
+struct SectionBlob {
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+std::vector<std::uint8_t> EncodeContainer(
+    const std::vector<SectionBlob>& sections) {
+  std::vector<std::uint8_t> out;
+  std::size_t total = 12 + sections.size() * 20;
+  for (const SectionBlob& s : sections) total += s.payload.size();
+  out.reserve(total);
+  AppendU32(&out, kSnapshotMagic);
+  AppendU32(&out, kSnapshotFormatVersion);
+  AppendU32(&out, static_cast<std::uint32_t>(sections.size()));
+  for (const SectionBlob& s : sections) {
+    AppendU32(&out, s.tag);
+    AppendU64(&out, static_cast<std::uint64_t>(s.payload.size()));
+    AppendU64(&out, SnapshotChecksum(s.payload.data(), s.payload.size()));
+  }
+  for (const SectionBlob& s : sections) {
+    out.insert(out.end(), s.payload.begin(), s.payload.end());
+  }
+  return out;
+}
+
+struct SectionView {
+  std::uint32_t tag = 0;
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::uint64_t checksum = 0;
+};
+
+bool FailContainer(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+/// Header + section table parse shared by decode and inspect. Bounds are
+/// validated against the real image before any payload pointer is formed;
+/// checksums are NOT verified here (Inspect reports them per section,
+/// decode enforces them before touching a payload).
+bool ParseContainer(const std::uint8_t* data, std::size_t size,
+                    std::vector<SectionView>* out, std::string* error) {
+  SnapshotReader header(data, std::min<std::size_t>(size, 12), "header: ");
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  std::uint32_t num_sections = 0;
+  if (!header.ReadU32("magic", &magic) ||
+      !header.ReadU32("format_version", &version) ||
+      !header.ReadU32("num_sections", &num_sections)) {
+    return FailContainer(error, header.error());
+  }
+  if (magic != kSnapshotMagic) {
+    return FailContainer(error, "header: bad magic (not a CTBS snapshot)");
+  }
+  if (version != kSnapshotFormatVersion) {
+    return FailContainer(error, "header: unsupported format version " +
+                                    std::to_string(version));
+  }
+  if (num_sections > kMaxSnapshotSections) {
+    return FailContainer(error, "header: section count above bound");
+  }
+  const std::size_t table_bytes = static_cast<std::size_t>(num_sections) * 20;
+  if (size - 12 < table_bytes) {
+    return FailContainer(error, "header: truncated section table");
+  }
+  SnapshotReader table(data + 12, table_bytes, "section table: ");
+  std::vector<SectionView> sections;
+  sections.reserve(num_sections);
+  std::size_t payload_offset = 12 + table_bytes;
+  for (std::uint32_t i = 0; i < num_sections; ++i) {
+    SectionView section;
+    std::uint64_t payload_bytes = 0;
+    if (!table.ReadU32("tag", &section.tag) ||
+        !table.ReadU64("payload_bytes", &payload_bytes) ||
+        !table.ReadU64("checksum", &section.checksum)) {
+      return FailContainer(error, table.error());
+    }
+    if (payload_bytes > size - payload_offset) {
+      return FailContainer(error, "section " + TagToAscii(section.tag) +
+                                      ": declared length overruns file");
+    }
+    section.data = data + payload_offset;
+    section.size = static_cast<std::size_t>(payload_bytes);
+    payload_offset += section.size;
+    for (const SectionView& prior : sections) {
+      if (prior.tag == section.tag) {
+        return FailContainer(error, "section " + TagToAscii(section.tag) +
+                                        ": duplicate section");
+      }
+    }
+    sections.push_back(section);
+  }
+  if (payload_offset != size) {
+    return FailContainer(error,
+                         "container: trailing bytes after last section");
+  }
+  *out = std::move(sections);
+  return true;
+}
+
+/// Checksum gate: verified over the raw payload BEFORE any decode of it,
+/// so no corrupt section ever drives an allocation or a partial object.
+bool VerifySectionChecksum(const SectionView& section, std::string* error) {
+  if (SnapshotChecksum(section.data, section.size) != section.checksum) {
+    return FailContainer(error, "section " + TagToAscii(section.tag) +
+                                    ": checksum mismatch");
+  }
+  return true;
+}
+
+bool DecodeSection(const SectionView& section, graph::RoadNetwork* out,
+                   std::string* error) {
+  if (!VerifySectionChecksum(section, error)) return false;
+  SnapshotReader reader(section.data, section.size, "section ROAD: ");
+  if (!DecodeRoadBody(&reader, out) || !reader.ExpectEnd()) {
+    return FailContainer(error, reader.error());
+  }
+  return true;
+}
+
+bool DecodeSection(const SectionView& section, graph::TransitNetwork* out,
+                   std::string* error) {
+  if (!VerifySectionChecksum(section, error)) return false;
+  SnapshotReader reader(section.data, section.size, "section TRNS: ");
+  if (!DecodeTransitBody(&reader, out) || !reader.ExpectEnd()) {
+    return FailContainer(error, reader.error());
+  }
+  return true;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- public ----
+
+std::uint64_t SnapshotChecksum(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV-1a-64 offset basis
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 1099511628211ULL;  // FNV-1a-64 prime
+  }
+  return hash;
+}
+
+bool PrecomputeProvenance::operator==(
+    const PrecomputeProvenance& other) const {
+  return tau == other.tau && probes == other.probes &&
+         lanczos_steps == other.lanczos_steps && seed == other.seed &&
+         probe_kind == other.probe_kind &&
+         use_perturbation == other.use_perturbation &&
+         prune_candidates == other.prune_candidates &&
+         prune_keep_rank == other.prune_keep_rank;
+}
+
+PrecomputeProvenance MakeProvenance(const core::CtBusOptions& options) {
+  PrecomputeProvenance p;
+  // Same normalization as service::MakePrecomputeKey: signed zero folded
+  // (so -0.0 and 0.0 serialize to one byte pattern) and the pruning knobs
+  // neutralized when inert — equal keys must mean equal files.
+  p.tau = options.tau == 0.0 ? 0.0 : options.tau;
+  p.probes = options.precompute_estimator.probes;
+  p.lanczos_steps = options.precompute_estimator.lanczos_steps;
+  p.seed = options.precompute_estimator.seed;
+  p.probe_kind = static_cast<int>(options.precompute_estimator.probe_kind);
+  p.use_perturbation = options.use_perturbation_precompute;
+  p.prune_candidates =
+      options.prune_candidates && !options.use_perturbation_precompute;
+  p.prune_keep_rank =
+      p.prune_candidates ? std::max(1, options.prune_keep_rank) : 0;
+  return p;
+}
+
+std::uint64_t NetworkFingerprint(const graph::RoadNetwork& road,
+                                 const graph::TransitNetwork& transit) {
+  std::vector<std::uint8_t> bytes;
+  EncodeRoadBody(road, &bytes);
+  EncodeTransitBody(transit, &bytes);
+  return SnapshotChecksum(bytes.data(), bytes.size());
+}
+
+std::uint64_t StableSpillHash(const std::string& dataset,
+                              std::uint64_t snapshot_version,
+                              const PrecomputeProvenance& provenance) {
+  std::vector<std::uint8_t> bytes;
+  AppendString(&bytes, dataset);
+  AppendU64(&bytes, snapshot_version);
+  EncodeProvenanceBody(provenance, &bytes);
+  return SnapshotChecksum(bytes.data(), bytes.size());
+}
+
+// Standalone object pairs: encode appends the body; decode wraps the whole
+// buffer in a reader and requires full consumption.
+#define CTBUS_SNAPSHOT_OBJECT_API(Name, Type, Body)                         \
+  void Encode##Name(const Type& value, std::vector<std::uint8_t>* out) {    \
+    Encode##Body(value, out);                                               \
+  }                                                                         \
+  bool Decode##Name(const std::uint8_t* data, std::size_t size, Type* out, \
+                    std::string* error) {                                   \
+    SnapshotReader reader(data, size, "");                                  \
+    Type value;                                                             \
+    if (!Decode##Body(&reader, &value) || !reader.ExpectEnd()) {            \
+      if (error != nullptr) *error = reader.error();                        \
+      return false;                                                         \
+    }                                                                       \
+    *out = std::move(value);                                                \
+    return true;                                                            \
+  }
+
+CTBUS_SNAPSHOT_OBJECT_API(Graph, graph::Graph, GraphBody)
+CTBUS_SNAPSHOT_OBJECT_API(RoadNetwork, graph::RoadNetwork, RoadBody)
+CTBUS_SNAPSHOT_OBJECT_API(TransitNetwork, graph::TransitNetwork, TransitBody)
+CTBUS_SNAPSHOT_OBJECT_API(EdgeUniverse, core::EdgeUniverse, UniverseBody)
+CTBUS_SNAPSHOT_OBJECT_API(Precompute, core::Precompute, PrecomputeBody)
+CTBUS_SNAPSHOT_OBJECT_API(RankedList, demand::RankedList, RankedListBody)
+
+#undef CTBUS_SNAPSHOT_OBJECT_API
+
+std::vector<std::uint8_t> EncodeSnapshot(const Snapshot& snapshot) {
+  std::vector<SectionBlob> sections;
+  sections.push_back({kTagRoad, {}});
+  EncodeRoadBody(snapshot.road, &sections.back().payload);
+  sections.push_back({kTagTransit, {}});
+  EncodeTransitBody(snapshot.transit, &sections.back().payload);
+  if (snapshot.has_precompute) {
+    sections.push_back({kTagPrecompute, {}});
+    EncodeProvenanceBody(snapshot.provenance, &sections.back().payload);
+    EncodePrecomputeBody(snapshot.precompute, &sections.back().payload);
+  }
+  if (snapshot.has_demand) {
+    sections.push_back({kTagDemand, {}});
+    EncodeRankedListBody(snapshot.demand, &sections.back().payload);
+  }
+  return EncodeContainer(sections);
+}
+
+bool DecodeSnapshot(const std::uint8_t* data, std::size_t size,
+                    Snapshot* out, std::string* error) {
+  std::vector<SectionView> sections;
+  if (!ParseContainer(data, size, &sections, error)) return false;
+  // Canonical order keeps the format byte-stable and lets each section
+  // validate against the ones before it.
+  static constexpr std::uint32_t kOrder[] = {kTagRoad, kTagTransit,
+                                             kTagPrecompute, kTagDemand};
+  std::size_t rank = 0;
+  for (const SectionView& section : sections) {
+    while (rank < 4 && kOrder[rank] != section.tag) ++rank;
+    if (rank == 4) {
+      return FailContainer(
+          error, "section " + TagToAscii(section.tag) +
+                     ": unknown section or out of canonical order");
+    }
+    ++rank;
+  }
+  const auto find = [&](std::uint32_t tag) -> const SectionView* {
+    for (const SectionView& s : sections) {
+      if (s.tag == tag) return &s;
+    }
+    return nullptr;
+  };
+  const SectionView* road_section = find(kTagRoad);
+  const SectionView* transit_section = find(kTagTransit);
+  if (road_section == nullptr || transit_section == nullptr) {
+    return FailContainer(error,
+                         "container: ROAD and TRNS sections are required");
+  }
+
+  Snapshot snapshot;
+  if (!DecodeSection(*road_section, &snapshot.road, error)) return false;
+  if (!DecodeSection(*transit_section, &snapshot.transit, error)) {
+    return false;
+  }
+  // Cross-section references: every id the transit network aims at the
+  // road network must exist, same contract DatasetCatalog enforces on the
+  // text path.
+  const int num_road_vertices = snapshot.road.graph().num_vertices();
+  const int num_road_edges = snapshot.road.graph().num_edges();
+  for (int s = 0; s < snapshot.transit.num_stops(); ++s) {
+    if (snapshot.transit.stop(s).road_vertex >= num_road_vertices) {
+      return FailContainer(error, "section TRNS: stop " + std::to_string(s) +
+                                      " names a missing road vertex");
+    }
+  }
+  for (int e = 0; e < snapshot.transit.num_edges(); ++e) {
+    for (int re : snapshot.transit.edge(e).road_edges) {
+      if (re >= num_road_edges) {
+        return FailContainer(error, "section TRNS: transit edge " +
+                                        std::to_string(e) +
+                                        " crosses a missing road edge");
+      }
+    }
+  }
+
+  if (const SectionView* prec = find(kTagPrecompute)) {
+    if (!VerifySectionChecksum(*prec, error)) return false;
+    SnapshotReader reader(prec->data, prec->size, "section PREC: ");
+    if (!DecodeProvenanceBody(&reader, &snapshot.provenance) ||
+        !DecodePrecomputeBody(&reader, &snapshot.precompute) ||
+        !reader.ExpectEnd()) {
+      return FailContainer(error, reader.error());
+    }
+    if (snapshot.precompute.universe.num_stops() !=
+        snapshot.transit.num_stops()) {
+      return FailContainer(
+          error, "section PREC: universe stop count does not match TRNS");
+    }
+    for (int e = 0; e < snapshot.precompute.universe.num_edges(); ++e) {
+      const auto& edge = snapshot.precompute.universe.edge(e);
+      if (edge.transit_edge >= snapshot.transit.num_edges()) {
+        return FailContainer(error,
+                             "section PREC: universe edge " +
+                                 std::to_string(e) +
+                                 " names a missing transit edge");
+      }
+      for (int re : edge.road_edges) {
+        if (re >= num_road_edges) {
+          return FailContainer(error, "section PREC: universe edge " +
+                                          std::to_string(e) +
+                                          " crosses a missing road edge");
+        }
+      }
+    }
+    snapshot.has_precompute = true;
+  }
+  if (const SectionView* dmnd = find(kTagDemand)) {
+    if (!snapshot.has_precompute) {
+      return FailContainer(
+          error, "section DMND: demand ranking requires a PREC section");
+    }
+    if (!VerifySectionChecksum(*dmnd, error)) return false;
+    SnapshotReader reader(dmnd->data, dmnd->size, "section DMND: ");
+    if (!DecodeRankedListBody(&reader, &snapshot.demand) ||
+        !reader.ExpectEnd()) {
+      return FailContainer(error, reader.error());
+    }
+    if (snapshot.demand.size() != snapshot.precompute.universe.num_edges()) {
+      return FailContainer(
+          error, "section DMND: score count does not match universe edges");
+    }
+    snapshot.has_demand = true;
+  }
+  *out = std::move(snapshot);
+  return true;
+}
+
+bool SaveSnapshot(const Snapshot& snapshot, const std::string& path,
+                  std::string* error) {
+  return WriteFileBytes(path, EncodeSnapshot(snapshot), error);
+}
+
+std::optional<Snapshot> LoadSnapshot(const std::string& path,
+                                     std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes, error)) return std::nullopt;
+  Snapshot snapshot;
+  std::string decode_error;
+  if (!DecodeSnapshot(bytes.data(), bytes.size(), &snapshot,
+                      &decode_error)) {
+    if (error != nullptr) *error = path + ": " + decode_error;
+    return std::nullopt;
+  }
+  return snapshot;
+}
+
+std::vector<std::uint8_t> EncodePrecomputeCacheEntry(
+    const PrecomputeCacheEntry& entry) {
+  std::vector<SectionBlob> sections;
+  sections.push_back({kTagSpillKey, {}});
+  auto* key = &sections.back().payload;
+  AppendString(key, entry.dataset);
+  AppendU64(key, entry.snapshot_version);
+  AppendU64(key, entry.network_fingerprint);
+  EncodeProvenanceBody(entry.provenance, key);
+  sections.push_back({kTagPrecompute, {}});
+  EncodePrecomputeBody(entry.precompute, &sections.back().payload);
+  return EncodeContainer(sections);
+}
+
+bool DecodePrecomputeCacheEntry(const std::uint8_t* data, std::size_t size,
+                                PrecomputeCacheEntry* out,
+                                std::string* error) {
+  std::vector<SectionView> sections;
+  if (!ParseContainer(data, size, &sections, error)) return false;
+  if (sections.size() != 2 || sections[0].tag != kTagSpillKey ||
+      sections[1].tag != kTagPrecompute) {
+    return FailContainer(
+        error, "container: a cache entry is exactly SKEY then PREC");
+  }
+  if (!VerifySectionChecksum(sections[0], error)) return false;
+  if (!VerifySectionChecksum(sections[1], error)) return false;
+  PrecomputeCacheEntry entry;
+  {
+    SnapshotReader reader(sections[0].data, sections[0].size,
+                          "section SKEY: ");
+    if (!reader.ReadString("dataset", kMaxDatasetName, &entry.dataset) ||
+        !reader.ReadU64("snapshot_version", &entry.snapshot_version) ||
+        !reader.ReadU64("network_fingerprint",
+                        &entry.network_fingerprint) ||
+        !DecodeProvenanceBody(&reader, &entry.provenance) ||
+        !reader.ExpectEnd()) {
+      return FailContainer(error, reader.error());
+    }
+  }
+  {
+    SnapshotReader reader(sections[1].data, sections[1].size,
+                          "section PREC: ");
+    if (!DecodePrecomputeBody(&reader, &entry.precompute) ||
+        !reader.ExpectEnd()) {
+      return FailContainer(error, reader.error());
+    }
+  }
+  *out = std::move(entry);
+  return true;
+}
+
+bool SavePrecomputeCacheEntry(const PrecomputeCacheEntry& entry,
+                              const std::string& path, std::string* error) {
+  return WriteFileBytes(path, EncodePrecomputeCacheEntry(entry), error);
+}
+
+std::optional<PrecomputeCacheEntry> LoadPrecomputeCacheEntry(
+    const std::string& path, std::string* error) {
+  std::vector<std::uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes, error)) return std::nullopt;
+  PrecomputeCacheEntry entry;
+  std::string decode_error;
+  if (!DecodePrecomputeCacheEntry(bytes.data(), bytes.size(), &entry,
+                                  &decode_error)) {
+    if (error != nullptr) *error = path + ": " + decode_error;
+    return std::nullopt;
+  }
+  return entry;
+}
+
+std::optional<std::vector<SnapshotSectionInfo>> InspectSnapshot(
+    const std::uint8_t* data, std::size_t size, std::string* error) {
+  std::vector<SectionView> sections;
+  if (!ParseContainer(data, size, &sections, error)) return std::nullopt;
+  std::vector<SnapshotSectionInfo> infos;
+  infos.reserve(sections.size());
+  for (const SectionView& section : sections) {
+    SnapshotSectionInfo info;
+    info.tag = TagToAscii(section.tag);
+    info.payload_bytes = section.size;
+    info.checksum = section.checksum;
+    info.checksum_ok =
+        SnapshotChecksum(section.data, section.size) == section.checksum;
+    infos.push_back(std::move(info));
+  }
+  return infos;
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return FailContainer(error, path + ": cannot open for reading");
+  }
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return FailContainer(error, path + ": cannot determine size");
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), size)) {
+    return FailContainer(error, path + ": short read");
+  }
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes,
+                    std::string* error) {
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) {
+    return FailContainer(error, path + ": cannot open for writing");
+  }
+  if (!bytes.empty()) {
+    outf.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+  }
+  outf.flush();
+  if (!outf) return FailContainer(error, path + ": write failed");
+  return true;
+}
+
+}  // namespace ctbus::io

@@ -9,6 +9,7 @@
 #include "io/csv.h"
 #include "io/network_io.h"
 #include "io/parse.h"
+#include "io/snapshot.h"
 
 namespace ctbus::service {
 
@@ -121,7 +122,30 @@ std::optional<DatasetManifest> DatasetCatalog::Register(
   graph::RoadNetwork road;
   graph::TransitNetwork transit;
   std::int64_t trips = 0;
-  if (from_preset) {
+  bool loaded_from_snapshot = false;
+  bool snapshot_saved = false;
+  // The binary accelerator first: a valid snapshot carries the networks
+  // with trip demand already aggregated, so the whole text path below
+  // (parse + cross-reference validation + trip ingestion) is skipped. A
+  // missing, corrupt, or stale-format file falls through to the source
+  // build — the snapshot is a cache of the source, never a source itself.
+  if (!descriptor.snapshot_path.empty()) {
+    if (auto snapshot = io::LoadSnapshot(descriptor.snapshot_path)) {
+      road = std::move(snapshot->road);
+      transit = std::move(snapshot->transit);
+      loaded_from_snapshot = true;
+    }
+  }
+  if (loaded_from_snapshot) {
+    // Decode already bounds every cross-reference; re-assert the catalog's
+    // own contract anyway so this path can never drift weaker than text.
+    std::string validate_error;
+    if (!ValidateCrossReferences(road, transit, descriptor.snapshot_path,
+                                 &validate_error)) {
+      Fail(error, prefix + validate_error);
+      return std::nullopt;
+    }
+  } else if (from_preset) {
     if (!gen::HasDataset(descriptor.preset)) {
       Fail(error, prefix + "unknown preset '" + descriptor.preset +
                       "' (see gen::DatasetNames())");
@@ -163,6 +187,23 @@ std::optional<DatasetManifest> DatasetCatalog::Register(
     }
   }
 
+  if (!descriptor.snapshot_path.empty() && !loaded_from_snapshot) {
+    // Built from source with an accelerator configured: write it now so
+    // the next start loads in milliseconds. The catalog stores networks
+    // only (it does not know planner options, so no precompute/demand
+    // sections). A write failure fails registration: a snapshot_path
+    // that can never materialize is a misconfiguration, not a warning.
+    io::Snapshot snapshot;
+    snapshot.road = road;
+    snapshot.transit = transit;
+    std::string save_error;
+    if (!io::SaveSnapshot(snapshot, descriptor.snapshot_path, &save_error)) {
+      Fail(error, prefix + "snapshot: " + save_error);
+      return std::nullopt;
+    }
+    snapshot_saved = true;
+  }
+
   DatasetManifest manifest;
   manifest.name = descriptor.name;
   manifest.road_vertices = road.graph().num_vertices();
@@ -171,6 +212,8 @@ std::optional<DatasetManifest> DatasetCatalog::Register(
   manifest.routes = transit.num_active_routes();
   manifest.trips_ingested = trips;
   manifest.snapshot_bytes = road.ApproxBytes() + transit.ApproxBytes();
+  manifest.loaded_from_snapshot = loaded_from_snapshot;
+  manifest.snapshot_saved = snapshot_saved;
   try {
     service_->RegisterDataset(descriptor.name, std::move(road),
                               std::move(transit), descriptor.retention);

@@ -7,6 +7,7 @@
 #include "core/baselines.h"
 #include "core/timing.h"
 #include "gen/datasets.h"
+#include "io/snapshot.h"
 
 namespace ctbus::service {
 
@@ -43,7 +44,8 @@ PlanningService::PlanningService(const ServiceOptions& options)
       default_retention_(options.retention),
       metrics_enabled_(options.enable_metrics),
       trace_(options.trace_capacity, options.enable_tracing),
-      cache_(options.cache_capacity, options.cache_max_bytes),
+      cache_(options.cache_capacity, options.cache_max_bytes,
+             options.cache_spill_dir),
       queue_capacity_(std::max<std::size_t>(1, options.queue_capacity)),
       max_batch_size_(std::max<std::size_t>(1, options.max_batch_size)),
       overflow_policy_(options.overflow_policy),
@@ -462,7 +464,14 @@ PrecomputeCache::PrecomputePtr PlanningService::ResolvePrecompute(
         return core::PlanningContext::RunPrecompute(
             *snapshot.road, *snapshot.transit, options);
       },
-      &was_hit);
+      &was_hit,
+      // Lazy content fingerprint for the disk-spill path: snapshot
+      // version counters restart at 1 every process start, so spill
+      // files are validated against the network bytes themselves. Only
+      // evaluated on a miss with spill enabled — never on the hit path.
+      [&snapshot] {
+        return io::NetworkFingerprint(*snapshot.road, *snapshot.transit);
+      });
   if (cache_hit != nullptr) *cache_hit = was_hit;
   if (derived != nullptr) *derived = was_derived;
   if (!was_hit) {

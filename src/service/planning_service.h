@@ -130,6 +130,15 @@ struct ServiceOptions {
   /// the whole budget is still admitted (see service/precompute_cache.h).
   /// ctbus-lint: key-exempt(cache sizing changes hit rate, not entry identity)
   std::size_t cache_max_bytes = 0;
+  /// Directory for the precompute cache's disk spill ("" = disabled):
+  /// ready entries are serialized on eviction (and at service teardown)
+  /// and misses are first answered from disk, so a restarted service
+  /// serves its first query without a single Dijkstra or Lanczos call.
+  /// Spill files are keyed by PrecomputeKey *content* via a stable hash —
+  /// the path only says where the bytes live, never what they are, and a
+  /// stale or foreign file is a plain miss (see service/precompute_cache.h).
+  /// ctbus-lint: key-exempt(on-disk artifacts are keyed by PrecomputeKey content, not by path; the directory changes where bytes persist, never what a key computes to)
+  std::string cache_spill_dir;
   /// Snapshot retention applied to a dataset's SnapshotStore after every
   /// Commit / CommitAsync (defaults keep everything — prior behavior).
   /// RegisterDataset can override per dataset. Pruning never changes

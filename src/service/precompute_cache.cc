@@ -2,10 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
+#include "io/snapshot.h"
+
 namespace ctbus::service {
+
+namespace {
+
+/// The PrecomputeKey's option fields as spill-file provenance. Field for
+/// field: PrecomputeKey already stores them normalized (MakePrecomputeKey),
+/// matching io::MakeProvenance's normalization of raw options.
+io::PrecomputeProvenance ProvenanceOf(const PrecomputeKey& key) {
+  io::PrecomputeProvenance p;
+  p.tau = key.tau;
+  p.probes = key.probes;
+  p.lanczos_steps = key.lanczos_steps;
+  p.seed = key.seed;
+  p.probe_kind = key.probe_kind;
+  p.use_perturbation = key.use_perturbation;
+  p.prune_candidates = key.prune_candidates;
+  p.prune_keep_rank = key.prune_keep_rank;
+  return p;
+}
+
+}  // namespace
 
 bool PrecomputeKey::operator==(const PrecomputeKey& other) const {
   return dataset == other.dataset &&
@@ -66,11 +90,85 @@ std::size_t PrecomputeKeyHash::operator()(const PrecomputeKey& key) const {
   return h;
 }
 
-PrecomputeCache::PrecomputeCache(std::size_t capacity, std::size_t max_bytes)
-    : capacity_(capacity), max_bytes_(max_bytes) {}
+PrecomputeCache::PrecomputeCache(std::size_t capacity, std::size_t max_bytes,
+                                 std::string spill_dir)
+    : capacity_(capacity),
+      max_bytes_(max_bytes),
+      spill_dir_(std::move(spill_dir)) {
+  if (!spill_dir_.empty()) {
+    // Best effort: if the directory cannot be created, every save/load
+    // simply fails, which the spill path already treats as a miss.
+    std::error_code ec;
+    std::filesystem::create_directories(spill_dir_, ec);
+  }
+}
+
+PrecomputeCache::~PrecomputeCache() {
+  if (spill_dir_.empty()) return;
+  {
+    core::MutexLock lock(mu_);
+    for (const auto& [key, entry] : entries_) {
+      if (!entry.ready) continue;
+      pending_spills_.push_back({key, entry.fingerprint, entry.future.get()});
+    }
+  }
+  DrainPendingSpills();
+}
+
+std::string PrecomputeCache::SpillPath(const PrecomputeKey& key) const {
+  const std::uint64_t hash = io::StableSpillHash(
+      key.dataset, key.snapshot_version, ProvenanceOf(key));
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return spill_dir_ + "/ctbus-precompute-" + hex + ".ctbs";
+}
+
+PrecomputeCache::PrecomputePtr PrecomputeCache::TryLoadSpill(
+    const PrecomputeKey& key, std::uint64_t fingerprint) const {
+  auto entry = io::LoadPrecomputeCacheEntry(SpillPath(key));
+  if (!entry.has_value()) return nullptr;  // absent/corrupt/stale = miss
+  if (entry->dataset != key.dataset ||
+      entry->snapshot_version != key.snapshot_version ||
+      !(entry->provenance == ProvenanceOf(key))) {
+    return nullptr;  // filename collision or foreign file: wrong key = miss
+  }
+  if (fingerprint != 0 && entry->network_fingerprint != 0 &&
+      entry->network_fingerprint != fingerprint) {
+    // Same version number over different network bytes — version counters
+    // restart at 1 on every process start, so content is the tiebreaker.
+    return nullptr;
+  }
+  return std::make_shared<const core::Precompute>(
+      std::move(entry->precompute));
+}
+
+void PrecomputeCache::DrainPendingSpills() {
+  std::vector<PendingSpill> pending;
+  {
+    core::MutexLock lock(mu_);
+    pending.swap(pending_spills_);
+  }
+  if (pending.empty()) return;
+  std::uint64_t saved = 0;
+  for (const PendingSpill& spill : pending) {
+    io::PrecomputeCacheEntry entry;
+    entry.dataset = spill.key.dataset;
+    entry.snapshot_version = spill.key.snapshot_version;
+    entry.network_fingerprint = spill.fingerprint;
+    entry.provenance = ProvenanceOf(spill.key);
+    entry.precompute = *spill.value;
+    if (io::SavePrecomputeCacheEntry(entry, SpillPath(spill.key))) ++saved;
+  }
+  if (saved > 0) {
+    core::MutexLock lock(mu_);
+    stats_.spill_saves += saved;
+  }
+}
 
 PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
-    const PrecomputeKey& key, const ComputeFn& compute, bool* was_hit) {
+    const PrecomputeKey& key, const ComputeFn& compute, bool* was_hit,
+    const FingerprintFn& network_fingerprint) {
   if (capacity_ == 0) {
     {
       core::MutexLock lock(mu_);
@@ -100,19 +198,54 @@ PrecomputeCache::PrecomputePtr PrecomputeCache::GetOrCompute(
                                 /*ready=*/false, generation});
     EvictReadyLocked();
   }
+  DrainPendingSpills();
+
+  // Miss. With spill enabled, try the disk first: a valid spill file
+  // answers without running the compute function at all, which makes it a
+  // *hit* for the caller (the same Delta(e) table the in-memory cache
+  // would have served, just one restart later). The fingerprint is only
+  // evaluated here — never on the hit path.
+  const std::uint64_t fingerprint =
+      (!spill_dir_.empty() && network_fingerprint) ? network_fingerprint()
+                                                   : 0;
+  if (!spill_dir_.empty()) {
+    if (PrecomputePtr loaded = TryLoadSpill(key, fingerprint)) {
+      promise.set_value(loaded);
+      {
+        core::MutexLock lock(mu_);
+        const auto it = entries_.find(key);
+        if (it != entries_.end() && it->second.generation == generation) {
+          it->second.ready = true;
+          it->second.bytes = loaded->ApproxBytes();
+          it->second.fingerprint = fingerprint;
+          resident_bytes_ += it->second.bytes;
+          ++stats_.spill_loads;
+          EvictReadyLocked();
+        }
+      }
+      DrainPendingSpills();
+      if (was_hit != nullptr) *was_hit = true;
+      return loaded;
+    }
+  }
+
   if (was_hit != nullptr) *was_hit = false;
   try {
     PrecomputePtr result =
         std::make_shared<const core::Precompute>(compute());
     promise.set_value(result);
-    core::MutexLock lock(mu_);
-    const auto it = entries_.find(key);
-    if (it != entries_.end() && it->second.generation == generation) {
-      it->second.ready = true;
-      it->second.bytes = result->ApproxBytes();
-      resident_bytes_ += it->second.bytes;
-      EvictReadyLocked();  // limits may have been exceeded while in flight
+    {
+      core::MutexLock lock(mu_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.generation == generation) {
+        it->second.ready = true;
+        it->second.bytes = result->ApproxBytes();
+        it->second.fingerprint = fingerprint;
+        resident_bytes_ += it->second.bytes;
+        EvictReadyLocked();  // limits may have been exceeded while in flight
+      }
     }
+    DrainPendingSpills();
     return result;
   } catch (...) {
     promise.set_exception(std::current_exception());
@@ -143,6 +276,13 @@ void PrecomputeCache::EvictReadyLocked() {
     if (it == entries_.end() || !it->second.ready) continue;
     resident_bytes_ -= it->second.bytes;
     stats_.evicted_bytes += it->second.bytes;
+    if (!spill_dir_.empty()) {
+      // Save on evict: queue the value here (future.get() on a ready
+      // entry never blocks); the file write happens after mu_ is
+      // released, in DrainPendingSpills.
+      pending_spills_.push_back(
+          {it->first, it->second.fingerprint, it->second.future.get()});
+    }
     entries_.erase(it);
     candidate = lru_.erase(candidate);
     ++stats_.evictions;
@@ -193,6 +333,10 @@ void PrecomputeCache::Clear() {
   entries_.clear();
   lru_.clear();
   resident_bytes_ = 0;
+  // Clear drops state, it does not persist it: queued spills die with the
+  // entries (an explicit Clear means "forget", including on disk-bound
+  // copies not yet written).
+  pending_spills_.clear();
 }
 
 std::size_t PrecomputeCache::size() const {

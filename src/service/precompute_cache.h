@@ -28,6 +28,18 @@
 // contexts built over them) keep the object alive for as long as they
 // hold the pointer, and the const-ness makes cross-thread sharing safe
 // without further locking.
+//
+// Disk spill (optional): with a spill directory configured, a ready entry
+// is serialized to `<dir>/ctbus-precompute-<hash>.ctbs` when it is evicted
+// (and when the cache is destroyed), and a miss first tries to load that
+// file back before running the compute function — so a restarted process
+// serves its first query from disk instead of re-running Dijkstras and
+// Lanczos. Files are keyed by io::StableSpillHash over the PrecomputeKey
+// content (budgets, thread knobs, and the directory path itself stay out,
+// exactly as in-memory), and a loaded file is used only if its recorded
+// key fields — and, when provided, the network fingerprint — match the
+// request; anything stale, corrupt, or foreign is silently a miss, never
+// an error. File writes happen outside the cache mutex.
 #ifndef CTBUS_SERVICE_PRECOMPUTE_CACHE_H_
 #define CTBUS_SERVICE_PRECOMPUTE_CACHE_H_
 
@@ -100,25 +112,48 @@ class PrecomputeCache {
     std::size_t resident_bytes = 0;
     /// Cumulative ApproxBytes of evicted entries.
     std::uint64_t evicted_bytes = 0;
+    /// Evicted entries serialized to the spill directory.
+    std::uint64_t spill_saves = 0;
+    /// Misses answered from a spill file instead of the compute function.
+    std::uint64_t spill_loads = 0;
   };
 
   using ComputeFn = std::function<core::Precompute()>;
   using PrecomputePtr = std::shared_ptr<const core::Precompute>;
+  /// Lazy network-content fingerprint (io::NetworkFingerprint of the
+  /// snapshot the key refers to). Only invoked on a miss with the spill
+  /// path enabled — encoding whole networks is too expensive for the hit
+  /// path. May be null: 0 means "unchecked" on both sides.
+  using FingerprintFn = std::function<std::uint64_t()>;
 
-  /// `capacity` bounds resident entries (0 disables caching entirely);
-  /// `max_bytes` bounds their summed ApproxBytes (0 = unlimited).
-  explicit PrecomputeCache(std::size_t capacity, std::size_t max_bytes = 0);
+  /// `capacity` bounds resident entries (0 disables caching entirely,
+  /// including the spill path); `max_bytes` bounds their summed
+  /// ApproxBytes (0 = unlimited); a non-empty `spill_dir` enables disk
+  /// spill (the directory is created if missing; if creation fails,
+  /// saves and loads simply never succeed).
+  explicit PrecomputeCache(std::size_t capacity, std::size_t max_bytes = 0,
+                           std::string spill_dir = {});
+
+  /// Spills every ready resident entry to the spill directory (when one
+  /// is configured), so a recreated cache over the same directory serves
+  /// them as disk hits without requiring an eviction to have happened.
+  ~PrecomputeCache();
 
   PrecomputeCache(const PrecomputeCache&) = delete;
   PrecomputeCache& operator=(const PrecomputeCache&) = delete;
 
   /// Returns the cached precompute for `key`, computing it with `compute`
   /// on a miss. Sets `*was_hit` (if non-null) to whether the result came
-  /// from the cache. Blocks only while the value is being computed by this
-  /// or another caller, never while unrelated keys compute.
+  /// from the cache — a successful spill-file load counts as a hit (the
+  /// compute function never ran). Blocks only while the value is being
+  /// computed by this or another caller, never while unrelated keys
+  /// compute. `network_fingerprint`, when non-null, guards spill loads
+  /// against snapshot-version collisions across restarts.
   PrecomputePtr GetOrCompute(const PrecomputeKey& key,
                              const ComputeFn& compute,
-                             bool* was_hit = nullptr) CTBUS_EXCLUDES(mu_);
+                             bool* was_hit = nullptr,
+                             const FingerprintFn& network_fingerprint =
+                                 nullptr) CTBUS_EXCLUDES(mu_);
 
   /// Warm-start donor lookup: every *ready* resident entry whose key
   /// matches `key` on all fields except snapshot_version, returned as
@@ -147,6 +182,11 @@ class PrecomputeCache {
   std::size_t size() const CTBUS_EXCLUDES(mu_);
   std::size_t capacity() const { return capacity_; }
   std::size_t max_bytes() const { return max_bytes_; }
+  /// The configured spill directory ("" = spill disabled).
+  const std::string& spill_dir() const { return spill_dir_; }
+  /// The spill file GetOrCompute would read/write for `key` (valid only
+  /// when spill is enabled). Exposed for tests and tooling.
+  std::string SpillPath(const PrecomputeKey& key) const;
   /// Summed ApproxBytes of resident ready entries.
   std::size_t resident_bytes() const CTBUS_EXCLUDES(mu_);
   Stats stats() const CTBUS_EXCLUDES(mu_);
@@ -164,15 +204,40 @@ class PrecomputeCache {
     /// ApproxBytes of the value, charged against max_bytes_ once ready
     /// (0 while in flight — the size is unknown until computed).
     std::size_t bytes = 0;
+    /// Network fingerprint recorded when the entry became ready; written
+    /// into the entry's spill file on eviction (0 = unchecked).
+    std::uint64_t fingerprint = 0;
+  };
+
+  /// A ready entry queued for serialization: EvictReadyLocked (and the
+  /// destructor) queue under mu_, DrainPendingSpills writes the files
+  /// after the lock is released.
+  struct PendingSpill {
+    PrecomputeKey key;
+    std::uint64_t fingerprint = 0;
+    PrecomputePtr value;
   };
 
   /// Evicts ready entries from the LRU tail until within the entry-count
   /// capacity AND the byte budget (or only in-flight entries and the MRU
-  /// entry remain). Caller holds mu_.
+  /// entry remain). With spill enabled, evicted values are queued on
+  /// pending_spills_ for the next DrainPendingSpills. Caller holds mu_.
   void EvictReadyLocked() CTBUS_REQUIRES(mu_);
+
+  /// Writes every queued PendingSpill to its spill file (file I/O happens
+  /// with mu_ released; the queue is swapped out under the lock).
+  void DrainPendingSpills() CTBUS_EXCLUDES(mu_);
+
+  /// Attempts to answer a miss from `key`'s spill file. Returns nullptr —
+  /// a plain miss, never an error — when the file is absent, corrupt,
+  /// stale-format, or records a different key or an incompatible network
+  /// fingerprint.
+  PrecomputePtr TryLoadSpill(const PrecomputeKey& key,
+                             std::uint64_t fingerprint) const;
 
   const std::size_t capacity_;
   const std::size_t max_bytes_;
+  const std::string spill_dir_;
   mutable core::Mutex mu_;
   // front = most recently used
   std::list<PrecomputeKey> lru_ CTBUS_GUARDED_BY(mu_);
@@ -182,6 +247,7 @@ class PrecomputeCache {
   /// Summed Entry::bytes of ready entries.
   std::size_t resident_bytes_ CTBUS_GUARDED_BY(mu_) = 0;
   Stats stats_ CTBUS_GUARDED_BY(mu_);
+  std::vector<PendingSpill> pending_spills_ CTBUS_GUARDED_BY(mu_);
 };
 
 }  // namespace ctbus::service

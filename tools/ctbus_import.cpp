@@ -1,0 +1,459 @@
+// ctbus_import: GTFS feed -> CT-Bus record files. Converts the four core
+// GTFS tables of a real metro feed into the io/network_io.h formats the
+// DatasetCatalog serves, so a published transit feed becomes a servable
+// dataset (and, via ctbus_snapshot, a millisecond-loading binary):
+//
+//   ctbus_import --gtfs DIR --out-road road.tsv --out-transit transit.tsv
+//                --out-trips trips.csv
+//
+// Mapping (docs/ARCHITECTURE.md "Persistence"):
+//   stops.txt       -> one road vertex AND one transit stop per GTFS stop,
+//                      positioned by an equirectangular projection around
+//                      the feed's mean latitude (meters, like gen::).
+//   stop_times.txt  -> consecutive distinct stops of each trip become a
+//                      road edge (euclidean length) and a transit edge
+//                      realized as that single road edge.
+//   routes.txt +
+//   trips.txt       -> one CT-Bus route per GTFS route: its first trip's
+//                      collapsed stop pattern (routes whose pattern has
+//                      fewer than two distinct stops are skipped).
+//   every trip      -> one row of the trip CSV (the road-vertex sequence
+//                      of its stop pattern), aggregated into road demand
+//                      f_e by the catalog at registration time.
+//
+// Parsing is strict with file:line diagnostics (io::Parse* + LineError):
+// column lookup is header-driven (column order is feed-defined), a UTF-8
+// BOM on the first header cell is stripped, and any reference to an
+// undeclared stop/trip/route is an error, not a skip. Exit codes: 0 ok,
+// 1 conversion failure, 2 usage.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/geo.h"
+#include "graph/road_network.h"
+#include "graph/transit_network.h"
+#include "io/csv.h"
+#include "io/network_io.h"
+#include "io/parse.h"
+
+namespace {
+
+using ctbus::graph::Point;
+
+[[noreturn]] void Die(const std::string& message) {
+  std::fprintf(stderr, "ctbus_import: %s\n", message.c_str());
+  std::exit(2);
+}
+
+struct Args {
+  std::string gtfs_dir;
+  std::string out_road;
+  std::string out_transit;
+  std::string out_trips;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) Die("flag " + flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--gtfs") {
+      args.gtfs_dir = value();
+    } else if (flag == "--out-road") {
+      args.out_road = value();
+    } else if (flag == "--out-transit") {
+      args.out_transit = value();
+    } else if (flag == "--out-trips") {
+      args.out_trips = value();
+    } else {
+      Die("unknown flag " + flag);
+    }
+  }
+  if (args.gtfs_dir.empty() || args.out_road.empty() ||
+      args.out_transit.empty() || args.out_trips.empty()) {
+    Die("usage: ctbus_import --gtfs DIR --out-road FILE --out-transit FILE "
+        "--out-trips FILE");
+  }
+  return args;
+}
+
+/// Header-driven column index for one GTFS table. GTFS fixes column
+/// *names*, not their order, and feeds in the wild permute them freely.
+class ColumnMap {
+ public:
+  explicit ColumnMap(const std::vector<std::string>& header) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      std::string name = header[i];
+      // Many published feeds carry a UTF-8 BOM on the very first cell.
+      if (i == 0 && name.size() >= 3 && name[0] == '\xef' &&
+          name[1] == '\xbb' && name[2] == '\xbf') {
+        name.erase(0, 3);
+      }
+      columns_[name] = i;
+    }
+  }
+
+  bool Has(const std::string& name) const { return columns_.count(name) > 0; }
+
+  /// The named cell of `fields`, or nullptr when the row is too short.
+  const std::string* Cell(const std::vector<std::string>& fields,
+                          const std::string& name) const {
+    const auto it = columns_.find(name);
+    if (it == columns_.end() || it->second >= fields.size()) return nullptr;
+    return &fields[it->second];
+  }
+
+ private:
+  std::unordered_map<std::string, std::size_t> columns_;
+};
+
+/// Streams one GTFS table: the first row is the header, every later row
+/// goes to `row(map, fields, line)`. The row callback reports failure by
+/// filling `*error` (with a file:line diagnostic) and returning false.
+bool ForEachGtfsRow(
+    const std::string& path, const std::vector<std::string>& required,
+    const std::function<bool(const ColumnMap&, std::vector<std::string>&&,
+                             std::size_t)>& row,
+    std::string* error) {
+  std::optional<ColumnMap> columns;
+  std::string row_error;
+  const bool ok = ctbus::io::ForEachCsvRow(
+      path,
+      [&](std::vector<std::string>&& fields, std::size_t line_number) {
+        if (!columns.has_value()) {
+          columns.emplace(fields);
+          for (const std::string& name : required) {
+            if (!columns->Has(name)) {
+              row_error = ctbus::io::LineError(
+                  path, line_number, "missing required column '" + name + "'");
+              return false;
+            }
+          }
+          return true;
+        }
+        if (!row(*columns, std::move(fields), line_number)) {
+          return false;  // row already filled row_error via capture
+        }
+        return true;
+      },
+      error);
+  if (!ok) return false;
+  if (!row_error.empty()) {
+    *error = row_error;
+    return false;
+  }
+  if (!columns.has_value()) {
+    *error = path + ": empty table (no header row)";
+    return false;
+  }
+  return true;
+}
+
+struct GtfsStop {
+  std::string id;
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+struct GtfsTrip {
+  std::string id;
+  std::string route_id;
+  /// (stop_sequence, stop index) pairs, sorted by sequence after load.
+  std::vector<std::pair<long long, int>> stops;
+};
+
+struct Feed {
+  std::vector<GtfsStop> stops;
+  std::unordered_map<std::string, int> stop_index;
+  std::vector<std::string> route_ids;  // routes.txt file order
+  std::unordered_map<std::string, int> route_index;
+  std::vector<GtfsTrip> trips;  // trips.txt file order
+  std::unordered_map<std::string, int> trip_index;
+};
+
+bool LoadFeed(const std::string& dir, Feed* feed, std::string* error) {
+  std::string row_error;
+  const auto fail = [&](const std::string& path, std::size_t line,
+                        const std::string& reason) {
+    row_error = ctbus::io::LineError(path, line, reason);
+    return false;
+  };
+
+  const std::string stops_path = dir + "/stops.txt";
+  bool ok = ForEachGtfsRow(
+      stops_path, {"stop_id", "stop_lat", "stop_lon"},
+      [&](const ColumnMap& columns, std::vector<std::string>&& fields,
+          std::size_t line) {
+        const std::string* id = columns.Cell(fields, "stop_id");
+        const std::string* lat = columns.Cell(fields, "stop_lat");
+        const std::string* lon = columns.Cell(fields, "stop_lon");
+        if (id == nullptr || lat == nullptr || lon == nullptr) {
+          return fail(stops_path, line, "row shorter than the header");
+        }
+        GtfsStop stop;
+        stop.id = *id;
+        if (stop.id.empty()) return fail(stops_path, line, "empty stop_id");
+        if (!ctbus::io::ParseDouble(*lat, &stop.lat) ||
+            !std::isfinite(stop.lat) || stop.lat < -90.0 || stop.lat > 90.0) {
+          return fail(stops_path, line,
+                      "'" + *lat + "' is not a latitude in [-90, 90]");
+        }
+        if (!ctbus::io::ParseDouble(*lon, &stop.lon) ||
+            !std::isfinite(stop.lon) || stop.lon < -180.0 ||
+            stop.lon > 180.0) {
+          return fail(stops_path, line,
+                      "'" + *lon + "' is not a longitude in [-180, 180]");
+        }
+        if (!feed->stop_index.emplace(stop.id, feed->stops.size()).second) {
+          return fail(stops_path, line, "duplicate stop_id '" + stop.id + "'");
+        }
+        feed->stops.push_back(std::move(stop));
+        return true;
+      },
+      error);
+  if (!ok) return false;
+  if (!row_error.empty()) {
+    *error = row_error;
+    return false;
+  }
+
+  const std::string routes_path = dir + "/routes.txt";
+  ok = ForEachGtfsRow(
+      routes_path, {"route_id"},
+      [&](const ColumnMap& columns, std::vector<std::string>&& fields,
+          std::size_t line) {
+        const std::string* id = columns.Cell(fields, "route_id");
+        if (id == nullptr || id->empty()) {
+          return fail(routes_path, line, "empty route_id");
+        }
+        if (!feed->route_index.emplace(*id, feed->route_ids.size()).second) {
+          return fail(routes_path, line, "duplicate route_id '" + *id + "'");
+        }
+        feed->route_ids.push_back(*id);
+        return true;
+      },
+      error);
+  if (!ok) return false;
+  if (!row_error.empty()) {
+    *error = row_error;
+    return false;
+  }
+
+  const std::string trips_path = dir + "/trips.txt";
+  ok = ForEachGtfsRow(
+      trips_path, {"route_id", "trip_id"},
+      [&](const ColumnMap& columns, std::vector<std::string>&& fields,
+          std::size_t line) {
+        const std::string* trip_id = columns.Cell(fields, "trip_id");
+        const std::string* route_id = columns.Cell(fields, "route_id");
+        if (trip_id == nullptr || trip_id->empty()) {
+          return fail(trips_path, line, "empty trip_id");
+        }
+        if (route_id == nullptr ||
+            feed->route_index.count(*route_id) == 0) {
+          return fail(trips_path, line,
+                      "trip references undeclared route_id '" +
+                          (route_id == nullptr ? "" : *route_id) + "'");
+        }
+        if (!feed->trip_index.emplace(*trip_id, feed->trips.size()).second) {
+          return fail(trips_path, line,
+                      "duplicate trip_id '" + *trip_id + "'");
+        }
+        GtfsTrip trip;
+        trip.id = *trip_id;
+        trip.route_id = *route_id;
+        feed->trips.push_back(std::move(trip));
+        return true;
+      },
+      error);
+  if (!ok) return false;
+  if (!row_error.empty()) {
+    *error = row_error;
+    return false;
+  }
+
+  const std::string times_path = dir + "/stop_times.txt";
+  ok = ForEachGtfsRow(
+      times_path, {"trip_id", "stop_id", "stop_sequence"},
+      [&](const ColumnMap& columns, std::vector<std::string>&& fields,
+          std::size_t line) {
+        const std::string* trip_id = columns.Cell(fields, "trip_id");
+        const std::string* stop_id = columns.Cell(fields, "stop_id");
+        const std::string* sequence = columns.Cell(fields, "stop_sequence");
+        if (trip_id == nullptr || stop_id == nullptr || sequence == nullptr) {
+          return fail(times_path, line, "row shorter than the header");
+        }
+        const auto trip_it = feed->trip_index.find(*trip_id);
+        if (trip_it == feed->trip_index.end()) {
+          return fail(times_path, line,
+                      "stop time references undeclared trip_id '" + *trip_id +
+                          "'");
+        }
+        const auto stop_it = feed->stop_index.find(*stop_id);
+        if (stop_it == feed->stop_index.end()) {
+          return fail(times_path, line,
+                      "stop time references undeclared stop_id '" + *stop_id +
+                          "'");
+        }
+        long long seq = 0;
+        if (!ctbus::io::ParseInt64(*sequence, &seq) || seq < 0) {
+          return fail(times_path, line,
+                      "'" + *sequence + "' is not a stop_sequence");
+        }
+        feed->trips[trip_it->second].stops.emplace_back(seq, stop_it->second);
+        return true;
+      },
+      error);
+  if (!ok) return false;
+  if (!row_error.empty()) {
+    *error = row_error;
+    return false;
+  }
+  return true;
+}
+
+/// Equirectangular projection around the feed's mean latitude: good to a
+/// fraction of a percent at metro extent, monotone, and deterministic —
+/// exactly what the planner's euclidean geometry needs (meters).
+std::vector<Point> ProjectStops(const std::vector<GtfsStop>& stops) {
+  constexpr double kEarthRadiusMeters = 6371000.0;
+  constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+  double mean_lat = 0.0;
+  for (const GtfsStop& stop : stops) mean_lat += stop.lat;
+  if (!stops.empty()) mean_lat /= static_cast<double>(stops.size());
+  const double cos_lat = std::cos(mean_lat * kDegToRad);
+  std::vector<Point> points;
+  points.reserve(stops.size());
+  for (const GtfsStop& stop : stops) {
+    points.push_back({kEarthRadiusMeters * stop.lon * kDegToRad * cos_lat,
+                      kEarthRadiusMeters * stop.lat * kDegToRad});
+  }
+  return points;
+}
+
+/// The trip's stop pattern with consecutive duplicates collapsed (feeds
+/// often repeat a stop across timepoint rows).
+std::vector<int> CollapsedPattern(const GtfsTrip& trip) {
+  std::vector<std::pair<long long, int>> ordered = trip.stops;
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::vector<int> pattern;
+  pattern.reserve(ordered.size());
+  for (const auto& [seq, stop] : ordered) {
+    if (pattern.empty() || pattern.back() != stop) pattern.push_back(stop);
+  }
+  return pattern;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  Feed feed;
+  std::string error;
+  if (!LoadFeed(args.gtfs_dir, &feed, &error)) {
+    std::fprintf(stderr, "ctbus_import: %s\n", error.c_str());
+    return 1;
+  }
+
+  // One road vertex and one transit stop per GTFS stop, same index.
+  const std::vector<Point> points = ProjectStops(feed.stops);
+  ctbus::graph::Graph road_graph;
+  ctbus::graph::TransitNetwork transit;
+  for (const Point& p : points) {
+    const int vertex = road_graph.AddVertex(p);
+    transit.AddStop(vertex, p);
+  }
+
+  // Consecutive distinct stops of every trip, in trips.txt order: one
+  // road edge (deduplicated by endpoint pair) realized as one transit
+  // edge. Deterministic ids — the same feed always converts to the same
+  // record files, byte for byte.
+  std::vector<std::vector<int>> patterns(feed.trips.size());
+  for (std::size_t t = 0; t < feed.trips.size(); ++t) {
+    patterns[t] = CollapsedPattern(feed.trips[t]);
+    const std::vector<int>& pattern = patterns[t];
+    for (std::size_t i = 1; i < pattern.size(); ++i) {
+      const int u = pattern[i - 1];
+      const int v = pattern[i];
+      int road_edge = -1;
+      if (const auto existing = road_graph.EdgeBetween(u, v)) {
+        road_edge = *existing;
+      } else {
+        road_edge = road_graph.AddEdge(
+            u, v, ctbus::graph::Distance(points[u], points[v]));
+      }
+      transit.AddEdge(u, v, road_graph.edge(road_edge).length, {road_edge});
+    }
+  }
+
+  // One CT-Bus route per GTFS route: its first trip's pattern. Routes
+  // whose every trip collapses below two stops carry no planable edge
+  // and are skipped (counted, not erred — loop feeds do exist).
+  std::vector<int> first_trip_of_route(feed.route_ids.size(), -1);
+  for (std::size_t t = 0; t < feed.trips.size(); ++t) {
+    const int r = feed.route_index.at(feed.trips[t].route_id);
+    if (first_trip_of_route[r] == -1 && patterns[t].size() >= 2) {
+      first_trip_of_route[r] = static_cast<int>(t);
+    }
+  }
+  int routes_added = 0;
+  int routes_skipped = 0;
+  for (std::size_t r = 0; r < feed.route_ids.size(); ++r) {
+    if (first_trip_of_route[r] == -1) {
+      ++routes_skipped;
+      continue;
+    }
+    transit.AddRoute(patterns[first_trip_of_route[r]]);
+    ++routes_added;
+  }
+
+  // Trip CSV: every trip's road-vertex sequence (stop index == vertex
+  // index by construction). The catalog turns these into road-edge trip
+  // counts f_e at registration.
+  std::vector<std::vector<std::string>> trip_rows;
+  trip_rows.reserve(feed.trips.size());
+  for (std::size_t t = 0; t < feed.trips.size(); ++t) {
+    if (patterns[t].size() < 2) continue;
+    std::vector<std::string> row;
+    row.reserve(patterns[t].size());
+    for (int stop : patterns[t]) row.push_back(std::to_string(stop));
+    trip_rows.push_back(std::move(row));
+  }
+
+  ctbus::graph::RoadNetwork road(std::move(road_graph));
+  if (!ctbus::io::SaveRoadNetwork(road, args.out_road)) {
+    std::fprintf(stderr, "ctbus_import: cannot write %s\n",
+                 args.out_road.c_str());
+    return 1;
+  }
+  if (!ctbus::io::SaveTransitNetwork(transit, args.out_transit)) {
+    std::fprintf(stderr, "ctbus_import: cannot write %s\n",
+                 args.out_transit.c_str());
+    return 1;
+  }
+  if (!ctbus::io::WriteCsvFile(args.out_trips, trip_rows)) {
+    std::fprintf(stderr, "ctbus_import: cannot write %s\n",
+                 args.out_trips.c_str());
+    return 1;
+  }
+
+  std::printf(
+      "ctbus_import: %d stops, %d road edges, %d transit edges, "
+      "%d routes (%d skipped), %zu trips -> %s, %s, %s\n",
+      transit.num_stops(), road.graph().num_edges(), transit.num_edges(),
+      routes_added, routes_skipped, trip_rows.size(), args.out_road.c_str(),
+      args.out_transit.c_str(), args.out_trips.c_str());
+  return 0;
+}

@@ -4,8 +4,9 @@
 Checks four invariants that the compiler cannot, each rooted in a
 correctness contract documented in docs/ARCHITECTURE.md:
 
-  key-completeness  Every field of core::CtBusOptions and
-                    service::ServiceOptions either feeds
+  key-completeness  Every field of core::CtBusOptions,
+                    service::ServiceOptions and
+                    service::DatasetDescriptor either feeds
                     MakePrecomputeKey (referenced as `options.<field>`
                     in its body) or carries an explicit
                     `ctbus-lint: key-exempt(<reason>)` annotation in
@@ -258,6 +259,10 @@ def struct_fields(body, start_line):
 OPTION_STRUCTS = (
     ("src/core/options.h", "CtBusOptions"),
     ("src/service/planning_service.h", "ServiceOptions"),
+    # Persistence knobs (snapshot_path, spill dir, retention) live here and
+    # in ServiceOptions; they change where bytes persist, never what a key
+    # computes to, and every field must say so in writing.
+    ("src/service/dataset_catalog.h", "DatasetDescriptor"),
 )
 KEY_FUNCTION_FILE = "src/service/precompute_cache.cc"
 KEY_FUNCTION_RE = r"\bMakePrecomputeKey\s*\([^)]*\)\s*"
@@ -534,6 +539,23 @@ struct ServiceOptions {
 };
 """
 
+FIXTURE_DATASET_CATALOG_CLEAN = """\
+struct DatasetDescriptor {
+  /// ctbus-lint: key-exempt(the key's dataset field itself)
+  std::string name;
+  /// ctbus-lint: key-exempt(on-disk accelerator keyed by file content)
+  std::string snapshot_path;
+};
+"""
+
+FIXTURE_DATASET_CATALOG_VIOLATION = """\
+struct DatasetDescriptor {
+  /// ctbus-lint: key-exempt(the key's dataset field itself)
+  std::string name;
+  std::string snapshot_path;
+};
+"""
+
 FIXTURE_KEY_CC = """\
 PrecomputeKey MakePrecomputeKey(const std::string& dataset,
                                 const core::CtBusOptions& options) {
@@ -637,17 +659,24 @@ def self_check():
     base = {
         "src/core/options.h": FIXTURE_OPTIONS_CLEAN,
         "src/service/planning_service.h": FIXTURE_SERVICE_OPTIONS,
+        "src/service/dataset_catalog.h": FIXTURE_DATASET_CATALOG_CLEAN,
         "src/service/precompute_cache.cc": FIXTURE_KEY_CC,
         "src/graph/graph.h": FIXTURE_APPROX_BYTES_OK,
     }
 
-    # Rule A: clean passes, missing exemption fails, empty reason fails.
+    # Rule A: clean passes, missing exemption fails, empty reason fails,
+    # and a persistence knob (DatasetDescriptor::snapshot_path) without a
+    # written exemption reason fails too.
     expect("key-completeness clean", dict(base), "key-completeness", False)
     expect("key-completeness violation",
            {**base, "src/core/options.h": FIXTURE_OPTIONS_VIOLATION},
            "key-completeness", True)
     expect("key-completeness empty reason",
            {**base, "src/core/options.h": FIXTURE_OPTIONS_EMPTY_REASON},
+           "key-completeness", True)
+    expect("key-completeness unexempted persistence knob",
+           {**base,
+            "src/service/dataset_catalog.h": FIXTURE_DATASET_CATALOG_VIOLATION},
            "key-completeness", True)
 
     # Rule B: violation fails, suppression passes, reasonless suppression
@@ -687,7 +716,7 @@ def self_check():
         for failure in failures:
             print(f"self-check FAILED: {failure}")
         return 1
-    print("self-check OK: 12 fixture expectations across 4 rules")
+    print("self-check OK: 13 fixture expectations across 4 rules")
     return 0
 
 

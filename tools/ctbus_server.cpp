@@ -5,8 +5,11 @@
 // metrics snapshot.
 //
 // Usage:
-//   ctbus_server [--port N] [--preset NAME | --fixture-dir DIR]
-//                [--dataset NAME] [--scale X] [--threads N] [--queue N]
+//   ctbus_server [--port N]
+//                [--preset NAME | --fixture-dir DIR |
+//                 --road FILE --transit FILE [--trips FILE]]
+//                [--dataset NAME] [--scale X] [--snapshot FILE]
+//                [--spill-dir DIR] [--threads N] [--queue N]
 //                [--batch N] [--quota N] [--reject-on-overflow]
 //                [--log-requests]
 //
@@ -14,6 +17,12 @@
 // batch 8, quota 64, OverflowPolicy::kBlock, request log off.
 // --reject-on-overflow switches the shard queues to kReject so a full
 // queue sheds load as kRejectedOverload instead of blocking the reader.
+//
+// Cold-start accelerators (io/snapshot.h): --snapshot loads the dataset
+// from a CTBS binary snapshot when the file is valid (and writes it there
+// after a text build otherwise); --spill-dir persists evicted precompute
+// cache entries so a restarted server answers its first query without
+// recomputing. See docs/ARCHITECTURE.md, "Persistence".
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +50,11 @@ struct Args {
   int port = 0;
   std::string preset;
   std::string fixture_dir;
+  std::string road_path;
+  std::string transit_path;
+  std::string trips_path;
+  std::string snapshot_path;
+  std::string spill_dir;
   std::string dataset;
   double scale = 1.0;
   int threads = 1;
@@ -74,6 +88,16 @@ Args ParseArgs(int argc, char** argv) {
       args.preset = value();
     } else if (flag == "--fixture-dir") {
       args.fixture_dir = value();
+    } else if (flag == "--road") {
+      args.road_path = value();
+    } else if (flag == "--transit") {
+      args.transit_path = value();
+    } else if (flag == "--trips") {
+      args.trips_path = value();
+    } else if (flag == "--snapshot") {
+      args.snapshot_path = value();
+    } else if (flag == "--spill-dir") {
+      args.spill_dir = value();
     } else if (flag == "--dataset") {
       args.dataset = value();
     } else if (flag == "--scale") {
@@ -97,11 +121,24 @@ Args ParseArgs(int argc, char** argv) {
       Die("unknown flag " + flag);
     }
   }
-  if (!args.preset.empty() && !args.fixture_dir.empty()) {
-    Die("--preset and --fixture-dir are mutually exclusive");
+  const bool from_files =
+      !args.road_path.empty() || !args.transit_path.empty();
+  const int sources = (!args.preset.empty() ? 1 : 0) +
+                      (!args.fixture_dir.empty() ? 1 : 0) +
+                      (from_files ? 1 : 0);
+  if (sources > 1) {
+    Die("--preset, --fixture-dir and --road/--transit are mutually "
+        "exclusive");
   }
-  if (args.preset.empty() && args.fixture_dir.empty()) {
+  if (from_files && (args.road_path.empty() || args.transit_path.empty())) {
+    Die("file datasets need both --road and --transit");
+  }
+  if (sources == 0) {
     args.preset = "midtown";
+  }
+  if (!args.snapshot_path.empty() && !args.preset.empty()) {
+    Die("--snapshot only applies to file datasets (presets regenerate "
+        "instantly)");
   }
   return args;
 }
@@ -118,6 +155,7 @@ int main(int argc, char** argv) {
   service_options.overflow_policy =
       args.reject_on_overflow ? ctbus::service::OverflowPolicy::kReject
                               : ctbus::service::OverflowPolicy::kBlock;
+  service_options.cache_spill_dir = args.spill_dir;
   ctbus::service::PlanningService service(service_options);
 
   std::string dataset;
@@ -138,11 +176,26 @@ int main(int argc, char** argv) {
     ctbus::service::DatasetCatalog catalog(&service);
     ctbus::service::DatasetDescriptor descriptor;
     descriptor.name = dataset;
-    descriptor.road_path = args.fixture_dir + "/grid_road.tsv";
-    descriptor.transit_path = args.fixture_dir + "/grid_transit.tsv";
-    descriptor.trips_path = args.fixture_dir + "/grid_trips.csv";
+    if (!args.fixture_dir.empty()) {
+      descriptor.road_path = args.fixture_dir + "/grid_road.tsv";
+      descriptor.transit_path = args.fixture_dir + "/grid_transit.tsv";
+      descriptor.trips_path = args.fixture_dir + "/grid_trips.csv";
+    } else {
+      descriptor.road_path = args.road_path;
+      descriptor.transit_path = args.transit_path;
+      descriptor.trips_path = args.trips_path;
+    }
+    descriptor.snapshot_path = args.snapshot_path;
     std::string error;
-    if (!catalog.Register(descriptor, &error)) Die(error);
+    const auto manifest = catalog.Register(descriptor, &error);
+    if (!manifest) Die(error);
+    if (manifest->loaded_from_snapshot) {
+      std::printf("dataset %s loaded from snapshot %s\n", dataset.c_str(),
+                  args.snapshot_path.c_str());
+    } else if (manifest->snapshot_saved) {
+      std::printf("dataset %s built from text; snapshot written to %s\n",
+                  dataset.c_str(), args.snapshot_path.c_str());
+    }
   }
 
   ctbus::net::ServerOptions server_options;
